@@ -1,0 +1,240 @@
+package jaxpp
+
+// One benchmark per table/figure of the paper's evaluation (run with
+// `go test -bench=. -benchmem`). The figure benches execute the calibrated
+// cluster simulator and report the headline metric (TFLOPS/device or step
+// seconds) via b.ReportMetric; cmd/jaxpp-bench prints the full rows.
+// Functional benches measure the real MPMD compiler and runtime.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/schedule"
+	"repro/internal/taskgraph"
+	"repro/internal/timeline"
+)
+
+// BenchmarkFig2_Schedules regenerates the Fig. 2 GPipe-vs-1F1B timelines.
+func BenchmarkFig2_Schedules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, s := range []*schedule.Schedule{
+			schedule.GPipe(3, 6),
+			schedule.OneFOneB(3, 6),
+		} {
+			spans := timeline.Build(s, 2)
+			if len(spans) == 0 {
+				b.Fatal("no spans")
+			}
+		}
+	}
+	gp := schedule.GPipe(3, 6).PeakInFlight()[0]
+	ob := schedule.OneFOneB(3, 6).PeakInFlight()[0]
+	b.ReportMetric(float64(gp), "gpipe-peak-mb")
+	b.ReportMetric(float64(ob), "1f1b-peak-mb")
+}
+
+// BenchmarkFig6_CircularRepeat sweeps interleaving degree (Fig. 6).
+func BenchmarkFig6_CircularRepeat(b *testing.B) {
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	best := 0.0
+	for _, r := range rows {
+		if r.Result.TFLOPSPerDevice > best {
+			best = r.Result.TFLOPSPerDevice
+		}
+	}
+	b.ReportMetric(best, "best-TFLOPS/device")
+}
+
+// BenchmarkFig7_Microbatches sweeps gradient accumulation (Fig. 7).
+func BenchmarkFig7_Microbatches(b *testing.B) {
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.Result.TFLOPSPerDevice, "saturated-TFLOPS/device")
+}
+
+// BenchmarkFig8_WeakScaling runs the 64→1024 GPU weak-scaling sweep (Fig. 8).
+func BenchmarkFig8_WeakScaling(b *testing.B) {
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var first, last float64
+	for _, r := range rows {
+		if r.System == "JaxPP" {
+			if first == 0 {
+				first = r.Result.TFLOPSPerDevice
+			}
+			last = r.Result.TFLOPSPerDevice
+		}
+	}
+	b.ReportMetric(100*last/first, "weak-scaling-eff-%")
+}
+
+// BenchmarkFig9_Comparison runs the cross-system bars (Fig. 9).
+func BenchmarkFig9_Comparison(b *testing.B) {
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var jaxpp, fsdp float64
+	for _, r := range rows {
+		if r.Label == "GPT-3 175B" && r.System == "JaxPP" {
+			jaxpp = r.Result.TFLOPSPerDevice
+		}
+		if r.Label == "GPT-3 175B" && r.System == "JAX FSDP" {
+			fsdp = r.Result.TFLOPSPerDevice
+		}
+	}
+	b.ReportMetric(jaxpp/fsdp, "jaxpp-over-fsdp") // paper: 1.11×
+}
+
+// BenchmarkFig10_Breakdown computes the step-time breakdown (Fig. 10).
+func BenchmarkFig10_Breakdown(b *testing.B) {
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.System == "JAX SPMD PP" {
+			b.ReportMetric(r.Result.Breakdown.Rematerialization, "spmd-remat-s")
+			b.ReportMetric(r.Result.StepTime, "spmd-step-s")
+		} else {
+			b.ReportMetric(r.Result.StepTime, "jaxpp-step-s")
+		}
+	}
+}
+
+// BenchmarkTable1_Full regenerates every Table 1 row.
+func BenchmarkTable1_Full(b *testing.B) {
+	var rows []experiments.Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Mean absolute step-time error vs the paper across rows with paper data.
+	var sum float64
+	var n int
+	for _, r := range rows {
+		if r.PaperStepTime > 0 {
+			e := r.Result.StepTime/r.PaperStepTime - 1
+			if e < 0 {
+				e = -e
+			}
+			sum += e
+			n++
+		}
+	}
+	b.ReportMetric(100*sum/float64(n), "mean-abs-step-err-%")
+}
+
+// BenchmarkRuntimePipelineStep measures a full functional MPMD training step
+// (trace/compile excluded) on the real runtime.
+func BenchmarkRuntimePipelineStep(b *testing.B) {
+	const stages, mbRows, numMB, width = 4, 8, 8, 32
+	mesh := NewRemoteMesh(stages)
+	step, err := mesh.Compile(mlpSpec(stages, mbRows, width, OneFOneB(stages, numMB)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	params, x, y := mlpData(stages, mbRows, numMB, width, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := step.Step(params, []*Tensor{x, y}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompile measures trace→autodiff→split→unroll→load end to end.
+func BenchmarkCompile(b *testing.B) {
+	const stages, mbRows, numMB, width = 4, 8, 16, 32
+	for i := 0; i < b.N; i++ {
+		mesh := NewRemoteMesh(stages)
+		if _, err := mesh.Compile(mlpSpec(stages, mbRows, width, OneFOneB(stages, numMB))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLoopCommuting measures the §3.4 rewrite's effect on
+// communication volume for a tied-weight model (elements sent per step).
+func BenchmarkAblationLoopCommuting(b *testing.B) {
+	const mbRows, numMB, width = 4, 8, 16
+	run := func(commute bool) int64 {
+		mesh := NewRemoteMesh(3)
+		spec := CompileSpec{
+			Loss: func(bb *Builder, params, mb []*Value) *Value {
+				w, v := params[0], params[1]
+				h := bb.ReLU(bb.MatMul(mb[0], w))
+				h = bb.PipelineYield(h)
+				h = bb.ReLU(bb.MatMul(h, v))
+				h = bb.PipelineYield(h)
+				return bb.CrossEntropy(bb.MatMul(h, bb.Transpose(w)), mb[1])
+			},
+			ParamShapes:             [][]int{{width, width}, {width, width}},
+			BatchShapes:             [][]int{{mbRows, width}, {mbRows, width}},
+			Schedule:                OneFOneB(3, numMB),
+			CommuteGradAccumulation: commute,
+		}
+		step, err := mesh.Compile(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := NewRNG(1)
+		params := []*Tensor{rng.Xavier(width, width), rng.Xavier(width, width)}
+		x := rng.Normal(1, numMB*mbRows, width)
+		y := rng.OneHotBatch(numMB*mbRows, width)
+		if _, _, err := step.Step(params, []*Tensor{x, y}); err != nil {
+			b.Fatal(err)
+		}
+		sends := int64(0)
+		for _, list := range step.Program().Actors {
+			for _, instr := range list {
+				if instr.Kind == taskgraph.OpSend {
+					sends++
+				}
+			}
+		}
+		return sends
+	}
+	var with, without int64
+	for i := 0; i < b.N; i++ {
+		without = run(false)
+		with = run(true)
+	}
+	if with >= without {
+		b.Fatalf("commuting did not reduce sends: %d -> %d", without, with)
+	}
+	b.ReportMetric(float64(without), "sends-no-commute")
+	b.ReportMetric(float64(with), "sends-commuted")
+}

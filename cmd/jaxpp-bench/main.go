@@ -1,0 +1,78 @@
+// Command jaxpp-bench regenerates the paper's tables and figures on the
+// simulator. Usage:
+//
+//	jaxpp-bench -exp all|fig6|fig7|fig8|fig9|fig10|table1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, fig9, fig10, table1, ablations")
+	flag.Parse()
+
+	run := func(name string) error {
+		switch name {
+		case "fig6":
+			rows, err := experiments.Fig6()
+			if err != nil {
+				return err
+			}
+			experiments.Print(os.Stdout, "Fig. 6: GPT-3 175B, TP8xPP8, 64 GPUs, GBS 128 — circular repeat sweep", rows)
+		case "fig7":
+			rows, err := experiments.Fig7()
+			if err != nil {
+				return err
+			}
+			experiments.Print(os.Stdout, "Fig. 7: GPT-3 175B, TP8xPP8, CR 6 — microbatch sweep", rows)
+		case "fig8":
+			rows, err := experiments.Fig8()
+			if err != nil {
+				return err
+			}
+			experiments.Print(os.Stdout, "Fig. 8: weak scaling, GBS = 2x GPUs", rows)
+		case "fig9":
+			rows, err := experiments.Fig9()
+			if err != nil {
+				return err
+			}
+			experiments.Print(os.Stdout, "Fig. 9: training performance comparison", rows)
+		case "fig10":
+			rows, err := experiments.Fig10()
+			if err != nil {
+				return err
+			}
+			experiments.PrintBreakdown(os.Stdout, rows)
+		case "ablations":
+			if err := experiments.Ablations(os.Stdout); err != nil {
+				return err
+			}
+		case "table1":
+			rows, err := experiments.Table1()
+			if err != nil {
+				return err
+			}
+			experiments.Print(os.Stdout, "Table 1: training performance", rows)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1", "ablations"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintln(os.Stderr, "jaxpp-bench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command jaxpp-viz renders pipeline schedules as ASCII timelines (the
+// paper's Fig. 2: GPipe vs 1F1B) or Chrome trace JSON.
+//
+//	jaxpp-viz -actors 3 -mb 6 -schedule 1f1b
+//	jaxpp-viz -schedule interleaved -repeat 2 -chrome trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/schedule"
+	"repro/internal/timeline"
+)
+
+func main() {
+	actors := flag.Int("actors", 3, "number of pipeline actors")
+	mb := flag.Int("mb", 6, "number of microbatches")
+	sched := flag.String("schedule", "all", "gpipe, 1f1b, interleaved, or all")
+	repeat := flag.Int("repeat", 2, "circular repeat for interleaved")
+	bwd := flag.Float64("bwd", 2, "backward/forward duration ratio")
+	width := flag.Int("width", 96, "terminal columns for the timeline")
+	chrome := flag.String("chrome", "", "write Chrome trace JSON to this file")
+	flag.Parse()
+
+	build := func(name string) *schedule.Schedule {
+		switch name {
+		case "gpipe":
+			return schedule.GPipe(*actors, *mb)
+		case "1f1b":
+			return schedule.OneFOneB(*actors, *mb)
+		case "interleaved":
+			s, err := schedule.Interleaved1F1B(*actors, *mb, *repeat)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return s
+		default:
+			log.Fatalf("unknown schedule %q", name)
+			return nil
+		}
+	}
+
+	names := []string{*sched}
+	if *sched == "all" {
+		names = []string{"gpipe", "1f1b", "interleaved"}
+	}
+	for _, n := range names {
+		s := build(n)
+		if err := s.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		timeline.RenderASCII(os.Stdout, s, *bwd, *width)
+		fmt.Println()
+		if *chrome != "" {
+			f, err := os.Create(*chrome)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := timeline.WriteChromeTrace(f, s, *bwd); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+			fmt.Printf("wrote Chrome trace to %s\n", *chrome)
+		}
+	}
+}

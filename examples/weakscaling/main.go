@@ -1,0 +1,45 @@
+// Weak-scaling example (Fig. 8): GPT-3 175B from 64 to 1024 simulated H100s
+// with global batch 2×GPUs, comparing JaxPP's interleaved-1F1B pipeline
+// against JAX FSDP through the public simulation API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	jaxpp "repro"
+)
+
+func main() {
+	fmt.Println("GPT-3 175B weak scaling, GBS = 2 × #GPUs (simulator)")
+	fmt.Printf("%6s  %22s  %22s\n", "#GPUs", "JaxPP (TP8xPP8, CR6)", "JAX FSDP")
+	var jBase, fBase float64
+	for _, gpus := range []int{64, 128, 256, 512, 1024} {
+		gbs := 2 * gpus
+		dp := gpus / 64
+		jres, err := jaxpp.SimulateJaxPP(jaxpp.SimConfig{
+			Model: jaxpp.GPT3175B(), Cluster: jaxpp.EOSCluster(),
+			GPUs: gpus, TP: 8, PP: 8, DP: dp,
+			GlobalBatch: gbs, Microbatch: gbs / (dp * 32), CircularRepeat: 6,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fres, err := jaxpp.SimulateFSDP(jaxpp.FSDPConfig{
+			Model: jaxpp.GPT3175B(), Cluster: jaxpp.EOSCluster(),
+			GPUs: gpus, GlobalBatch: gbs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if gpus == 64 {
+			jBase, fBase = jres.TFLOPSPerDevice, fres.TFLOPSPerDevice
+		}
+		fmt.Printf("%6d  %7.2fs %5.0f TF %4.0f%%  %7.2fs %5.0f TF %4.0f%%\n",
+			gpus,
+			jres.StepTime, jres.TFLOPSPerDevice, 100*jres.TFLOPSPerDevice/jBase,
+			fres.StepTime, fres.TFLOPSPerDevice, 100*fres.TFLOPSPerDevice/fBase)
+	}
+	fmt.Println("\npaper: JaxPP scales at 92.87% efficiency vs FSDP's 93.97%,")
+	fmt.Println("while delivering higher absolute throughput at every scale.")
+}

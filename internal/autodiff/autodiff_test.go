@@ -1,0 +1,338 @@
+package autodiff
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// traceMLP builds loss(x, y, w1, w2, w3) = xent(relu(x@w1)@w2 @ w3, y) with
+// optional pipeline yields between layers.
+func traceMLP(t *testing.T, withYields bool, dims []int) *ir.Graph {
+	t.Helper()
+	g, err := trace.Trace("mlp", func(b *trace.Builder) []*ir.Value {
+		x := b.Input("x", 4, dims[0])
+		y := b.Input("y", 4, dims[len(dims)-1])
+		var ws []*ir.Value
+		for i := 0; i+1 < len(dims); i++ {
+			ws = append(ws, b.Input("w", dims[i], dims[i+1]))
+		}
+		h := x
+		for i, w := range ws {
+			h = b.MatMul(h, w)
+			if i+1 < len(ws) {
+				h = b.ReLU(h)
+				if withYields {
+					h = b.PipelineYield(h)
+				}
+			}
+		}
+		return []*ir.Value{b.CrossEntropy(h, y)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mlpInputs(dims []int, seed uint64) []*tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	x := rng.Normal(1, 4, dims[0])
+	y := rng.OneHotBatch(4, dims[len(dims)-1])
+	ins := []*tensor.Tensor{x, y}
+	for i := 0; i+1 < len(dims); i++ {
+		ins = append(ins, rng.Normal(0.5, dims[i], dims[i+1]))
+	}
+	return ins
+}
+
+func TestValueAndGradMatchesFiniteDifference(t *testing.T) {
+	dims := []int{3, 5, 4, 3}
+	g := traceMLP(t, false, dims)
+	gg, err := ValueAndGrad(g, g.Inputs[2:]) // wrt the weights
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := mlpInputs(dims, 42)
+	outs, err := interp.Eval(gg, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss0 := outs[0].Data()[0]
+
+	evalLoss := func(perturbed []*tensor.Tensor) float64 {
+		r, err := interp.Eval(g, perturbed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r[0].Data()[0]
+	}
+	eps := 1e-6
+	for wi := 2; wi < len(ins); wi++ {
+		grad := outs[1+wi-2]
+		w := ins[wi]
+		// Spot-check a few entries of each weight gradient.
+		for _, flat := range []int{0, w.Size() / 2, w.Size() - 1} {
+			plus := make([]*tensor.Tensor, len(ins))
+			minus := make([]*tensor.Tensor, len(ins))
+			copy(plus, ins)
+			copy(minus, ins)
+			wp := w.Clone()
+			wp.Data()[flat] += eps
+			wm := w.Clone()
+			wm.Data()[flat] -= eps
+			plus[wi], minus[wi] = wp, wm
+			fd := (evalLoss(plus) - evalLoss(minus)) / (2 * eps)
+			if math.Abs(fd-grad.Data()[flat]) > 1e-5 {
+				t.Fatalf("w%d[%d]: grad=%v fd=%v (loss %v)", wi, flat, grad.Data()[flat], fd, loss0)
+			}
+		}
+	}
+}
+
+func TestYieldsDoNotChangeGradients(t *testing.T) {
+	dims := []int{3, 6, 5, 3}
+	plain := traceMLP(t, false, dims)
+	marked := traceMLP(t, true, dims)
+	gp, err := ValueAndGrad(plain, plain.Inputs[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := ValueAndGrad(marked, marked.Inputs[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := mlpInputs(dims, 7)
+	a, err := interp.Eval(gp, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := interp.Eval(gm, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if !tensor.AllClose(a[i], b[i], 1e-12, 1e-12) {
+			t.Fatalf("output %d differs with yields: %v", i, tensor.MaxAbsDiff(a[i], b[i]))
+		}
+	}
+}
+
+func TestBackwardYieldsMirrorForward(t *testing.T) {
+	dims := []int{3, 6, 5, 3}
+	g := traceMLP(t, true, dims)
+	gg, err := ValueAndGrad(g, g.Inputs[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwd, bwd := gg.YieldBoundaries()
+	if len(fwd) != 2 || len(bwd) != 2 {
+		t.Fatalf("fwd=%d bwd=%d yields", len(fwd), len(bwd))
+	}
+	// Backward yields must appear in reverse stage order.
+	s1 := gg.Eqns[bwd[0]].Attrs.Stage
+	s2 := gg.Eqns[bwd[1]].Attrs.Stage
+	if !(s1 > s2) {
+		t.Fatalf("backward yields not reversed: %d then %d", s1, s2)
+	}
+}
+
+func TestSharedWeightAccumulatesPartialGrads(t *testing.T) {
+	// Tied weights: the same W used in two layers (second use transposed).
+	g, err := trace.Trace("tied", func(b *trace.Builder) []*ir.Value {
+		x := b.Input("x", 4, 5)
+		y := b.Input("y", 4, 5)
+		w := b.Input("w", 5, 5)
+		h := b.ReLU(b.MatMul(x, w))
+		h = b.PipelineYield(h)
+		out := b.MatMul(h, b.Transpose(w))
+		return []*ir.Value{b.CrossEntropy(out, y)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := ValueAndGrad(g, []*ir.Value{g.Inputs[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(3)
+	ins := []*tensor.Tensor{rng.Normal(1, 4, 5), rng.OneHotBatch(4, 5), rng.Normal(0.5, 5, 5)}
+	outs, err := interp.Eval(gg, ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grad := outs[1]
+	// Finite-difference check on one entry: both uses must contribute.
+	eps := 1e-6
+	evalLoss := func(w *tensor.Tensor) float64 {
+		r, err := interp.Eval(g, []*tensor.Tensor{ins[0], ins[1], w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r[0].Data()[0]
+	}
+	for _, flat := range []int{0, 12, 24} {
+		wp := ins[2].Clone()
+		wp.Data()[flat] += eps
+		wm := ins[2].Clone()
+		wm.Data()[flat] -= eps
+		fd := (evalLoss(wp) - evalLoss(wm)) / (2 * eps)
+		if math.Abs(fd-grad.Data()[flat]) > 1e-5 {
+			t.Fatalf("tied grad[%d]=%v fd=%v", flat, grad.Data()[flat], fd)
+		}
+	}
+}
+
+func TestUnusedInputGetsZeroGrad(t *testing.T) {
+	g, err := trace.Trace("unused", func(b *trace.Builder) []*ir.Value {
+		x := b.Input("x", 2, 2)
+		y := b.Input("y", 2, 2)
+		unused := b.Input("u", 3, 3)
+		_ = unused
+		return []*ir.Value{b.CrossEntropy(x, y)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := ValueAndGrad(g, []*ir.Value{g.Inputs[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(1)
+	outs, err := interp.Eval(gg, []*tensor.Tensor{rng.Normal(1, 2, 2), rng.OneHotBatch(2, 2), rng.Normal(1, 3, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := outs[1]
+	if !tensor.AllClose(z, tensor.New(3, 3), 0, 0) {
+		t.Fatalf("unused grad not zero: %v", z)
+	}
+}
+
+func TestErrorsOnNonScalarLoss(t *testing.T) {
+	g, err := trace.Trace("vecloss", func(b *trace.Builder) []*ir.Value {
+		x := b.Input("x", 2, 2)
+		return []*ir.Value{b.ReLU(x)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValueAndGrad(g, g.Inputs); err == nil {
+		t.Fatal("want error for non-scalar loss")
+	}
+}
+
+func TestErrorsOnNonInputWrt(t *testing.T) {
+	g, err := trace.Trace("nonin", func(b *trace.Builder) []*ir.Value {
+		x := b.Input("x", 2, 2)
+		y := b.Input("y", 2, 2)
+		return []*ir.Value{b.CrossEntropy(x, y)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phantom := &ir.Value{ID: 12345, Shape: []int{2, 2}}
+	if _, err := ValueAndGrad(g, []*ir.Value{phantom}); err == nil {
+		t.Fatal("want error for non-input wrt")
+	}
+}
+
+func TestGradGraphVerifies(t *testing.T) {
+	dims := []int{4, 8, 6, 4}
+	g := traceMLP(t, true, dims)
+	gg, err := ValueAndGrad(g, g.Inputs[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gg.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// DCE should not remove anything load-bearing.
+	gg.DCE()
+	if err := gg.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	ins := mlpInputs(dims, 9)
+	if _, err := interp.Eval(gg, ins); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleSumBroadcastGrads(t *testing.T) {
+	// loss = sum(scale(x, 3)) => dloss/dx = 3 everywhere.
+	g, err := trace.Trace("scalesum", func(b *trace.Builder) []*ir.Value {
+		x := b.Input("x", 2, 3)
+		return []*ir.Value{b.Sum(b.Scale(x, 3))}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := ValueAndGrad(g, g.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := interp.Eval(gg, []*tensor.Tensor{tensor.NewRNG(2).Normal(1, 2, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(outs[1], tensor.Full(3, 2, 3), 1e-12, 1e-12) {
+		t.Fatalf("grad=%v", outs[1])
+	}
+}
+
+func TestTanhGrad(t *testing.T) {
+	g, err := trace.Trace("tanh", func(b *trace.Builder) []*ir.Value {
+		x := b.Input("x", 3)
+		return []*ir.Value{b.Sum(b.Tanh(x))}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := ValueAndGrad(g, g.Inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.MustFromSlice([]float64{-1, 0, 0.5}, 3)
+	outs, err := interp.Eval(gg, []*tensor.Tensor{x})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, xv := range x.Data() {
+		want := 1 - math.Tanh(xv)*math.Tanh(xv)
+		if math.Abs(outs[1].Data()[i]-want) > 1e-12 {
+			t.Fatalf("tanh'(%v)=%v want %v", xv, outs[1].Data()[i], want)
+		}
+	}
+}
+
+func TestSumAxis0AndBroadcastGradRoundTrip(t *testing.T) {
+	// loss = sum(sum_axis0(x) * c); grad should be c broadcast up.
+	g, err := trace.Trace("axis0", func(b *trace.Builder) []*ir.Value {
+		x := b.Input("x", 4, 3)
+		c := b.Input("c", 3)
+		return []*ir.Value{b.Sum(b.Mul(b.SumAxis0(x), c))}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gg, err := ValueAndGrad(g, []*ir.Value{g.Inputs[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tensor.MustFromSlice([]float64{1, 2, 3}, 3)
+	outs, err := interp.Eval(gg, []*tensor.Tensor{tensor.NewRNG(4).Normal(1, 4, 3), c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for row := 0; row < 4; row++ {
+		for col := 0; col < 3; col++ {
+			if outs[1].At(row, col) != c.At(col) {
+				t.Fatalf("grad[%d,%d]=%v want %v", row, col, outs[1].At(row, col), c.At(col))
+			}
+		}
+	}
+}

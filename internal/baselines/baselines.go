@@ -1,0 +1,169 @@
+// Package baselines models the comparison systems of §5: JAX FSDP (fully
+// sharded data parallelism), the GSPMD SPMD-encoded pipeline parallelism
+// baseline, and NeMo/Megatron (whose edge the paper attributes to custom
+// high-performance kernels, modeled as a better kernel-efficiency curve).
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+// FSDPConfig is a fully-sharded data-parallel run (a JAX FSDP row of
+// Table 1).
+type FSDPConfig struct {
+	Model       model.TransformerConfig
+	Cluster     perf.ClusterSpec
+	GPUs        int
+	GlobalBatch int
+	// FSDPDegree is the sharding group size (Table 1 caps it at 128 with DP
+	// across groups); 0 means min(GPUs, 128).
+	FSDPDegree int
+}
+
+// Calibration constants for the FSDP model. Exposed as variables so the
+// ablation benches can perturb them.
+var (
+	// FSDPOverlap is the fraction of gather/scatter traffic hidden under
+	// compute.
+	FSDPOverlap = 0.95
+	// FSDPJitterPerLog2 is the straggler/jitter cost per log2(GPUs), in
+	// seconds, matching the paper's mild weak-scaling droop (93.97%).
+	FSDPJitterPerLog2 = 0.1
+)
+
+// FSDPSimulate returns the simulated step time and throughput for FSDP.
+func FSDPSimulate(c FSDPConfig) (*sim.Result, error) {
+	if c.GlobalBatch%c.GPUs != 0 && c.GlobalBatch < c.GPUs {
+		return nil, fmt.Errorf("baselines: global batch %d below GPU count %d", c.GlobalBatch, c.GPUs)
+	}
+	if c.FSDPDegree == 0 {
+		c.FSDPDegree = c.GPUs
+		if c.FSDPDegree > 128 {
+			c.FSDPDegree = 128
+		}
+	}
+	dev := c.Cluster.Device
+	m := c.Model
+
+	localSeqs := float64(c.GlobalBatch) / float64(c.GPUs)
+	tokensPerRank := localSeqs * float64(m.Seq)
+	eta := perf.MatmulEfficiency(tokensPerRank)
+	compute := m.StepFLOPs(c.GlobalBatch) / float64(c.GPUs) / (dev.PeakTFLOPS * 1e12 * eta)
+
+	// At these model sizes the local activations (all layers × local batch)
+	// vastly exceed HBM, so FSDP trains with full activation checkpointing:
+	// one extra forward pass of compute.
+	actNoRemat := m.ActivationBytesPerLayer(int(localSeqs)) * float64(m.Layers)
+	weightsResident := float64(m.Params()) * perf.OptimizerBytesPerParam / float64(minInt(c.GPUs, 128))
+	remat := actNoRemat > dev.HBMBytes-weightsResident-6e9
+	if remat {
+		compute *= 1 + perf.RematOverheadFactor
+	}
+
+	// ZeRO-3 traffic: all-gather BF16 params for forward and again for
+	// backward, reduce-scatter BF16 grads — three volumes of 2N bytes moved
+	// hierarchically; the inter-node leg dominates. Per-node NIC pool is
+	// GPUsPerNode × per-GPU bandwidth.
+	nodes := float64(c.GPUs) / float64(c.Cluster.GPUsPerNode)
+	if nodes < 1 {
+		nodes = 1
+	}
+	paramBytes := float64(m.Params()) * 2
+	nodeBW := dev.NetGBs * float64(c.Cluster.GPUsPerNode) * 1e9
+	interFrac := (nodes - 1) / nodes
+	commTotal := 3 * paramBytes * interFrac / nodeBW
+	exposed := commTotal * (1 - FSDPOverlap)
+
+	jitter := FSDPJitterPerLog2 * math.Log2(float64(c.GPUs))
+	step := compute + exposed + jitter
+
+	// Memory: fully sharded training state + per-layer gathered weights +
+	// activations of the local batch (FSDP checkpoints activations per
+	// layer block; model the remat footprint).
+	weights := float64(m.Params()) * perf.OptimizerBytesPerParam / float64(c.FSDPDegree)
+	act := m.ActivationBytesPerLayerRemat(int(localSeqs)) * float64(m.Layers)
+
+	res := &sim.Result{
+		StepTime:        step,
+		TFLOPSPerDevice: m.StepFLOPs(c.GlobalBatch) / step / float64(c.GPUs) / 1e12,
+		Breakdown: sim.Breakdown{
+			ComputeCollectives: compute,
+			P2P:                exposed,
+			Bubble:             jitter,
+		},
+		Remat:           remat,
+		WeightsMemGiB:   weights / perf.GiB,
+		ActivationGiB:   act / perf.GiB,
+		PeakMemGiB:      (weights + act) / perf.GiB,
+		NumMicrobatches: 1,
+		Stages:          1,
+	}
+	return res, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// NeMoEfficiency is the kernel-efficiency multiplier NeMo's fused kernels
+// achieve over the XLA baseline curve, calibrated so the GPT-3 175B and
+// Llama2 70B step times at 128/64 GPUs land near the paper's 9.78s / 7.02s.
+// (Note: NeMo's *reported* TFLOPS additionally counts selective-recompute
+// FLOPs as useful work; EXPERIMENTS.md discusses the metric difference.)
+var NeMoEfficiency = 1.12
+
+// NeMoSimulate runs the pipeline simulator with NeMo's kernel efficiency,
+// distributed optimizer (required to fit 175B at TP4×PP8), and selective
+// attention recomputation.
+func NeMoSimulate(c sim.Config) (*sim.Result, error) {
+	c.KernelEfficiency = NeMoEfficiency
+	c.OverlapP2P = true
+	c.AutoRemat = true
+	c.DistributedOptimizer = true
+	c.SelectiveRecompute = true
+	if c.Schedule == "" {
+		if c.CircularRepeat > 1 {
+			c.Schedule = sim.SchedInterleaved
+		} else {
+			c.Schedule = sim.Sched1F1B
+		}
+	}
+	return sim.Simulate(c)
+}
+
+// SPMDPPSimulate runs the GSPMD stacked-loop pipeline encoding (§2.2.2):
+// GPipe schedule, per-iteration synchronization, synchronous boundary
+// communication, GPipe memory footprint (hence rematerialization for large
+// models).
+func SPMDPPSimulate(c sim.Config) (*sim.Result, error) {
+	c.Schedule = sim.SchedGPipe
+	c.SyncPerIteration = true
+	c.OverlapP2P = false
+	c.AutoRemat = true
+	c.CircularRepeat = 1
+	return sim.Simulate(c)
+}
+
+// JaxPPSimulate runs the paper's system: interleaved 1F1B (or plain 1F1B
+// when CircularRepeat == 1), overlapped asynchronous P2P, capacity-driven
+// rematerialization.
+func JaxPPSimulate(c sim.Config) (*sim.Result, error) {
+	if c.Schedule == "" {
+		if c.CircularRepeat > 1 {
+			c.Schedule = sim.SchedInterleaved
+		} else {
+			c.Schedule = sim.Sched1F1B
+		}
+	}
+	c.OverlapP2P = true
+	c.AutoRemat = true
+	return sim.Simulate(c)
+}

@@ -1,0 +1,125 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+func TestFSDPBaselineRow(t *testing.T) {
+	res, err := FSDPSimulate(FSDPConfig{
+		Model: model.GPT3_175B(), Cluster: perf.EOS(), GPUs: 64, GlobalBatch: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 10.63s / 415 TFLOPS.
+	if res.StepTime < 9.9 || res.StepTime > 11.4 {
+		t.Fatalf("FSDP step %.2fs, paper 10.63s", res.StepTime)
+	}
+	if !res.Remat {
+		t.Fatal("FSDP at 175B must checkpoint activations")
+	}
+}
+
+func TestFSDPWeakScalingDroop(t *testing.T) {
+	small, err := FSDPSimulate(FSDPConfig{Model: model.GPT3_175B(), Cluster: perf.EOS(), GPUs: 64, GlobalBatch: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := FSDPSimulate(FSDPConfig{Model: model.GPT3_175B(), Cluster: perf.EOS(), GPUs: 1024, GlobalBatch: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.TFLOPSPerDevice >= small.TFLOPSPerDevice {
+		t.Fatal("weak scaling must droop")
+	}
+	eff := big.TFLOPSPerDevice / small.TFLOPSPerDevice
+	if eff < 0.90 || eff > 0.99 {
+		t.Fatalf("FSDP 64→1024 efficiency %.1f%%, paper 93.97%%", 100*eff)
+	}
+}
+
+func TestJaxPPBeatsFSDP(t *testing.T) {
+	// Headline: JaxPP improves throughput by 1.11× over JAX FSDP (Fig. 9).
+	j, err := JaxPPSimulate(sim.Config{
+		Model: model.GPT3_175B(), Cluster: perf.EOS(),
+		GPUs: 128, TP: 8, PP: 8, DP: 2, GlobalBatch: 256, Microbatch: 4, CircularRepeat: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FSDPSimulate(FSDPConfig{Model: model.GPT3_175B(), Cluster: perf.EOS(), GPUs: 128, GlobalBatch: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := j.TFLOPSPerDevice / f.TFLOPSPerDevice
+	if ratio < 1.05 || ratio > 1.20 {
+		t.Fatalf("JaxPP/FSDP = %.3f, paper 1.11", ratio)
+	}
+}
+
+func TestSPMDPPSlowest(t *testing.T) {
+	s, err := SPMDPPSimulate(sim.Config{
+		Model: model.GPT3_175B(), Cluster: perf.EOS(),
+		GPUs: 128, TP: 4, PP: 16, DP: 2, GlobalBatch: 256, Microbatch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := JaxPPSimulate(sim.Config{
+		Model: model.GPT3_175B(), Cluster: perf.EOS(),
+		GPUs: 128, TP: 8, PP: 8, DP: 2, GlobalBatch: 256, Microbatch: 4, CircularRepeat: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 44.6% faster (13.96 vs 9.64). Accept 25–60%.
+	speedup := s.StepTime/j.StepTime - 1
+	if speedup < 0.25 || speedup > 0.60 {
+		t.Fatalf("JaxPP speedup over SPMD PP %.1f%%, paper 44.6%%", 100*speedup)
+	}
+}
+
+func TestNeMoFastestStepOnLlama(t *testing.T) {
+	// Paper Table 1 Llama2: NeMo 7.02s < JaxPP 8.42s ≈ FSDP 8.44s.
+	n, err := NeMoSimulate(sim.Config{
+		Model: model.Llama2_70B(), Cluster: perf.EOS(),
+		GPUs: 64, TP: 4, PP: 4, DP: 4, GlobalBatch: 128, Microbatch: 1, CircularRepeat: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := JaxPPSimulate(sim.Config{
+		Model: model.Llama2_70B(), Cluster: perf.EOS(),
+		GPUs: 64, TP: 8, PP: 4, DP: 2, GlobalBatch: 128, Microbatch: 4, CircularRepeat: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FSDPSimulate(FSDPConfig{Model: model.Llama2_70B(), Cluster: perf.EOS(), GPUs: 64, GlobalBatch: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(n.StepTime < j.StepTime) {
+		t.Fatalf("NeMo (%.2fs) should beat JaxPP (%.2fs) on Llama2", n.StepTime, j.StepTime)
+	}
+	// JaxPP ≈ FSDP on Llama2 (paper: 8.42 vs 8.44).
+	rel := j.StepTime / f.StepTime
+	if rel < 0.92 || rel > 1.08 {
+		t.Fatalf("JaxPP/FSDP Llama2 step ratio %.3f, paper ≈1.0", rel)
+	}
+}
+
+func TestFSDPDegreeDefaultCap(t *testing.T) {
+	res, err := FSDPSimulate(FSDPConfig{Model: model.GPT3_175B(), Cluster: perf.EOS(), GPUs: 1024, GlobalBatch: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weights sharded over at most 128 GPUs: 175e9×18/128 ≈ 22.9 GiB.
+	if res.WeightsMemGiB < 20 || res.WeightsMemGiB > 26 {
+		t.Fatalf("FSDP weight shard %.1f GiB, want ≈23", res.WeightsMemGiB)
+	}
+}

@@ -1,0 +1,23 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationsOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Ablations(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"buffer deletion", "loop commuting", "comm ordering",
+		"topological: completes", "naive (Fig. 5): DEADLOCKS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablations output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package interp evaluates IR graphs over real tensors. It is the reference
+// executor (the role XLA-on-CPU plays for JAX): every distributed execution
+// mode in this repository is validated against it.
+package interp
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/tensor"
+)
+
+// Env maps value IDs to tensors during evaluation.
+type Env map[int]*tensor.Tensor
+
+// Eval runs graph on the given inputs (positionally matching graph.Inputs)
+// and returns the tensors for graph.Outputs.
+func Eval(g *ir.Graph, inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	if len(inputs) != len(g.Inputs) {
+		return nil, fmt.Errorf("interp: graph %q wants %d inputs, got %d", g.Name, len(g.Inputs), len(inputs))
+	}
+	env := make(Env, len(g.Inputs)+len(g.Eqns))
+	for i, v := range g.Inputs {
+		if !tensor.ShapeEq(v.Shape, inputs[i].Shape()) {
+			return nil, fmt.Errorf("interp: input %d shape %v, value wants %v", i, inputs[i].Shape(), v.Shape)
+		}
+		env[v.ID] = inputs[i]
+	}
+	for i, e := range g.Eqns {
+		if err := EvalEquation(e, env); err != nil {
+			return nil, fmt.Errorf("interp: eqn %d: %w", i, err)
+		}
+	}
+	outs := make([]*tensor.Tensor, len(g.Outputs))
+	for i, o := range g.Outputs {
+		t, ok := env[o.ID]
+		if !ok {
+			return nil, fmt.Errorf("interp: output %s was never computed", o)
+		}
+		outs[i] = t
+	}
+	return outs, nil
+}
+
+// EvalEquation executes one equation, reading operands from env and writing
+// the result back into env.
+func EvalEquation(e *ir.Equation, env Env) error {
+	args := make([]*tensor.Tensor, len(e.Inputs))
+	for i, in := range e.Inputs {
+		t, ok := env[in.ID]
+		if !ok {
+			return fmt.Errorf("operand %s missing from environment", in)
+		}
+		args[i] = t
+	}
+	out, err := Apply(e.Op, e.Attrs, args)
+	if err != nil {
+		return err
+	}
+	env[e.Outputs[0].ID] = out
+	return nil
+}
+
+// Apply executes a single primitive.
+func Apply(op ir.Op, attrs ir.Attrs, args []*tensor.Tensor) (*tensor.Tensor, error) {
+	switch op {
+	case ir.OpMatMul:
+		return tensor.MatMul(args[0], args[1]), nil
+	case ir.OpAdd:
+		return tensor.Add(args[0], args[1]), nil
+	case ir.OpSub:
+		return tensor.Sub(args[0], args[1]), nil
+	case ir.OpMul:
+		return tensor.Mul(args[0], args[1]), nil
+	case ir.OpScale:
+		return tensor.Scale(args[0], attrs.Factor), nil
+	case ir.OpReLU:
+		return tensor.ReLU(args[0]), nil
+	case ir.OpReLUMask:
+		return tensor.ReLUMask(args[0]), nil
+	case ir.OpTanh:
+		return tensor.Tanh(args[0]), nil
+	case ir.OpTanhGrad:
+		th := tensor.Tanh(args[0])
+		one := tensor.Ones(th.Shape()...)
+		return tensor.Mul(args[1], tensor.Sub(one, tensor.Mul(th, th))), nil
+	case ir.OpTranspose:
+		return tensor.Transpose(args[0]), nil
+	case ir.OpReshape:
+		return tensor.Reshape(args[0], attrs.Shape...), nil
+	case ir.OpSum:
+		return tensor.Sum(args[0]), nil
+	case ir.OpSumAxis0:
+		return tensor.SumAxis0(args[0]), nil
+	case ir.OpBroadcast0:
+		parts := make([]*tensor.Tensor, attrs.N)
+		for i := range parts {
+			parts[i] = args[0]
+		}
+		return tensor.Stack0(parts), nil
+	case ir.OpBroadcastS:
+		return tensor.Full(args[0].Data()[0], attrs.Shape...), nil
+	case ir.OpSoftmax:
+		return tensor.Softmax(args[0]), nil
+	case ir.OpXent:
+		return tensor.CrossEntropy(args[0], args[1]), nil
+	case ir.OpXentGrad:
+		return tensor.CrossEntropyGrad(args[0], args[1]), nil
+	case ir.OpZeros:
+		return tensor.New(attrs.Shape...), nil
+	case ir.OpConst:
+		return tensor.Full(attrs.Factor, attrs.Shape...), nil
+	case ir.OpYield:
+		return args[0].Clone(), nil
+	default:
+		return nil, fmt.Errorf("interp: unknown op %q", op)
+	}
+}

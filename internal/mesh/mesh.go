@@ -1,0 +1,248 @@
+// Package mesh implements logical device meshes with named axes and
+// partition specifications — the JAX/GSPMD sharding model described in §2.1
+// of the paper. A tensor axis is either mapped to a named mesh axis (sharded)
+// or unmapped (replicated across the remaining mesh dimensions).
+package mesh
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis is one named dimension of a device mesh.
+type Axis struct {
+	Name string
+	Size int
+}
+
+// Mesh is a logical multi-dimensional arrangement of devices. Device IDs are
+// implicit: row-major linearization of the axis coordinates, offset by Base.
+type Mesh struct {
+	Axes []Axis
+	Base int // first device ID (lets actors own disjoint device ranges)
+}
+
+// New builds a mesh from alternating name/size pairs.
+func New(axes ...Axis) (*Mesh, error) {
+	seen := map[string]bool{}
+	for _, a := range axes {
+		if a.Size <= 0 {
+			return nil, fmt.Errorf("mesh: axis %q has non-positive size %d", a.Name, a.Size)
+		}
+		if a.Name == "" {
+			return nil, fmt.Errorf("mesh: axis with empty name")
+		}
+		if seen[a.Name] {
+			return nil, fmt.Errorf("mesh: duplicate axis %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return &Mesh{Axes: append([]Axis(nil), axes...)}, nil
+}
+
+// MustNew is New panicking on error.
+func MustNew(axes ...Axis) *Mesh {
+	m, err := New(axes...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NumDevices returns the total device count.
+func (m *Mesh) NumDevices() int {
+	n := 1
+	for _, a := range m.Axes {
+		n *= a.Size
+	}
+	return n
+}
+
+// AxisSize returns the size of the named axis, or an error if absent.
+func (m *Mesh) AxisSize(name string) (int, error) {
+	for _, a := range m.Axes {
+		if a.Name == name {
+			return a.Size, nil
+		}
+	}
+	return 0, fmt.Errorf("mesh: no axis %q", name)
+}
+
+// AxisIndex returns the position of the named axis, or -1.
+func (m *Mesh) AxisIndex(name string) int {
+	for i, a := range m.Axes {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Coords returns the mesh coordinates of device slot i (0 <= i < NumDevices).
+func (m *Mesh) Coords(i int) []int {
+	c := make([]int, len(m.Axes))
+	for d := len(m.Axes) - 1; d >= 0; d-- {
+		c[d] = i % m.Axes[d].Size
+		i /= m.Axes[d].Size
+	}
+	return c
+}
+
+// DeviceID returns the global device ID at the given coordinates.
+func (m *Mesh) DeviceID(coords []int) int {
+	id := 0
+	for d, a := range m.Axes {
+		id = id*a.Size + coords[d]
+	}
+	return m.Base + id
+}
+
+// String renders the mesh like [("data", 4) ("model", 8)].
+func (m *Mesh) String() string {
+	parts := make([]string, len(m.Axes))
+	for i, a := range m.Axes {
+		parts[i] = fmt.Sprintf("(%q, %d)", a.Name, a.Size)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Spec is a partition specification: one entry per tensor axis, naming the
+// mesh axis the tensor axis is sharded over, or "" for replicated.
+type Spec []string
+
+// Replicated returns a fully replicated spec of the given rank.
+func Replicated(rank int) Spec { return make(Spec, rank) }
+
+// P builds a Spec from mesh-axis names ("" = replicated on that tensor axis).
+func P(names ...string) Spec { return Spec(names) }
+
+// Equal reports whether two specs are identical.
+func (s Spec) Equal(o Spec) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsReplicated reports whether no tensor axis is sharded.
+func (s Spec) IsReplicated() bool {
+	for _, n := range s {
+		if n != "" {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy.
+func (s Spec) Clone() Spec { return append(Spec(nil), s...) }
+
+// String renders like ("data", None).
+func (s Spec) String() string {
+	parts := make([]string, len(s))
+	for i, n := range s {
+		if n == "" {
+			parts[i] = "None"
+		} else {
+			parts[i] = fmt.Sprintf("%q", n)
+		}
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Validate checks the spec against a mesh and a tensor shape: referenced axes
+// must exist, no mesh axis may be used twice, and each sharded dimension must
+// be divisible by the mesh axis size.
+func (s Spec) Validate(m *Mesh, shape []int) error {
+	if len(s) != len(shape) {
+		return fmt.Errorf("mesh: spec %s has rank %d, tensor has rank %d", s, len(s), len(shape))
+	}
+	used := map[string]bool{}
+	for i, name := range s {
+		if name == "" {
+			continue
+		}
+		size, err := m.AxisSize(name)
+		if err != nil {
+			return err
+		}
+		if used[name] {
+			return fmt.Errorf("mesh: axis %q used twice in spec %s", name, s)
+		}
+		used[name] = true
+		if shape[i]%size != 0 {
+			return fmt.Errorf("mesh: dim %d (%d) not divisible by axis %q size %d", i, shape[i], name, size)
+		}
+	}
+	return nil
+}
+
+// ShardShape returns the per-device shape of a tensor with the given global
+// shape under this spec.
+func (s Spec) ShardShape(m *Mesh, shape []int) ([]int, error) {
+	if err := s.Validate(m, shape); err != nil {
+		return nil, err
+	}
+	out := append([]int(nil), shape...)
+	for i, name := range s {
+		if name == "" {
+			continue
+		}
+		size, _ := m.AxisSize(name)
+		out[i] /= size
+	}
+	return out, nil
+}
+
+// ReplicationFactor returns the number of devices holding identical copies of
+// each shard: the product of mesh axes not referenced by the spec.
+func (s Spec) ReplicationFactor(m *Mesh) int {
+	used := map[string]bool{}
+	for _, n := range s {
+		if n != "" {
+			used[n] = true
+		}
+	}
+	f := 1
+	for _, a := range m.Axes {
+		if !used[a.Name] {
+			f *= a.Size
+		}
+	}
+	return f
+}
+
+// NamedSharding maps logical axis names used in model code (e.g. "batch",
+// "mlp") to mesh axis names (e.g. "data", "model") — the partitioning
+// specification of Fig. 1b. Logical names absent from the map are replicated.
+type NamedSharding map[string]string
+
+// Resolve converts logical axis names attached to a tensor into a concrete
+// Spec for the mesh, dropping mappings to axes of size 1 (which XLA treats as
+// replication).
+func (ns NamedSharding) Resolve(m *Mesh, logicalAxes []string) (Spec, error) {
+	spec := make(Spec, len(logicalAxes))
+	for i, la := range logicalAxes {
+		if la == "" {
+			continue
+		}
+		ma, ok := ns[la]
+		if !ok {
+			continue // unbound logical axis: replicated
+		}
+		size, err := m.AxisSize(ma)
+		if err != nil {
+			return nil, fmt.Errorf("mesh: logical axis %q maps to unknown mesh axis %q", la, ma)
+		}
+		if size == 1 {
+			continue
+		}
+		spec[i] = ma
+	}
+	return spec, nil
+}

@@ -1,0 +1,157 @@
+package mesh
+
+import (
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Axis{"data", 0}); err == nil {
+		t.Fatal("want error for size 0")
+	}
+	if _, err := New(Axis{"", 2}); err == nil {
+		t.Fatal("want error for empty name")
+	}
+	if _, err := New(Axis{"a", 2}, Axis{"a", 2}); err == nil {
+		t.Fatal("want error for duplicate axis")
+	}
+	m, err := New(Axis{"data", 4}, Axis{"model", 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumDevices() != 32 {
+		t.Fatalf("devices=%d", m.NumDevices())
+	}
+}
+
+func TestAxisLookup(t *testing.T) {
+	m := MustNew(Axis{"data", 4}, Axis{"model", 8})
+	if s, err := m.AxisSize("model"); err != nil || s != 8 {
+		t.Fatalf("model size %d %v", s, err)
+	}
+	if _, err := m.AxisSize("nope"); err == nil {
+		t.Fatal("want error")
+	}
+	if m.AxisIndex("data") != 0 || m.AxisIndex("model") != 1 || m.AxisIndex("x") != -1 {
+		t.Fatal("bad indices")
+	}
+}
+
+func TestCoordsRoundTrip(t *testing.T) {
+	m := MustNew(Axis{"a", 3}, Axis{"b", 4})
+	for d := 0; d < m.NumDevices(); d++ {
+		c := m.Coords(d)
+		if got := m.DeviceID(c); got != d {
+			t.Fatalf("device %d -> coords %v -> %d", d, c, got)
+		}
+	}
+	m.Base = 100
+	if m.DeviceID([]int{0, 0}) != 100 {
+		t.Fatal("base offset ignored")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	m := MustNew(Axis{"data", 4}, Axis{"model", 8})
+	shape := []int{16, 32}
+	if err := P("data", "model").Validate(m, shape); err != nil {
+		t.Fatal(err)
+	}
+	if err := P("data").Validate(m, shape); err == nil {
+		t.Fatal("want rank mismatch error")
+	}
+	if err := P("nope", "").Validate(m, shape); err == nil {
+		t.Fatal("want unknown axis error")
+	}
+	if err := P("data", "data").Validate(m, shape); err == nil {
+		t.Fatal("want duplicate axis error")
+	}
+	if err := P("data", "").Validate(m, []int{6, 32}); err == nil {
+		t.Fatal("want divisibility error")
+	}
+}
+
+func TestShardShape(t *testing.T) {
+	m := MustNew(Axis{"data", 4}, Axis{"model", 8})
+	// The three cases from §2.1 of the paper, A.shape = (n, m) = (16, 32).
+	cases := []struct {
+		spec Spec
+		want []int
+	}{
+		{P("", "model"), []int{16, 4}},    // column sharding
+		{P("data", ""), []int{4, 32}},     // row sharding
+		{P("data", "model"), []int{4, 4}}, // 2D sharding
+	}
+	for _, c := range cases {
+		got, err := c.spec.ShardShape(m, []int{16, 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != c.want[0] || got[1] != c.want[1] {
+			t.Fatalf("spec %s: got %v want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestReplicationFactor(t *testing.T) {
+	m := MustNew(Axis{"data", 4}, Axis{"model", 8})
+	if f := P("", "model").ReplicationFactor(m); f != 4 {
+		t.Fatalf("col sharding replication %d, want 4 (across data)", f)
+	}
+	if f := P("data", "model").ReplicationFactor(m); f != 1 {
+		t.Fatalf("2D sharding replication %d", f)
+	}
+	if f := Replicated(2).ReplicationFactor(m); f != 32 {
+		t.Fatalf("full replication %d", f)
+	}
+}
+
+func TestNamedShardingResolve(t *testing.T) {
+	m := MustNew(Axis{"data", 2}, Axis{"model", 2})
+	ns := NamedSharding{"batch": "data", "mlp": "model"}
+	spec, err := ns.Resolve(m, []string{"batch", "emb"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Equal(P("data", "")) {
+		t.Fatalf("spec=%s", spec)
+	}
+	spec, err = ns.Resolve(m, []string{"emb", "mlp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Equal(P("", "model")) {
+		t.Fatalf("spec=%s", spec)
+	}
+}
+
+func TestNamedShardingSize1AxisReplicates(t *testing.T) {
+	// Mesh [("data", 2) ("model", 1)]: mlp maps to a size-1 axis, so weights
+	// end up replicated — the DP instantiation of Fig. 1c (top).
+	m := MustNew(Axis{"data", 2}, Axis{"model", 1})
+	ns := NamedSharding{"batch": "data", "mlp": "model"}
+	spec, err := ns.Resolve(m, []string{"emb", "mlp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.IsReplicated() {
+		t.Fatalf("weights should be replicated under model=1, got %s", spec)
+	}
+}
+
+func TestNamedShardingUnknownMeshAxis(t *testing.T) {
+	m := MustNew(Axis{"data", 2})
+	ns := NamedSharding{"batch": "bogus"}
+	if _, err := ns.Resolve(m, []string{"batch"}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestSpecStringAndMeshString(t *testing.T) {
+	m := MustNew(Axis{"data", 4}, Axis{"model", 8})
+	if s := m.String(); s != `[("data", 4) ("model", 8)]` {
+		t.Fatalf("mesh string %q", s)
+	}
+	if s := P("data", "").String(); s != `("data", None)` {
+		t.Fatalf("spec string %q", s)
+	}
+}

@@ -1,0 +1,198 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters from accumulated gradients — the
+// state.apply_gradient of the paper's training loop (Fig. 4).
+type Optimizer interface {
+	// Apply updates params in a new slice given grads and the learning rate.
+	Apply(params, grads []*tensor.Tensor, lr float64) ([]*tensor.Tensor, error)
+	// Name identifies the optimizer.
+	Name() string
+}
+
+// SGD is plain stochastic gradient descent.
+type SGD struct{}
+
+// Name implements Optimizer.
+func (SGD) Name() string { return "sgd" }
+
+// Apply implements Optimizer.
+func (SGD) Apply(params, grads []*tensor.Tensor, lr float64) ([]*tensor.Tensor, error) {
+	if err := checkShapes(params, grads); err != nil {
+		return nil, err
+	}
+	out := make([]*tensor.Tensor, len(params))
+	for i := range params {
+		out[i] = tensor.Sub(params[i], tensor.Scale(grads[i], lr))
+	}
+	return out, nil
+}
+
+// Momentum is SGD with classical momentum.
+type Momentum struct {
+	Beta     float64 // momentum coefficient, e.g. 0.9
+	velocity []*tensor.Tensor
+}
+
+// Name implements Optimizer.
+func (m *Momentum) Name() string { return "momentum" }
+
+// Apply implements Optimizer.
+func (m *Momentum) Apply(params, grads []*tensor.Tensor, lr float64) ([]*tensor.Tensor, error) {
+	if err := checkShapes(params, grads); err != nil {
+		return nil, err
+	}
+	if m.velocity == nil {
+		m.velocity = make([]*tensor.Tensor, len(params))
+		for i := range params {
+			m.velocity[i] = tensor.New(params[i].Shape()...)
+		}
+	}
+	out := make([]*tensor.Tensor, len(params))
+	for i := range params {
+		m.velocity[i] = tensor.Add(tensor.Scale(m.velocity[i], m.Beta), grads[i])
+		out[i] = tensor.Sub(params[i], tensor.Scale(m.velocity[i], lr))
+	}
+	return out, nil
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with optional decoupled weight
+// decay (AdamW).
+type Adam struct {
+	Beta1       float64 // default 0.9
+	Beta2       float64 // default 0.999
+	Eps         float64 // default 1e-8
+	WeightDecay float64 // decoupled (AdamW); 0 disables
+
+	step int
+	m, v []*tensor.Tensor
+}
+
+// NewAdam returns Adam with standard hyperparameters.
+func NewAdam() *Adam { return &Adam{Beta1: 0.9, Beta2: 0.999, Eps: 1e-8} }
+
+// NewAdamW returns AdamW with the given decoupled weight decay.
+func NewAdamW(decay float64) *Adam {
+	a := NewAdam()
+	a.WeightDecay = decay
+	return a
+}
+
+// Name implements Optimizer.
+func (a *Adam) Name() string {
+	if a.WeightDecay != 0 {
+		return "adamw"
+	}
+	return "adam"
+}
+
+// Apply implements Optimizer.
+func (a *Adam) Apply(params, grads []*tensor.Tensor, lr float64) ([]*tensor.Tensor, error) {
+	if err := checkShapes(params, grads); err != nil {
+		return nil, err
+	}
+	if a.m == nil {
+		a.m = make([]*tensor.Tensor, len(params))
+		a.v = make([]*tensor.Tensor, len(params))
+		for i := range params {
+			a.m[i] = tensor.New(params[i].Shape()...)
+			a.v[i] = tensor.New(params[i].Shape()...)
+		}
+	}
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	out := make([]*tensor.Tensor, len(params))
+	for i := range params {
+		g := grads[i]
+		a.m[i] = tensor.Add(tensor.Scale(a.m[i], a.Beta1), tensor.Scale(g, 1-a.Beta1))
+		a.v[i] = tensor.Add(tensor.Scale(a.v[i], a.Beta2), tensor.Scale(tensor.Mul(g, g), 1-a.Beta2))
+		upd := tensor.New(g.Shape()...)
+		md, vd, ud := a.m[i].Data(), a.v[i].Data(), upd.Data()
+		for j := range ud {
+			mhat := md[j] / bc1
+			vhat := vd[j] / bc2
+			ud[j] = mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+		p := tensor.Sub(params[i], tensor.Scale(upd, lr))
+		if a.WeightDecay != 0 {
+			p = tensor.Sub(p, tensor.Scale(params[i], lr*a.WeightDecay))
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+func checkShapes(params, grads []*tensor.Tensor) error {
+	if len(params) != len(grads) {
+		return fmt.Errorf("model: %d params vs %d grads", len(params), len(grads))
+	}
+	for i := range params {
+		if !tensor.SameShape(params[i], grads[i]) {
+			return fmt.Errorf("model: param %d shape %v vs grad %v", i, params[i].Shape(), grads[i].Shape())
+		}
+	}
+	return nil
+}
+
+// LRSchedule maps a step index to a learning rate — the lr_scheduler of
+// Fig. 4.
+type LRSchedule func(step int) float64
+
+// ConstantLR returns a constant schedule.
+func ConstantLR(lr float64) LRSchedule {
+	return func(int) float64 { return lr }
+}
+
+// WarmupCosineLR implements the standard LLM-training schedule: linear
+// warmup over warmupSteps to peak, then cosine decay to floor over
+// totalSteps.
+func WarmupCosineLR(peak, floor float64, warmupSteps, totalSteps int) LRSchedule {
+	return func(step int) float64 {
+		if warmupSteps > 0 && step < warmupSteps {
+			return peak * float64(step+1) / float64(warmupSteps)
+		}
+		if step >= totalSteps {
+			return floor
+		}
+		progress := float64(step-warmupSteps) / float64(totalSteps-warmupSteps)
+		return floor + 0.5*(peak-floor)*(1+math.Cos(math.Pi*progress))
+	}
+}
+
+// LinearDecayLR decays linearly from peak to floor over totalSteps.
+func LinearDecayLR(peak, floor float64, totalSteps int) LRSchedule {
+	return func(step int) float64 {
+		if step >= totalSteps {
+			return floor
+		}
+		return peak - (peak-floor)*float64(step)/float64(totalSteps)
+	}
+}
+
+// GradClipByGlobalNorm rescales gradients so their global L2 norm is at most
+// maxNorm, returning the clipped gradients and the pre-clip norm.
+func GradClipByGlobalNorm(grads []*tensor.Tensor, maxNorm float64) ([]*tensor.Tensor, float64) {
+	var sq float64
+	for _, g := range grads {
+		for _, v := range g.Data() {
+			sq += v * v
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm <= maxNorm || norm == 0 {
+		return grads, norm
+	}
+	scale := maxNorm / norm
+	out := make([]*tensor.Tensor, len(grads))
+	for i, g := range grads {
+		out[i] = tensor.Scale(g, scale)
+	}
+	return out, norm
+}

@@ -1,0 +1,173 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func quadGrad(p *tensor.Tensor) *tensor.Tensor {
+	// d/dp of 0.5·|p|² is p.
+	return p.Clone()
+}
+
+func quadLoss(p *tensor.Tensor) float64 {
+	s := 0.0
+	for _, v := range p.Data() {
+		s += 0.5 * v * v
+	}
+	return s
+}
+
+func optimizeQuadratic(t *testing.T, opt Optimizer, lr float64, steps int) float64 {
+	t.Helper()
+	p := tensor.MustFromSlice([]float64{3, -2, 1.5, -0.5}, 4)
+	params := []*tensor.Tensor{p}
+	for i := 0; i < steps; i++ {
+		grads := []*tensor.Tensor{quadGrad(params[0])}
+		var err error
+		params, err = opt.Apply(params, grads, lr)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return quadLoss(params[0])
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	final := optimizeQuadratic(t, SGD{}, 0.1, 100)
+	if final > 1e-6 {
+		t.Fatalf("SGD final loss %v", final)
+	}
+}
+
+func TestMomentumConverges(t *testing.T) {
+	final := optimizeQuadratic(t, &Momentum{Beta: 0.9}, 0.05, 200)
+	if final > 1e-6 {
+		t.Fatalf("momentum final loss %v", final)
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	final := optimizeQuadratic(t, NewAdam(), 0.1, 300)
+	if final > 1e-6 {
+		t.Fatalf("adam final loss %v", final)
+	}
+}
+
+func TestAdamFirstStepIsSignSGD(t *testing.T) {
+	// With bias correction, Adam's first update is ≈ lr·sign(g).
+	a := NewAdam()
+	p := tensor.MustFromSlice([]float64{1, -1}, 2)
+	g := tensor.MustFromSlice([]float64{0.3, -0.7}, 2)
+	out, err := a.Apply([]*tensor.Tensor{p}, []*tensor.Tensor{g}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want0 := 1 - 0.01 // moves against sign(+)
+	want1 := -1 + 0.01
+	if math.Abs(out[0].At(0)-want0) > 1e-4 || math.Abs(out[0].At(1)-want1) > 1e-4 {
+		t.Fatalf("first Adam step %v, want ≈ [%v %v]", out[0].Data(), want0, want1)
+	}
+}
+
+func TestAdamWDecaysWeights(t *testing.T) {
+	aw := NewAdamW(0.1)
+	p := tensor.MustFromSlice([]float64{1, 1}, 2)
+	zero := tensor.New(2)
+	out, err := aw.Apply([]*tensor.Tensor{p}, []*tensor.Tensor{zero}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero gradient: pure decoupled decay p − lr·wd·p = 0.95.
+	if math.Abs(out[0].At(0)-0.95) > 1e-9 {
+		t.Fatalf("adamw decay gave %v", out[0].At(0))
+	}
+	plain := NewAdam()
+	out2, err := plain.Apply([]*tensor.Tensor{p}, []*tensor.Tensor{zero}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2[0].At(0) != 1 {
+		t.Fatalf("adam without decay moved weights on zero grad: %v", out2[0].At(0))
+	}
+}
+
+func TestApplyShapeChecks(t *testing.T) {
+	p := []*tensor.Tensor{tensor.New(2)}
+	g := []*tensor.Tensor{tensor.New(3)}
+	if _, err := (SGD{}).Apply(p, g, 0.1); err == nil {
+		t.Fatal("want shape error")
+	}
+	if _, err := (SGD{}).Apply(p, nil, 0.1); err == nil {
+		t.Fatal("want count error")
+	}
+}
+
+func TestWarmupCosineLR(t *testing.T) {
+	s := WarmupCosineLR(1.0, 0.1, 10, 110)
+	if lr := s(0); lr <= 0 || lr > 0.11 {
+		t.Fatalf("warmup start lr %v", lr)
+	}
+	if lr := s(9); math.Abs(lr-1.0) > 1e-9 {
+		t.Fatalf("end of warmup lr %v", lr)
+	}
+	mid := s(60)
+	if mid >= 1.0 || mid <= 0.1 {
+		t.Fatalf("mid decay lr %v", mid)
+	}
+	if lr := s(200); lr != 0.1 {
+		t.Fatalf("post-schedule lr %v", lr)
+	}
+	// Monotone decreasing during decay.
+	prev := s(10)
+	for step := 11; step < 110; step++ {
+		cur := s(step)
+		if cur > prev+1e-12 {
+			t.Fatalf("cosine decay not monotone at %d: %v > %v", step, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLinearDecayLR(t *testing.T) {
+	s := LinearDecayLR(1.0, 0.0, 10)
+	if s(0) != 1.0 || math.Abs(s(5)-0.5) > 1e-12 || s(10) != 0 || s(20) != 0 {
+		t.Fatalf("linear decay wrong: %v %v %v", s(0), s(5), s(10))
+	}
+}
+
+func TestConstantLR(t *testing.T) {
+	s := ConstantLR(0.25)
+	if s(0) != 0.25 || s(1000) != 0.25 {
+		t.Fatal("constant lr not constant")
+	}
+}
+
+func TestGradClip(t *testing.T) {
+	g := []*tensor.Tensor{tensor.MustFromSlice([]float64{3, 4}, 2)} // norm 5
+	clipped, norm := GradClipByGlobalNorm(g, 1.0)
+	if norm != 5 {
+		t.Fatalf("norm %v", norm)
+	}
+	var sq float64
+	for _, v := range clipped[0].Data() {
+		sq += v * v
+	}
+	if math.Abs(math.Sqrt(sq)-1.0) > 1e-9 {
+		t.Fatalf("clipped norm %v", math.Sqrt(sq))
+	}
+	// Below threshold: untouched.
+	same, _ := GradClipByGlobalNorm(g, 10)
+	if same[0] != g[0] {
+		t.Fatal("clip should be identity below threshold")
+	}
+}
+
+func TestOptimizerNames(t *testing.T) {
+	if (SGD{}).Name() != "sgd" || (&Momentum{}).Name() != "momentum" ||
+		NewAdam().Name() != "adam" || NewAdamW(0.1).Name() != "adamw" {
+		t.Fatal("names wrong")
+	}
+}

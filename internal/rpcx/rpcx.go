@@ -1,0 +1,179 @@
+// Package rpcx provides a TCP transport for the MPMD runtime: actors
+// exchange tagged tensors over real localhost sockets with gob encoding,
+// standing in for the Ray RPC + NCCL P2P layer of the paper. One persistent
+// connection per (sender, receiver) pair carries all tagged messages; a
+// per-receiver demultiplexer matches them to blocking receives.
+package rpcx
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// message is the wire format of one P2P transfer.
+type message struct {
+	From  int
+	Tag   int
+	Shape []int
+	Data  []float64
+}
+
+type inboxKey struct{ to, from, tag int }
+
+// TCPTransport implements runtime.Transport over localhost TCP.
+type TCPTransport struct {
+	mu        sync.Mutex
+	addrs     map[int]string
+	listeners []net.Listener
+	encoders  map[[2]int]*sendConn // (from, to) -> connection
+	conns     []net.Conn
+	inbox     map[inboxKey]chan *tensor.Tensor
+	closed    bool
+
+	sent      int
+	sentElems int64
+}
+
+// NewTCPTransport provisions one listener per actor on 127.0.0.1.
+func NewTCPTransport(actors int) (*TCPTransport, error) {
+	t := &TCPTransport{
+		addrs:    map[int]string{},
+		encoders: map[[2]int]*sendConn{},
+		inbox:    map[inboxKey]chan *tensor.Tensor{},
+	}
+	for id := 0; id < actors; id++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("rpcx: listen for actor %d: %w", id, err)
+		}
+		t.listeners = append(t.listeners, ln)
+		t.addrs[id] = ln.Addr().String()
+		go t.acceptLoop(id, ln)
+	}
+	return t, nil
+}
+
+// Addr returns the listen address of an actor (for diagnostics).
+func (t *TCPTransport) Addr(actor int) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.addrs[actor]
+}
+
+func (t *TCPTransport) acceptLoop(id int, ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		t.conns = append(t.conns, conn)
+		t.mu.Unlock()
+		go t.readLoop(id, conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(to int, conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	for {
+		var m message
+		if err := dec.Decode(&m); err != nil {
+			return
+		}
+		ten, err := tensor.FromSlice(m.Data, m.Shape...)
+		if err != nil {
+			return
+		}
+		t.ch(inboxKey{to, m.From, m.Tag}) <- ten
+	}
+}
+
+func (t *TCPTransport) ch(k inboxKey) chan *tensor.Tensor {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.inbox[k]
+	if !ok {
+		c = make(chan *tensor.Tensor, 1)
+		t.inbox[k] = c
+	}
+	return c
+}
+
+// sendConn is one persistent outgoing connection; gob encoders are not safe
+// for concurrent use, so each carries its own mutex (the runtime's
+// asynchronous send goroutines may overlap on the same pair).
+type sendConn struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+}
+
+// Send implements runtime.Transport: asynchronous w.r.t. the receiver (the
+// kernel buffers and the buffered inbox absorb the payload).
+func (t *TCPTransport) Send(from, to, tag int, ten *tensor.Tensor) {
+	t.mu.Lock()
+	sc, ok := t.encoders[[2]int{from, to}]
+	if !ok {
+		addr := t.addrs[to]
+		t.mu.Unlock()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			panic(fmt.Sprintf("rpcx: dial %d->%d: %v", from, to, err))
+		}
+		t.mu.Lock()
+		if existing, raced := t.encoders[[2]int{from, to}]; raced {
+			conn.Close()
+			sc = existing
+		} else {
+			sc = &sendConn{enc: gob.NewEncoder(conn)}
+			t.encoders[[2]int{from, to}] = sc
+			t.conns = append(t.conns, conn)
+		}
+	}
+	t.sent++
+	t.sentElems += int64(ten.Size())
+	t.mu.Unlock()
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	m := message{From: from, Tag: tag, Shape: ten.Shape(), Data: ten.Data()}
+	if err := sc.enc.Encode(&m); err != nil {
+		panic(fmt.Sprintf("rpcx: encode from %d tag %d: %v", from, tag, err))
+	}
+}
+
+// Recv implements runtime.Transport: blocks until the tagged message lands.
+func (t *TCPTransport) Recv(to, from, tag int) (*tensor.Tensor, error) {
+	k := inboxKey{to, from, tag}
+	ten := <-t.ch(k)
+	t.mu.Lock()
+	delete(t.inbox, k)
+	t.mu.Unlock()
+	return ten, nil
+}
+
+// SendCount reports messages and elements sent (for tests).
+func (t *TCPTransport) SendCount() (int, int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sent, t.sentElems
+}
+
+// Close shuts down listeners and connections.
+func (t *TCPTransport) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for _, ln := range t.listeners {
+		ln.Close()
+	}
+	for _, c := range t.conns {
+		c.Close()
+	}
+}

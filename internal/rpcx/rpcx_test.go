@@ -1,0 +1,105 @@
+package rpcx
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	want := tensor.MustFromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	done := make(chan *tensor.Tensor)
+	go func() {
+		got, err := tr.Recv(1, 0, 7)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- got
+	}()
+	tr.Send(0, 1, 7, want)
+	got := <-done
+	if !tensor.AllClose(got, want, 0, 0) {
+		t.Fatalf("payload mismatch: %v", got)
+	}
+	n, elems := tr.SendCount()
+	if n != 1 || elems != 6 {
+		t.Fatalf("count=%d elems=%d", n, elems)
+	}
+}
+
+func TestOutOfOrderTags(t *testing.T) {
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	a := tensor.MustFromSlice([]float64{1}, 1)
+	b := tensor.MustFromSlice([]float64{2}, 1)
+	tr.Send(0, 1, 100, a)
+	tr.Send(0, 1, 200, b)
+	// Receive in reverse tag order: the demux must match by tag.
+	got2, err := tr.Recv(1, 0, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := tr.Recv(1, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1.Data()[0] != 1 || got2.Data()[0] != 2 {
+		t.Fatalf("tag matching broken: %v %v", got1, got2)
+	}
+}
+
+func TestConcurrentPairs(t *testing.T) {
+	const actors = 4
+	tr, err := NewTCPTransport(actors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var wg sync.WaitGroup
+	for from := 0; from < actors; from++ {
+		for to := 0; to < actors; to++ {
+			if from == to {
+				continue
+			}
+			wg.Add(2)
+			tag := from*100 + to
+			payload := tensor.Scalar(float64(tag))
+			go func(from, to, tag int) {
+				defer wg.Done()
+				tr.Send(from, to, tag, payload)
+			}(from, to, tag)
+			go func(from, to, tag int) {
+				defer wg.Done()
+				got, err := tr.Recv(to, from, tag)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got.Data()[0] != float64(tag) {
+					t.Errorf("pair %d->%d tag %d got %v", from, to, tag, got.Data()[0])
+				}
+			}(from, to, tag)
+		}
+	}
+	wg.Wait()
+}
+
+func TestAddrAssigned(t *testing.T) {
+	tr, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if tr.Addr(0) == "" || tr.Addr(1) == "" || tr.Addr(0) == tr.Addr(1) {
+		t.Fatalf("bad addrs %q %q", tr.Addr(0), tr.Addr(1))
+	}
+}

@@ -1,0 +1,158 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/taskgraph"
+	"repro/internal/tensor"
+)
+
+// Actor is one long-lived SPMD execution unit: it owns an object store and
+// executes fused instruction programs, communicating with peers only through
+// the transport.
+type Actor struct {
+	ID    int
+	Store *Store
+
+	// SyncSends executes sends inline on the actor's thread instead of
+	// asynchronously — the blocking behaviour JaxPP avoids (§4.2). Used for
+	// the Fig. 5 deadlock demonstration.
+	SyncSends bool
+
+	transport Transport
+	prog      []taskgraph.Instr
+	segs      []*segmentExecutable
+
+	sendWG sync.WaitGroup
+}
+
+// segmentExecutable is a "compiled" pipeline segment: in this reproduction
+// compilation is graph verification plus closure capture; XLA's role as the
+// per-task executor is played by the IR interpreter (see Cluster.Load).
+type segmentExecutable struct {
+	seg int
+	run func(inputs []*tensor.Tensor) ([]*tensor.Tensor, error)
+}
+
+// NewActor builds an actor bound to a transport.
+func NewActor(id int, tr Transport) *Actor {
+	return &Actor{ID: id, Store: NewStore(), transport: tr}
+}
+
+// Load installs the actor's slice of the program and its segment
+// executables.
+func (a *Actor) Load(prog []taskgraph.Instr, segs []*segmentExecutable) {
+	a.prog = prog
+	a.segs = segs
+}
+
+func (a *Actor) segment(idx int) (*segmentExecutable, error) {
+	for _, s := range a.segs {
+		if s.seg == idx {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("runtime: actor %d has no executable for segment %d", a.ID, idx)
+}
+
+// RunStep executes the actor's program for one training step. It is the body
+// of the single fused RPC of §4.4: all control flow for the step happens here
+// with no further driver round trips.
+func (a *Actor) RunStep() error {
+	for pc, in := range a.prog {
+		if err := a.exec(in); err != nil {
+			return fmt.Errorf("runtime: actor %d pc %d (%s): %w", a.ID, pc, in, err)
+		}
+	}
+	// Step boundary: all sends must have drained before the driver reads
+	// results.
+	a.sendWG.Wait()
+	return nil
+}
+
+func (a *Actor) exec(in taskgraph.Instr) error {
+	switch in.Kind {
+	case taskgraph.OpRun:
+		se, err := a.segment(in.Seg)
+		if err != nil {
+			return err
+		}
+		args := make([]*tensor.Tensor, len(in.Ins))
+		for i, b := range in.Ins {
+			t, err := a.Store.Get(b)
+			if err != nil {
+				return err
+			}
+			args[i] = t
+		}
+		outs, err := se.run(args)
+		if err != nil {
+			return err
+		}
+		if len(outs) != len(in.Outs) {
+			return fmt.Errorf("segment %d returned %d outputs, program expects %d", in.Seg, len(outs), len(in.Outs))
+		}
+		for i, b := range in.Outs {
+			a.Store.Put(b, outs[i])
+		}
+		return nil
+
+	case taskgraph.OpSend:
+		t, err := a.Store.Get(in.Buf)
+		if err != nil {
+			return err
+		}
+		if a.SyncSends {
+			a.transport.Send(a.ID, in.Peer, in.Tag, t)
+			return nil
+		}
+		// Asynchronous send: the instruction only *initiates* the transfer;
+		// the store defers deletion until completion (§4.3).
+		a.Store.SendStarted(in.Buf)
+		a.sendWG.Add(1)
+		go func(buf taskgraph.BufID, peer, tag int, payload *tensor.Tensor) {
+			defer a.sendWG.Done()
+			a.transport.Send(a.ID, peer, tag, payload)
+			a.Store.SendDone(buf)
+		}(in.Buf, in.Peer, in.Tag, t)
+		return nil
+
+	case taskgraph.OpRecv:
+		t, err := a.transport.Recv(a.ID, in.Peer, in.Tag)
+		if err != nil {
+			return err
+		}
+		a.Store.Put(in.Buf, t)
+		return nil
+
+	case taskgraph.OpAccum:
+		src, err := a.Store.Get(in.Buf)
+		if err != nil {
+			return err
+		}
+		if dst, err := a.Store.Get(in.Dst); err == nil {
+			a.Store.Put(in.Dst, tensor.Add(dst, src))
+		} else {
+			a.Store.Put(in.Dst, src.Clone())
+		}
+		return nil
+
+	case taskgraph.OpAdd:
+		x, err := a.Store.Get(in.A)
+		if err != nil {
+			return err
+		}
+		y, err := a.Store.Get(in.B)
+		if err != nil {
+			return err
+		}
+		a.Store.Put(in.Dst, tensor.Add(x, y))
+		return nil
+
+	case taskgraph.OpDelete:
+		a.Store.Delete(in.Buf)
+		return nil
+	}
+	return fmt.Errorf("unknown instruction kind %v", in.Kind)
+}

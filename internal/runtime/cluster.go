@@ -1,0 +1,216 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mesh"
+	"repro/internal/spmd"
+	"repro/internal/taskgraph"
+	"repro/internal/tensor"
+)
+
+// Cluster is the set of long-lived actors managed by the single controller
+// (the driver). In the paper the driver provisions Ray actors over hosts;
+// here actors are goroutines over a Transport.
+type Cluster struct {
+	Transport Transport
+	Actors    []*Actor
+}
+
+// NewCluster provisions n actors over an in-process transport.
+func NewCluster(n int) *Cluster {
+	tr := NewChanTransport()
+	c := &Cluster{Transport: tr}
+	for i := 0; i < n; i++ {
+		c.Actors = append(c.Actors, NewActor(i, tr))
+	}
+	return c
+}
+
+// NewClusterWithTransport provisions n actors over a custom transport.
+func NewClusterWithTransport(n int, tr Transport) *Cluster {
+	c := &Cluster{Transport: tr}
+	for i := 0; i < n; i++ {
+		c.Actors = append(c.Actors, NewActor(i, tr))
+	}
+	return c
+}
+
+// LoadOptions configures how segments are "compiled" onto actors.
+type LoadOptions struct {
+	// SPMDDevices > 1 executes each segment SPMD-sharded over that many
+	// virtual devices inside the actor (batch-dimension data parallelism on
+	// a [("intra", n)] mesh), demonstrating the MPMD-of-SPMD structure: XLA
+	// SPMD within a task, JaxPP MPMD across tasks.
+	SPMDDevices int
+
+	// SyncSends makes every actor block on sends (Fig. 5 ablation).
+	SyncSends bool
+}
+
+// Executable is a loaded MPMD program ready for repeated Step calls — the
+// returned step_fn of mesh.distributed in the paper.
+type Executable struct {
+	cluster *Cluster
+	prog    *taskgraph.Program
+}
+
+// Load installs a compiled program on the cluster.
+func (c *Cluster) Load(prog *taskgraph.Program, opts LoadOptions) (*Executable, error) {
+	if prog.Schedule.NumActors != len(c.Actors) {
+		return nil, fmt.Errorf("runtime: program wants %d actors, cluster has %d", prog.Schedule.NumActors, len(c.Actors))
+	}
+	for a, instrs := range prog.Actors {
+		needed := map[int]bool{}
+		for _, in := range instrs {
+			if in.Kind == taskgraph.OpRun {
+				needed[in.Seg] = true
+			}
+		}
+		var segs []*segmentExecutable
+		for segIdx := range needed {
+			seg := prog.Split.Segments[segIdx]
+			run, err := makeRunner(seg.Graph, opts)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: compiling segment %d: %w", segIdx, err)
+			}
+			segs = append(segs, &segmentExecutable{seg: segIdx, run: run})
+		}
+		c.Actors[a].SyncSends = opts.SyncSends
+		c.Actors[a].Load(instrs, segs)
+	}
+	return &Executable{cluster: c, prog: prog}, nil
+}
+
+// makeRunner builds the per-segment executor: plain interpretation, or SPMD
+// execution over the actor's intra-actor device mesh. With SPMD enabled,
+// every input whose leading dimension divides evenly is sharded over the
+// intra-actor mesh; the partitioner inserts whatever collectives the sharding
+// choice requires, so numerics are preserved for any choice.
+func makeRunner(g *ir.Graph, opts LoadOptions) (func([]*tensor.Tensor) ([]*tensor.Tensor, error), error) {
+	if opts.SPMDDevices <= 1 {
+		return func(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+			return interp.Eval(g, ins)
+		}, nil
+	}
+	m, err := mesh.New(mesh.Axis{Name: "intra", Size: opts.SPMDDevices})
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]mesh.Spec, len(g.Inputs))
+	for i, v := range g.Inputs {
+		specs[i] = mesh.Replicated(len(v.Shape))
+		if len(v.Shape) >= 1 && v.Shape[0]%opts.SPMDDevices == 0 {
+			specs[i][0] = "intra"
+		}
+	}
+	plan, err := spmd.Partition(g, m, specs)
+	if err != nil {
+		return nil, err
+	}
+	return func(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
+		outs, _, err := spmd.Run(plan, ins)
+		return outs, err
+	}, nil
+}
+
+// Step runs one training step. inputs must match the original traced graph's
+// inputs positionally; batch inputs carry the full batch with leading
+// dimension NumMB × microbatch rows and are sliced per microbatch by the
+// driver. Returns the per-microbatch losses and the final gradients.
+func (e *Executable) Step(inputs []*tensor.Tensor) (losses []*tensor.Tensor, grads []*tensor.Tensor, err error) {
+	prog := e.prog
+	src := prog.Split.Source
+	if len(inputs) != len(src.Inputs) {
+		return nil, nil, fmt.Errorf("runtime: %d inputs for %d graph inputs", len(inputs), len(src.Inputs))
+	}
+	actors := e.cluster.Actors
+
+	// Clear last step's results so accumulators restart.
+	for _, g := range prog.Grads {
+		actors[g.Actor].Store.Delete(g.Buf)
+	}
+	for _, l := range prog.Losses {
+		actors[l.Actor].Store.Delete(l.Buf)
+	}
+
+	// Place parameters (owner copies; replicas flow through the pre-loop
+	// send/recv instructions already in the programs).
+	for i, p := range prog.Params {
+		if p == nil {
+			continue
+		}
+		if !tensor.ShapeEq(inputs[i].Shape(), src.Inputs[i].Shape) {
+			return nil, nil, fmt.Errorf("runtime: input %d shape %v, expected %v", i, inputs[i].Shape(), src.Inputs[i].Shape)
+		}
+		actors[p.Actor].Store.Put(p.Buf, inputs[i])
+	}
+	// Place batch microbatches.
+	numMB := prog.Schedule.NumMB
+	for i, placements := range prog.Batch {
+		want := src.Inputs[i].Shape
+		full := inputs[i]
+		if full.Rank() == 0 || full.Dim(0) != want[0]*numMB {
+			return nil, nil, fmt.Errorf("runtime: batch input %d has leading dim %v, expected %d×%d", i, full.Shape(), numMB, want[0])
+		}
+		for mb := 0; mb < numMB; mb++ {
+			slice := tensor.SliceRange0(full, mb*want[0], (mb+1)*want[0])
+			actors[placements[mb].Actor].Store.Put(placements[mb].Buf, slice)
+		}
+	}
+
+	// Dispatch: one fused "RPC" per actor (§4.4), all concurrent.
+	errs := make([]error, len(actors))
+	var wg sync.WaitGroup
+	for i, a := range actors {
+		wg.Add(1)
+		go func(i int, a *Actor) {
+			defer wg.Done()
+			errs[i] = a.RunStep()
+		}(i, a)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("runtime: actor %d failed: %w", i, err)
+		}
+	}
+
+	// Fetch results.
+	losses = make([]*tensor.Tensor, numMB)
+	for mb, l := range prog.Losses {
+		t, err := actors[l.Actor].Store.Get(l.Buf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("runtime: loss mb %d: %w", mb, err)
+		}
+		losses[mb] = t
+	}
+	grads = make([]*tensor.Tensor, len(prog.Grads))
+	for gi, g := range prog.Grads {
+		t, err := actors[g.Actor].Store.Get(g.Buf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("runtime: grad %d: %w", gi, err)
+		}
+		grads[gi] = t
+	}
+	return losses, grads, nil
+}
+
+// StoreStatsAll returns each actor's store statistics.
+func (e *Executable) StoreStatsAll() []StoreStats {
+	out := make([]StoreStats, len(e.cluster.Actors))
+	for i, a := range e.cluster.Actors {
+		out[i] = a.Store.Stats()
+	}
+	return out
+}
+
+// ResetPeaks clears peak-memory counters on all actors.
+func (e *Executable) ResetPeaks() {
+	for _, a := range e.cluster.Actors {
+		a.Store.ResetPeaks()
+	}
+}

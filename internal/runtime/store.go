@@ -1,0 +1,142 @@
+// Package runtime implements JaxPP's single-controller MPMD runtime (§4):
+// long-lived SPMD actors each own an object store of device buffers and
+// execute one fused instruction program per training step, communicating
+// exclusively through asynchronous point-to-point sends and receives. Actors
+// run as goroutines over an in-process transport or as TCP peers (package
+// rpcx), playing the role Ray workers + NCCL play for JaxPP.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/taskgraph"
+	"repro/internal/tensor"
+)
+
+// Store is an actor's on-device object store (§4.1). Deletions of buffers
+// with in-flight sends are deferred to a pending queue and performed when the
+// send completes (§4.3).
+type Store struct {
+	mu       sync.Mutex
+	bufs     map[taskgraph.BufID]*tensor.Tensor
+	inflight map[taskgraph.BufID]int
+	pending  map[taskgraph.BufID]bool
+
+	liveBytes int64
+	peakBytes int64
+	peakBufs  int
+	deferred  int // deletions that had to wait on a send at least once
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		bufs:     map[taskgraph.BufID]*tensor.Tensor{},
+		inflight: map[taskgraph.BufID]int{},
+		pending:  map[taskgraph.BufID]bool{},
+	}
+}
+
+func bytesOf(t *tensor.Tensor) int64 { return int64(t.Size()) * 8 }
+
+// Put stores a buffer, replacing any previous value.
+func (s *Store) Put(id taskgraph.BufID, t *tensor.Tensor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.bufs[id]; ok {
+		s.liveBytes -= bytesOf(old)
+	}
+	s.bufs[id] = t
+	s.liveBytes += bytesOf(t)
+	if s.liveBytes > s.peakBytes {
+		s.peakBytes = s.liveBytes
+	}
+	if len(s.bufs) > s.peakBufs {
+		s.peakBufs = len(s.bufs)
+	}
+}
+
+// Get returns the buffer or an error if absent (deleted or never produced).
+func (s *Store) Get(id taskgraph.BufID) (*tensor.Tensor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.bufs[id]
+	if !ok {
+		return nil, fmt.Errorf("runtime: buffer %d not in store", id)
+	}
+	return t, nil
+}
+
+// SendStarted marks one in-flight send of the buffer.
+func (s *Store) SendStarted(id taskgraph.BufID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight[id]++
+}
+
+// SendDone marks completion of one send; if a deletion was pending and no
+// sends remain, the buffer is reclaimed now.
+func (s *Store) SendDone(id taskgraph.BufID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inflight[id]--
+	if s.inflight[id] <= 0 {
+		delete(s.inflight, id)
+		if s.pending[id] {
+			delete(s.pending, id)
+			s.reclaim(id)
+		}
+	}
+}
+
+// Delete reclaims the buffer, deferring while sends are in flight (§4.3).
+func (s *Store) Delete(id taskgraph.BufID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[id] > 0 {
+		s.pending[id] = true
+		s.deferred++
+		return
+	}
+	s.reclaim(id)
+}
+
+func (s *Store) reclaim(id taskgraph.BufID) {
+	if t, ok := s.bufs[id]; ok {
+		s.liveBytes -= bytesOf(t)
+		delete(s.bufs, id)
+	}
+}
+
+// Stats reports live/peak occupancy.
+type StoreStats struct {
+	LiveBufs         int
+	LiveBytes        int64
+	PeakBufs         int
+	PeakBytes        int64
+	DeferredDeletes  int
+	PendingDeletions int
+}
+
+// Stats returns a snapshot of occupancy counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		LiveBufs:         len(s.bufs),
+		LiveBytes:        s.liveBytes,
+		PeakBufs:         s.peakBufs,
+		PeakBytes:        s.peakBytes,
+		DeferredDeletes:  s.deferred,
+		PendingDeletions: len(s.pending),
+	}
+}
+
+// ResetPeaks clears peak counters (e.g. between steps).
+func (s *Store) ResetPeaks() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peakBytes = s.liveBytes
+	s.peakBufs = len(s.bufs)
+}

@@ -1,0 +1,114 @@
+package runtime
+
+import (
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Transport is the point-to-point communication layer between actors — the
+// role NCCL P2P plays in the paper. Sends are asynchronous and tag-matched;
+// receives block until the matching send arrives.
+type Transport interface {
+	// Send delivers t from actor `from` to actor `to` under tag. It must not
+	// block indefinitely on the receiver.
+	Send(from, to, tag int, t *tensor.Tensor)
+	// Recv blocks until the matching Send and returns its payload.
+	Recv(to, from, tag int) (*tensor.Tensor, error)
+}
+
+type chanKey struct{ from, to, tag int }
+
+// ChanTransport is the in-process Transport: one buffered channel per
+// (sender, receiver, tag) triple, created lazily by whichever side arrives
+// first. Buffering size 1 plus unique tags make sends non-blocking.
+type ChanTransport struct {
+	mu  sync.Mutex
+	chs map[chanKey]chan *tensor.Tensor
+
+	sent      int
+	sentElems int64
+}
+
+// NewChanTransport returns an empty in-process transport.
+func NewChanTransport() *ChanTransport {
+	return &ChanTransport{chs: map[chanKey]chan *tensor.Tensor{}}
+}
+
+func (c *ChanTransport) ch(k chanKey) chan *tensor.Tensor {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch, ok := c.chs[k]
+	if !ok {
+		ch = make(chan *tensor.Tensor, 1)
+		c.chs[k] = ch
+	}
+	return ch
+}
+
+// Send implements Transport.
+func (c *ChanTransport) Send(from, to, tag int, t *tensor.Tensor) {
+	c.mu.Lock()
+	c.sent++
+	c.sentElems += int64(t.Size())
+	c.mu.Unlock()
+	c.ch(chanKey{from, to, tag}) <- t
+}
+
+// Recv implements Transport.
+func (c *ChanTransport) Recv(to, from, tag int) (*tensor.Tensor, error) {
+	k := chanKey{from, to, tag}
+	t := <-c.ch(k)
+	c.mu.Lock()
+	delete(c.chs, k)
+	c.mu.Unlock()
+	return t, nil
+}
+
+// SendCount returns the number of sends and total elements moved.
+func (c *ChanTransport) SendCount() (int, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent, c.sentElems
+}
+
+// RendezvousTransport is a Transport whose sends block until the matching
+// receive executes — the synchronous point-to-point semantics whose deadlock
+// hazard §4.2 (Fig. 5) analyzes. Used by tests to demonstrate that the naive
+// communication ordering deadlocks while JaxPP's topological ordering and
+// asynchronous sends do not.
+type RendezvousTransport struct {
+	mu  sync.Mutex
+	chs map[chanKey]chan *tensor.Tensor
+}
+
+// NewRendezvousTransport returns an empty rendezvous transport.
+func NewRendezvousTransport() *RendezvousTransport {
+	return &RendezvousTransport{chs: map[chanKey]chan *tensor.Tensor{}}
+}
+
+func (r *RendezvousTransport) ch(k chanKey) chan *tensor.Tensor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ch, ok := r.chs[k]
+	if !ok {
+		ch = make(chan *tensor.Tensor) // unbuffered: send blocks on receive
+		r.chs[k] = ch
+	}
+	return ch
+}
+
+// Send implements Transport, blocking until the receiver arrives.
+func (r *RendezvousTransport) Send(from, to, tag int, t *tensor.Tensor) {
+	r.ch(chanKey{from, to, tag}) <- t
+}
+
+// Recv implements Transport.
+func (r *RendezvousTransport) Recv(to, from, tag int) (*tensor.Tensor, error) {
+	k := chanKey{from, to, tag}
+	t := <-r.ch(k)
+	r.mu.Lock()
+	delete(r.chs, k)
+	r.mu.Unlock()
+	return t, nil
+}

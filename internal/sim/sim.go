@@ -1,0 +1,248 @@
+// Package sim is the discrete-event performance simulator standing in for
+// the paper's EOS cluster (repro substitution: no GPUs available). It
+// executes real pipeline schedules from package schedule over the perf cost
+// model, tracking per-actor timelines, exposed communication, forced
+// rematerialization from the HBM capacity model, and dispatch overheads —
+// producing the step times and TFLOPS/device that Figures 6–10 and Table 1
+// report.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/schedule"
+)
+
+// ScheduleKind selects the pipeline schedule to simulate.
+type ScheduleKind string
+
+const (
+	SchedGPipe       ScheduleKind = "gpipe"
+	Sched1F1B        ScheduleKind = "1f1b"
+	SchedInterleaved ScheduleKind = "interleaved_1f1b"
+)
+
+// Config is one simulated training configuration (a row of Table 1).
+type Config struct {
+	Model   model.TransformerConfig
+	Cluster perf.ClusterSpec
+
+	GPUs int
+	TP   int // tensor parallel degree (within node)
+	PP   int // pipeline parallel actors
+	DP   int // data parallel replicas
+
+	GlobalBatch    int // sequences
+	Microbatch     int // sequences per microbatch
+	CircularRepeat int // stages per actor (interleaved 1F1B)
+	Schedule       ScheduleKind
+
+	// OverlapP2P: asynchronous sends/recvs overlapped with compute (JaxPP,
+	// §4.2). When false, P2P time blocks both endpoints (the synchronous
+	// collective-permute behaviour of the SPMD-PP baseline).
+	OverlapP2P bool
+
+	// ForceRemat always rematerializes; AutoRemat decides from HBM capacity.
+	ForceRemat bool
+	AutoRemat  bool
+
+	// SyncPerIteration models the GSPMD stacked-loop encoding: a barrier at
+	// every loop iteration forces all actors to wait for stragglers.
+	SyncPerIteration bool
+
+	// KernelEfficiency multiplies the achievable-efficiency curve (NeMo's
+	// fused kernels; JAX/XLA baseline 1.0).
+	KernelEfficiency float64
+
+	// DistributedOptimizer shards fp32 optimizer state over the DP group
+	// (ZeRO-1 / Megatron distributed optimizer): 2 + 16/DP bytes per
+	// parameter instead of 18. NeMo's large-model recipes require it.
+	DistributedOptimizer bool
+
+	// SelectiveRecompute recomputes attention internals in the backward pass
+	// (Megatron selective recomputation), adding ≈11% compute FLOPs that
+	// NeMo's own TFLOPS counter reports as useful work.
+	SelectiveRecompute bool
+}
+
+// TaskOverhead is the device-side overhead per dispatched task (kernel
+// launch chains, XLA async dispatch) — the cost that "emerges when the
+// device work dispatched is too small" (§5.1.1, the circular-repeat-12 drop
+// in Fig. 6).
+var TaskOverhead = 0.4e-3
+
+// JitterPerLog2 models cluster noise/stragglers per log2(GPUs), seconds.
+var JitterPerLog2 = 0.03
+
+// SelectiveRecomputeFraction is the extra compute fraction of selective
+// attention recomputation relative to the full fwd+bwd step.
+const SelectiveRecomputeFraction = 0.11
+
+// Breakdown splits the step time of the slowest actor into categories
+// (seconds), the Fig. 10 decomposition.
+type Breakdown struct {
+	ComputeCollectives float64
+	Rematerialization  float64
+	P2P                float64
+	Bubble             float64
+	DPGradSync         float64
+	Dispatch           float64
+}
+
+// Result is the simulated outcome of one training step.
+type Result struct {
+	StepTime        float64
+	TFLOPSPerDevice float64
+	Breakdown       Breakdown
+	Remat           bool
+	PeakMemGiB      float64
+	WeightsMemGiB   float64
+	ActivationGiB   float64
+	NumTasks        int
+	NumMicrobatches int
+	Stages          int
+	BubbleFraction  float64
+}
+
+// Validate checks the configuration's internal consistency.
+func (c *Config) Validate() error {
+	if c.TP*c.PP*c.DP != c.GPUs {
+		return fmt.Errorf("sim: TP(%d)×PP(%d)×DP(%d) != GPUs(%d)", c.TP, c.PP, c.DP, c.GPUs)
+	}
+	if c.GlobalBatch%(c.DP*c.Microbatch) != 0 {
+		return fmt.Errorf("sim: global batch %d not divisible by DP(%d)×MBS(%d)", c.GlobalBatch, c.DP, c.Microbatch)
+	}
+	if c.CircularRepeat < 1 {
+		c.CircularRepeat = 1
+	}
+	if c.KernelEfficiency == 0 {
+		c.KernelEfficiency = 1
+	}
+	if c.Model.Layers%(c.PP*c.CircularRepeat) != 0 {
+		// Allowed, but stage shares become fractional; warn via error only
+		// for degenerate cases.
+		if c.PP*c.CircularRepeat > c.Model.Layers {
+			return fmt.Errorf("sim: %d stages exceed %d layers", c.PP*c.CircularRepeat, c.Model.Layers)
+		}
+	}
+	return nil
+}
+
+// NumMicrobatches returns the gradient-accumulation count per replica.
+func (c *Config) NumMicrobatches() int {
+	return c.GlobalBatch / (c.DP * c.Microbatch)
+}
+
+// buildSchedule instantiates the actual schedule object.
+func (c *Config) buildSchedule() (*schedule.Schedule, error) {
+	mbs := c.NumMicrobatches()
+	switch c.Schedule {
+	case SchedGPipe:
+		return schedule.GPipe(c.PP, mbs), nil
+	case Sched1F1B:
+		return schedule.OneFOneB(c.PP, mbs), nil
+	case SchedInterleaved:
+		return schedule.Interleaved1F1B(c.PP, mbs, c.CircularRepeat)
+	default:
+		return nil, fmt.Errorf("sim: unknown schedule %q", c.Schedule)
+	}
+}
+
+// costModel carries the derived per-task costs.
+type costModel struct {
+	fwdCompute float64 // seconds per stage-chunk forward per microbatch
+	bwdCompute float64
+	fwdColl    float64 // TP collective time during forward
+	bwdColl    float64
+	rematExtra float64 // extra recompute time per backward when remat is on
+	p2p        float64 // stage-boundary transfer time per microbatch
+	dispatch   float64 // per-task dispatch overhead
+	dpSync     float64 // end-of-step DP gradient all-reduce
+	remat      bool
+
+	weightsMem float64 // bytes per GPU for weights + optimizer
+	actPerMB   float64 // activation bytes per in-flight microbatch per stage (no remat)
+	actPerMBR  float64 // with remat
+}
+
+func (c *Config) deriveCosts() (*costModel, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	dev := c.Cluster.Device
+	m := c.Model
+	stages := c.PP * c.CircularRepeat
+	layersPerStage := float64(m.Layers) / float64(stages)
+	share := layersPerStage / float64(m.Layers)
+
+	tokensPerMB := float64(c.Microbatch) * float64(m.Seq)
+	tokensPerRank := tokensPerMB / float64(c.TP)
+	eta := perf.MatmulEfficiency(tokensPerRank) * c.KernelEfficiency
+	if eta <= 0 {
+		return nil, fmt.Errorf("sim: zero efficiency")
+	}
+
+	fwdFLOPsPerMB := m.FwdFLOPsPerToken() * tokensPerMB
+	cm := &costModel{}
+	cm.fwdCompute = fwdFLOPsPerMB * share / (dev.PeakTFLOPS * 1e12 * eta * float64(c.TP))
+	cm.bwdCompute = 2 * cm.fwdCompute
+
+	// Megatron TP: two all-reduces per layer forward, two backward, each of
+	// s·b·h BF16 over NVLink within the node.
+	arBytes := m.TPCollectiveBytesPerLayer(c.Microbatch)
+	ar := perf.NVSwitchAllReduceTime(arBytes, c.TP, dev.NVLinkGBs, dev.NVLinkLatency)
+	cm.fwdColl = 2 * layersPerStage * ar
+	cm.bwdColl = 2 * layersPerStage * ar
+
+	cm.p2p = perf.P2PTime(m.P2PBytesPerBoundary(c.Microbatch), dev.NetGBs, dev.NetLatency)
+	cm.dispatch = dev.DispatchOverhd + TaskOverhead
+
+	if c.SelectiveRecompute {
+		// Recompute attention internals before each backward task.
+		extra := SelectiveRecomputeFraction * 3 * cm.fwdCompute
+		cm.bwdCompute += extra
+	}
+
+	// Memory model.
+	paramsPerGPU := float64(m.Params()) / float64(c.TP*c.PP)
+	bytesPerParam := perf.OptimizerBytesPerParam
+	if c.DistributedOptimizer && c.DP > 1 {
+		bytesPerParam = 2 + 16/float64(c.DP)
+	}
+	cm.weightsMem = paramsPerGPU * bytesPerParam
+	cm.actPerMB = m.ActivationBytesPerLayer(c.Microbatch) * layersPerStage / float64(c.TP)
+	cm.actPerMBR = m.ActivationBytesPerLayerRemat(c.Microbatch) * layersPerStage / float64(c.TP)
+
+	// DP gradient all-reduce (fp32 accumulated grads) over the data-parallel
+	// dimension, inter-node bandwidth.
+	if c.DP > 1 {
+		gradBytes := paramsPerGPU * 4
+		cm.dpSync = perf.RingAllReduceTime(gradBytes, c.DP, dev.NetGBs, dev.NetLatency)
+	}
+	return cm, nil
+}
+
+// decideRemat applies the HBM capacity rule given the schedule's peak
+// in-flight activation count per actor.
+func (c *Config) decideRemat(cm *costModel, peakInFlight int) bool {
+	if c.ForceRemat {
+		return true
+	}
+	if !c.AutoRemat {
+		return false
+	}
+	const workspace = 6e9 // CUDA context, workspace, fragmentation headroom
+	free := c.Cluster.Device.HBMBytes - cm.weightsMem - workspace
+	need := float64(peakInFlight) * cm.actPerMB
+	return need > free
+}
+
+// maxInt returns the larger of a and b.
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

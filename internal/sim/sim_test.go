@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/perf"
+)
+
+func jaxppGPT3(gpus, tp, pp, dp, gbs, mbs, cr int) Config {
+	return Config{
+		Model: model.GPT3_175B(), Cluster: perf.EOS(),
+		GPUs: gpus, TP: tp, PP: pp, DP: dp,
+		GlobalBatch: gbs, Microbatch: mbs, CircularRepeat: cr,
+		Schedule: SchedInterleaved, OverlapP2P: true, AutoRemat: true,
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	c := jaxppGPT3(64, 8, 8, 2, 128, 4, 6) // TP*PP*DP != GPUs
+	if _, err := Simulate(c); err == nil {
+		t.Fatal("want degree mismatch error")
+	}
+	c = jaxppGPT3(64, 8, 8, 1, 100, 3, 6) // non-divisible batch
+	if _, err := Simulate(c); err == nil {
+		t.Fatal("want divisibility error")
+	}
+	c = jaxppGPT3(64, 8, 8, 1, 128, 4, 13) // 104 stages > 96 layers
+	if _, err := Simulate(c); err == nil {
+		t.Fatal("want stages>layers error")
+	}
+}
+
+func TestBaselineRow(t *testing.T) {
+	res, err := Simulate(jaxppGPT3(64, 8, 8, 1, 128, 4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 9.53s, 462 TFLOPS. Accept ±8%.
+	if res.StepTime < 8.7 || res.StepTime > 10.3 {
+		t.Fatalf("GPT-3 64-GPU step %.2fs, paper 9.53s", res.StepTime)
+	}
+	if res.TFLOPSPerDevice < 425 || res.TFLOPSPerDevice > 500 {
+		t.Fatalf("TFLOPS %.0f, paper 462", res.TFLOPSPerDevice)
+	}
+	if res.Remat {
+		t.Fatal("interleaved 1F1B must fit without rematerialization (Fig. 10)")
+	}
+	if res.PeakMemGiB >= 80 {
+		t.Fatalf("peak memory %.1f GiB exceeds HBM", res.PeakMemGiB)
+	}
+}
+
+func TestMoreMicrobatchesImproveUtilization(t *testing.T) {
+	// Fig. 7: TFLOPS/device increases (saturating) with gradient
+	// accumulation count at fixed microbatch size.
+	prev := 0.0
+	for _, ga := range []int{8, 16, 32, 64, 128} {
+		res, err := Simulate(jaxppGPT3(64, 8, 8, 1, 4*ga, 4, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TFLOPSPerDevice <= prev {
+			t.Fatalf("GA %d: TFLOPS %.0f did not improve over %.0f", ga, res.TFLOPSPerDevice, prev)
+		}
+		prev = res.TFLOPSPerDevice
+	}
+}
+
+func TestLargerMicrobatchMoreEfficient(t *testing.T) {
+	// Fig. 6/7: at equal bubble structure, MBS 4 > MBS 2 > MBS 1.
+	prev := 0.0
+	for _, mbs := range []int{1, 2, 4} {
+		res, err := Simulate(jaxppGPT3(64, 8, 8, 1, mbs*32, mbs, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TFLOPSPerDevice <= prev {
+			t.Fatalf("MBS %d: TFLOPS %.0f not above %.0f", mbs, res.TFLOPSPerDevice, prev)
+		}
+		prev = res.TFLOPSPerDevice
+	}
+}
+
+func TestCircularRepeatSweepShape(t *testing.T) {
+	// Fig. 6: throughput improves from CR 1 toward the middle and declines
+	// by CR 12 (dispatch overheads emerge).
+	tf := map[int]float64{}
+	for _, cr := range []int{1, 6, 12} {
+		res, err := Simulate(jaxppGPT3(64, 8, 8, 1, 128, 4, cr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tf[cr] = res.TFLOPSPerDevice
+	}
+	if !(tf[6] > tf[1]) {
+		t.Fatalf("CR6 (%.0f) should beat CR1 (%.0f)", tf[6], tf[1])
+	}
+	if !(tf[6] > tf[12]) {
+		t.Fatalf("CR6 (%.0f) should beat CR12 (%.0f)", tf[6], tf[12])
+	}
+}
+
+func TestGPipeTriggersRemat1F1BDoesNot(t *testing.T) {
+	// §5.3 / Fig. 10: GPipe's microbatch-proportional activation lifetime
+	// forces rematerialization where (interleaved) 1F1B fits.
+	g := jaxppGPT3(64, 8, 8, 1, 128, 4, 1)
+	g.Schedule = SchedGPipe
+	gres, err := Simulate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gres.Remat {
+		t.Fatal("GPipe at GA32 must rematerialize")
+	}
+	o := jaxppGPT3(64, 8, 8, 1, 128, 4, 1)
+	o.Schedule = Sched1F1B
+	ores, err := Simulate(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ores.Remat {
+		t.Fatal("1F1B must not rematerialize")
+	}
+	if ores.StepTime >= gres.StepTime {
+		t.Fatalf("1F1B (%.2fs) must beat GPipe (%.2fs)", ores.StepTime, gres.StepTime)
+	}
+	// The ≈20% claim of §2.2.1/§5.3.
+	gain := (gres.StepTime - ores.StepTime) / gres.StepTime
+	if gain < 0.10 || gain > 0.35 {
+		t.Fatalf("1F1B gain over GPipe %.1f%%, paper ≈20%%", 100*gain)
+	}
+}
+
+func TestSPMDLoopSlowerThanMPMD(t *testing.T) {
+	spmd := Config{
+		Model: model.GPT3_175B(), Cluster: perf.EOS(),
+		GPUs: 128, TP: 4, PP: 16, DP: 2, GlobalBatch: 256, Microbatch: 1,
+		CircularRepeat: 1, Schedule: SchedGPipe, SyncPerIteration: true, AutoRemat: true,
+	}
+	sres, err := Simulate(spmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jax := jaxppGPT3(128, 8, 8, 2, 256, 4, 6)
+	jres, err := Simulate(jax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: JaxPP is 44.6% faster than SPMD PP; accept 25–60%.
+	speedup := sres.StepTime/jres.StepTime - 1
+	if speedup < 0.25 || speedup > 0.60 {
+		t.Fatalf("JaxPP speedup over SPMD PP = %.1f%%, paper 44.6%%", 100*speedup)
+	}
+	if !sres.Remat {
+		t.Fatal("SPMD loop encoding must rematerialize")
+	}
+	if sres.Breakdown.Rematerialization <= 0 || sres.Breakdown.P2P <= 0 {
+		t.Fatal("SPMD breakdown must expose remat and P2P costs")
+	}
+	if jres.Breakdown.Rematerialization != 0 {
+		t.Fatal("JaxPP should not pay rematerialization here")
+	}
+}
+
+func TestOverlapP2PHelps(t *testing.T) {
+	sync := jaxppGPT3(64, 8, 8, 1, 128, 4, 6)
+	sync.OverlapP2P = false
+	sres, err := Simulate(sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asyncCfg := jaxppGPT3(64, 8, 8, 1, 128, 4, 6)
+	ares, err := Simulate(asyncCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.StepTime >= sres.StepTime {
+		t.Fatalf("overlapped P2P (%.3fs) must beat synchronous (%.3fs)", ares.StepTime, sres.StepTime)
+	}
+}
+
+func TestDistributedOptimizerShrinksWeights(t *testing.T) {
+	a := jaxppGPT3(128, 4, 8, 4, 256, 1, 6)
+	ra, err := Simulate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a
+	b.DistributedOptimizer = true
+	rb, err := Simulate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.WeightsMemGiB >= ra.WeightsMemGiB {
+		t.Fatalf("distributed optimizer should shrink weights: %.1f vs %.1f GiB", rb.WeightsMemGiB, ra.WeightsMemGiB)
+	}
+	// TP4×PP8 for 175B does not fit without it.
+	if ra.WeightsMemGiB < 80 {
+		t.Fatalf("undistributed weights should exceed HBM: %.1f GiB", ra.WeightsMemGiB)
+	}
+}
+
+func TestSelectiveRecomputeAddsCompute(t *testing.T) {
+	a := jaxppGPT3(64, 8, 8, 1, 128, 4, 6)
+	ra, err := Simulate(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a
+	b.SelectiveRecompute = true
+	rb, err := Simulate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.StepTime <= ra.StepTime {
+		t.Fatal("selective recompute must add time")
+	}
+}
+
+func TestWeakScalingEfficiency(t *testing.T) {
+	base, err := Simulate(jaxppGPT3(64, 8, 8, 1, 128, 4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Simulate(jaxppGPT3(1024, 8, 8, 16, 2048, 4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := big.TFLOPSPerDevice / base.TFLOPSPerDevice
+	// Paper: 92.87% from 64→1024.
+	if eff < 0.88 || eff > 0.99 {
+		t.Fatalf("weak scaling efficiency %.1f%%, paper 92.87%%", 100*eff)
+	}
+}
+
+func TestBreakdownSumsToStep(t *testing.T) {
+	res, err := Simulate(jaxppGPT3(64, 8, 8, 1, 128, 4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := res.Breakdown
+	sum := b.ComputeCollectives + b.Rematerialization + b.P2P + b.Bubble + b.DPGradSync + b.Dispatch
+	if diff := sum - res.StepTime; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("breakdown sums to %.4f, step is %.4f", sum, res.StepTime)
+	}
+}
+
+func TestNumTasksMatchesSchedule(t *testing.T) {
+	res, err := Simulate(jaxppGPT3(64, 8, 8, 1, 128, 4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 32 microbatches × 48 stages × (fwd+bwd) / 8 actors each... total
+	// tasks across actors = 2 × 32 × 48.
+	if res.NumTasks != 2*32*48 {
+		t.Fatalf("tasks %d, want %d", res.NumTasks, 2*32*48)
+	}
+}

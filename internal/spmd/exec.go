@@ -1,0 +1,268 @@
+package spmd
+
+import (
+	"fmt"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mesh"
+	"repro/internal/tensor"
+)
+
+// Stats aggregates what the sharded execution actually did, for assertions
+// and for cost accounting.
+type Stats struct {
+	CollectiveCount map[CollectiveKind]int
+	CollectiveElems map[CollectiveKind]int
+	LocalFLOPs      int64
+}
+
+func newStats() *Stats {
+	return &Stats{
+		CollectiveCount: map[CollectiveKind]int{},
+		CollectiveElems: map[CollectiveKind]int{},
+	}
+}
+
+// Run executes a partitioned graph with real per-device shards and returns
+// the gathered global outputs.
+func Run(p *Plan, inputs []*tensor.Tensor) ([]*tensor.Tensor, *Stats, error) {
+	n := p.Mesh.NumDevices()
+	if len(inputs) != len(p.Graph.Inputs) {
+		return nil, nil, fmt.Errorf("spmd: %d inputs for %d graph inputs", len(inputs), len(p.Graph.Inputs))
+	}
+	envs := make([]map[int]*tensor.Tensor, n)
+	for d := range envs {
+		envs[d] = make(map[int]*tensor.Tensor)
+	}
+	stats := newStats()
+
+	specs := make(map[int]mesh.Spec)
+	for i, v := range p.Graph.Inputs {
+		specs[v.ID] = p.In[i]
+		for d := 0; d < n; d++ {
+			sh, err := Shard(inputs[i], p.In[i], p.Mesh, d)
+			if err != nil {
+				return nil, nil, fmt.Errorf("spmd: sharding input %d: %w", i, err)
+			}
+			envs[d][v.ID] = sh
+		}
+	}
+
+	for i, e := range p.Graph.Eqns {
+		ep := p.Eqns[i]
+		// Pre-gathers: materialize resharded operand copies for this
+		// equation only. The canonical shards in envs keep the propagated
+		// spec, since other consumers were planned against it.
+		local := make([][]*tensor.Tensor, len(e.Inputs)) // [operand][device]
+		for j, v := range e.Inputs {
+			cur := specs[v.ID]
+			want := ep.OperandSpecs[j]
+			if cur.Equal(want) {
+				continue
+			}
+			global, err := Gather(collectShards(envs, v.ID), cur, p.Mesh, v.Shape)
+			if err != nil {
+				return nil, nil, fmt.Errorf("spmd: eqn %d reshard: %w", i, err)
+			}
+			local[j] = make([]*tensor.Tensor, n)
+			for d := 0; d < n; d++ {
+				sh, err := Shard(global, want, p.Mesh, d)
+				if err != nil {
+					return nil, nil, fmt.Errorf("spmd: eqn %d reshard: %w", i, err)
+				}
+				local[j][d] = sh
+			}
+			stats.CollectiveCount[AllGather]++
+			stats.CollectiveElems[AllGather] += v.Size()
+		}
+		// Local op on every device.
+		for d := 0; d < n; d++ {
+			args := make([]*tensor.Tensor, len(e.Inputs))
+			for j, v := range e.Inputs {
+				if local[j] != nil {
+					args[j] = local[j][d]
+				} else {
+					args[j] = envs[d][v.ID]
+				}
+			}
+			out, err := applyLocal(e, ep, args, p.Mesh)
+			if err != nil {
+				return nil, nil, fmt.Errorf("spmd: eqn %d device %d: %w", i, d, err)
+			}
+			if ep.ScaleCorrection != 1 {
+				out = tensor.Scale(out, ep.ScaleCorrection)
+			}
+			envs[d][e.Outputs[0].ID] = out
+		}
+		stats.LocalFLOPs += ep.DeviceFLOPs
+		// Post collectives.
+		for _, c := range ep.Post {
+			applyCollective(envs, p.Mesh, e.Outputs[0].ID, c)
+			stats.CollectiveCount[c.Kind]++
+			stats.CollectiveElems[c.Kind] += c.Elems
+		}
+		specs[e.Outputs[0].ID] = ep.OutSpec
+	}
+
+	outs := make([]*tensor.Tensor, len(p.Graph.Outputs))
+	for i, o := range p.Graph.Outputs {
+		g, err := Gather(collectShards(envs, o.ID), specs[o.ID], p.Mesh, o.Shape)
+		if err != nil {
+			return nil, nil, fmt.Errorf("spmd: gathering output %d: %w", i, err)
+		}
+		outs[i] = g
+	}
+	return outs, stats, nil
+}
+
+// applyLocal executes the local portion of an equation. Shape-carrying ops
+// whose attrs reference global shapes are only planned with replicated
+// outputs, so the global attrs are valid locally.
+func applyLocal(e *ir.Equation, ep EqnPlan, args []*tensor.Tensor, m *mesh.Mesh) (*tensor.Tensor, error) {
+	return interp.Apply(e.Op, e.Attrs, args)
+}
+
+func collectShards(envs []map[int]*tensor.Tensor, id int) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(envs))
+	for d := range envs {
+		out[d] = envs[d][id]
+	}
+	return out
+}
+
+// applyCollective performs an all-reduce (sum or mean) over the named mesh
+// axis: devices differing only in that axis coordinate exchange and combine
+// their local tensors.
+func applyCollective(envs []map[int]*tensor.Tensor, m *mesh.Mesh, id int, c Collective) {
+	groups := axisGroups(m, c.Axis)
+	for _, g := range groups {
+		sum := envs[g[0]][id].Clone()
+		for _, d := range g[1:] {
+			sum = tensor.Add(sum, envs[d][id])
+		}
+		if c.Kind == AllReduceMean {
+			sum = tensor.Scale(sum, 1/float64(len(g)))
+		}
+		for _, d := range g {
+			envs[d][id] = sum
+		}
+	}
+}
+
+// axisGroups partitions device slots into groups that differ only in the
+// coordinate of the named axis.
+func axisGroups(m *mesh.Mesh, axis string) [][]int {
+	ai := m.AxisIndex(axis)
+	if ai < 0 {
+		panic(fmt.Sprintf("spmd: unknown mesh axis %q", axis))
+	}
+	byKey := map[string][]int{}
+	var order []string
+	for d := 0; d < m.NumDevices(); d++ {
+		c := m.Coords(d)
+		c[ai] = -1
+		key := fmt.Sprint(c)
+		if _, ok := byKey[key]; !ok {
+			order = append(order, key)
+		}
+		byKey[key] = append(byKey[key], d)
+	}
+	out := make([][]int, 0, len(order))
+	for _, k := range order {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+// Shard extracts device slot d's shard of a global tensor under spec.
+func Shard(t *tensor.Tensor, spec mesh.Spec, m *mesh.Mesh, d int) (*tensor.Tensor, error) {
+	shape := t.Shape()
+	if err := spec.Validate(m, shape); err != nil {
+		return nil, err
+	}
+	coords := m.Coords(d)
+	starts := make([]int, len(shape))
+	sizes := append([]int(nil), shape...)
+	for i, name := range spec {
+		if name == "" {
+			continue
+		}
+		ai := m.AxisIndex(name)
+		sz := shape[i] / m.Axes[ai].Size
+		starts[i] = coords[ai] * sz
+		sizes[i] = sz
+	}
+	return extractBlock(t, starts, sizes), nil
+}
+
+// Gather reconstructs the global tensor from per-device shards.
+func Gather(shards []*tensor.Tensor, spec mesh.Spec, m *mesh.Mesh, globalShape []int) (*tensor.Tensor, error) {
+	if err := spec.Validate(m, globalShape); err != nil {
+		return nil, err
+	}
+	out := tensor.New(globalShape...)
+	for d, sh := range shards {
+		if sh == nil {
+			return nil, fmt.Errorf("spmd: device %d has no shard", d)
+		}
+		coords := m.Coords(d)
+		starts := make([]int, len(globalShape))
+		for i, name := range spec {
+			if name == "" {
+				continue
+			}
+			ai := m.AxisIndex(name)
+			sz := globalShape[i] / m.Axes[ai].Size
+			starts[i] = coords[ai] * sz
+		}
+		insertBlock(out, sh, starts)
+	}
+	return out, nil
+}
+
+// extractBlock copies the block starting at starts with the given sizes.
+func extractBlock(t *tensor.Tensor, starts, sizes []int) *tensor.Tensor {
+	out := tensor.New(sizes...)
+	if out.Size() == 0 {
+		return out
+	}
+	srcShape := t.Shape()
+	idx := make([]int, len(sizes))
+	for flat := 0; flat < out.Size(); flat++ {
+		// Decode flat into idx over sizes.
+		rem := flat
+		for i := len(sizes) - 1; i >= 0; i-- {
+			idx[i] = rem % sizes[i]
+			rem /= sizes[i]
+		}
+		src := 0
+		for i := range srcShape {
+			src = src*srcShape[i] + starts[i] + idx[i]
+		}
+		out.Data()[flat] = t.Data()[src]
+	}
+	return out
+}
+
+// insertBlock writes block into dst at the given start offsets.
+func insertBlock(dst, block *tensor.Tensor, starts []int) {
+	dstShape := dst.Shape()
+	sizes := block.Shape()
+	if block.Size() == 0 {
+		return
+	}
+	idx := make([]int, len(sizes))
+	for flat := 0; flat < block.Size(); flat++ {
+		rem := flat
+		for i := len(sizes) - 1; i >= 0; i-- {
+			idx[i] = rem % sizes[i]
+			rem /= sizes[i]
+		}
+		d := 0
+		for i := range dstShape {
+			d = d*dstShape[i] + starts[i] + idx[i]
+		}
+		dst.Data()[d] = block.Data()[flat]
+	}
+}

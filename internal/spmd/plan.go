@@ -1,0 +1,345 @@
+// Package spmd implements a GSPMD-style SPMD partitioner and a sharded
+// executor for IR graphs. Given a device mesh and partition specs for the
+// graph inputs, Plan propagates shardings through every equation and decides
+// which collective operations (all-reduce, all-gather) each equation needs —
+// the role XLA's SPMD partitioner plays under JAX (§2.1 of the paper). Run
+// then executes the plan with real per-device shards, which lets tests prove
+// that data-parallel and tensor-parallel instantiations (Fig. 1c) match the
+// unsharded numerics exactly.
+package spmd
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/mesh"
+)
+
+// CollectiveKind enumerates the collectives the partitioner inserts.
+type CollectiveKind string
+
+const (
+	AllReduce     CollectiveKind = "all_reduce"      // sum across a mesh axis
+	AllReduceMean CollectiveKind = "all_reduce_mean" // mean across a mesh axis
+	AllGather     CollectiveKind = "all_gather"      // gather a sharded value to replicated
+)
+
+// Collective describes one inserted communication op.
+type Collective struct {
+	Kind  CollectiveKind
+	Axis  string // mesh axis the collective runs over
+	Elems int    // global element count involved (for cost accounting)
+}
+
+// EqnPlan is the partitioning decision for one equation.
+type EqnPlan struct {
+	// OperandSpecs are the specs operands are brought to before the local op
+	// (after any pre-gathers).
+	OperandSpecs []mesh.Spec
+	// PreGathers lists collectives needed to reshard operands.
+	PreGathers []Collective
+	// OutSpec is the sharding of the (single) output after Post collectives.
+	OutSpec mesh.Spec
+	// Post lists collectives applied to the local result (e.g. the all-reduce
+	// completing a contraction over a sharded dimension).
+	Post []Collective
+	// ScaleCorrection rescales the local result before Post collectives;
+	// 1 means none. Used for mean-loss semantics under batch sharding.
+	ScaleCorrection float64
+	// DeviceFLOPs is the per-device floating point cost of the local op.
+	DeviceFLOPs int64
+}
+
+// Plan is a fully partitioned graph.
+type Plan struct {
+	Graph *ir.Graph
+	Mesh  *mesh.Mesh
+	In    []mesh.Spec
+	Out   []mesh.Spec
+	Eqns  []EqnPlan
+
+	specs map[int]mesh.Spec // value ID -> spec
+}
+
+// TotalCollectives aggregates collective element counts by kind.
+func (p *Plan) TotalCollectives() map[CollectiveKind]int {
+	tot := map[CollectiveKind]int{}
+	for _, ep := range p.Eqns {
+		for _, c := range ep.PreGathers {
+			tot[c.Kind] += c.Elems
+		}
+		for _, c := range ep.Post {
+			tot[c.Kind] += c.Elems
+		}
+	}
+	return tot
+}
+
+// ValueSpec returns the inferred spec for a value ID.
+func (p *Plan) ValueSpec(id int) (mesh.Spec, bool) {
+	s, ok := p.specs[id]
+	return s, ok
+}
+
+// Partition runs sharding propagation over g.
+func Partition(g *ir.Graph, m *mesh.Mesh, inSpecs []mesh.Spec) (*Plan, error) {
+	if len(inSpecs) != len(g.Inputs) {
+		return nil, fmt.Errorf("spmd: %d input specs for %d inputs", len(inSpecs), len(g.Inputs))
+	}
+	p := &Plan{Graph: g, Mesh: m, In: inSpecs, specs: make(map[int]mesh.Spec)}
+	for i, v := range g.Inputs {
+		if err := inSpecs[i].Validate(m, v.Shape); err != nil {
+			return nil, fmt.Errorf("spmd: input %d (%s): %w", i, v, err)
+		}
+		p.specs[v.ID] = inSpecs[i].Clone()
+	}
+	for i, e := range g.Eqns {
+		ep, err := p.planEqn(e)
+		if err != nil {
+			return nil, fmt.Errorf("spmd: eqn %d (%s): %w", i, e.Op, err)
+		}
+		p.Eqns = append(p.Eqns, ep)
+		p.specs[e.Outputs[0].ID] = ep.OutSpec
+	}
+	for _, o := range g.Outputs {
+		p.Out = append(p.Out, p.specs[o.ID].Clone())
+	}
+	return p, nil
+}
+
+func (p *Plan) axisSize(name string) int {
+	s, err := p.Mesh.AxisSize(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// gatherOperand returns a pre-gather collective bringing operand v (currently
+// spec s) to fully replicated.
+func gatherOperand(v *ir.Value, s mesh.Spec) (Collective, mesh.Spec) {
+	return Collective{Kind: AllGather, Elems: v.Size()}, mesh.Replicated(len(v.Shape))
+}
+
+func (p *Plan) planEqn(e *ir.Equation) (EqnPlan, error) {
+	in := e.Inputs
+	specs := make([]mesh.Spec, len(in))
+	for i, v := range in {
+		s, ok := p.specs[v.ID]
+		if !ok {
+			return EqnPlan{}, fmt.Errorf("no spec for operand %s", v)
+		}
+		specs[i] = s.Clone()
+	}
+	ep := EqnPlan{OperandSpecs: specs, ScaleCorrection: 1}
+
+	// gather forces operand i to be fully replicated.
+	gather := func(i int) {
+		if specs[i].IsReplicated() {
+			return
+		}
+		c, rs := gatherOperand(in[i], specs[i])
+		c.Axis = firstShardedAxis(specs[i])
+		ep.PreGathers = append(ep.PreGathers, c)
+		specs[i] = rs
+	}
+
+	switch e.Op {
+	case ir.OpMatMul:
+		sa, sb := specs[0], specs[1]
+		switch {
+		case sa[1] != "" && sa[1] == sb[0]:
+			// Contraction over a sharded dimension: local partial matmuls
+			// followed by an all-reduce over that mesh axis (Megatron-style
+			// row-parallel second matmul, Fig. 1c bottom).
+			if sa[0] != "" && sa[0] == sb[1] {
+				gather(1)
+				return p.planEqn(e) // replan with the gathered operand
+			}
+			kAxis := sa[1]
+			ep.OutSpec = mesh.P(sa[0], sb[1])
+			ep.Post = append(ep.Post, Collective{Kind: AllReduce, Axis: kAxis, Elems: outSize(e)})
+			ep.DeviceFLOPs = matmulFLOPs(p, in[0], sa, in[1], sb)
+			return ep, nil
+		case sa[1] == "" && sb[0] == "":
+			if sa[0] != "" && sa[0] == sb[1] {
+				// Same mesh axis would shard both output dims; gather B.
+				gather(1)
+				sb = specs[1]
+			}
+			ep.OutSpec = mesh.P(sa[0], sb[1])
+			ep.DeviceFLOPs = matmulFLOPs(p, in[0], sa, in[1], specs[1])
+			return ep, nil
+		default:
+			// Mismatched contraction sharding: gather whichever operand has a
+			// sharded contraction axis, then replan.
+			if sa[1] != "" {
+				gather(0)
+			}
+			if specs[1][0] != "" {
+				gather(1)
+			}
+			sa, sb = specs[0], specs[1]
+			if sa[0] != "" && sa[0] == sb[1] {
+				gather(1)
+				sb = specs[1]
+			}
+			ep.OutSpec = mesh.P(sa[0], sb[1])
+			ep.DeviceFLOPs = matmulFLOPs(p, in[0], sa, in[1], sb)
+			return ep, nil
+		}
+
+	case ir.OpAdd, ir.OpSub, ir.OpMul:
+		// Scalar operands broadcast; otherwise operand specs must agree, or
+		// we gather both to replicated.
+		a, b := specs[0], specs[1]
+		switch {
+		case len(in[1].Shape) == 0:
+			gather(1)
+			ep.OutSpec = a.Clone()
+		case len(in[0].Shape) == 0:
+			gather(0)
+			ep.OutSpec = b.Clone()
+		case a.Equal(b):
+			ep.OutSpec = a.Clone()
+		default:
+			gather(0)
+			gather(1)
+			ep.OutSpec = mesh.Replicated(len(in[0].Shape))
+		}
+		return ep, nil
+
+	case ir.OpTanhGrad:
+		if !specs[0].Equal(specs[1]) {
+			gather(0)
+			gather(1)
+		}
+		ep.OutSpec = specs[0].Clone()
+		return ep, nil
+
+	case ir.OpScale, ir.OpReLU, ir.OpReLUMask, ir.OpTanh, ir.OpYield:
+		ep.OutSpec = specs[0].Clone()
+		return ep, nil
+
+	case ir.OpTranspose:
+		ep.OutSpec = mesh.P(specs[0][1], specs[0][0])
+		return ep, nil
+
+	case ir.OpReshape:
+		gather(0)
+		ep.OutSpec = mesh.Replicated(len(e.Attrs.Shape))
+		return ep, nil
+
+	case ir.OpSum:
+		ep.OutSpec = mesh.Replicated(0)
+		for _, ax := range shardedAxes(specs[0]) {
+			ep.Post = append(ep.Post, Collective{Kind: AllReduce, Axis: ax, Elems: 1})
+		}
+		return ep, nil
+
+	case ir.OpSumAxis0:
+		s := specs[0]
+		ep.OutSpec = s[1:].Clone()
+		if s[0] != "" {
+			ep.Post = append(ep.Post, Collective{Kind: AllReduce, Axis: s[0], Elems: outSize(e)})
+		}
+		return ep, nil
+
+	case ir.OpBroadcast0:
+		ep.OutSpec = append(mesh.P(""), specs[0]...)
+		return ep, nil
+
+	case ir.OpBroadcastS:
+		ep.OutSpec = mesh.Replicated(len(e.Attrs.Shape))
+		return ep, nil
+
+	case ir.OpSoftmax:
+		if specs[0][1] != "" {
+			gather(0)
+		}
+		ep.OutSpec = specs[0].Clone()
+		return ep, nil
+
+	case ir.OpXent:
+		// Class axis must be local; batch axis may be sharded, in which case
+		// the local mean loss is averaged across the group (equal shard
+		// sizes make the mean of means exact).
+		if specs[0][1] != "" {
+			gather(0)
+		}
+		if specs[1][1] != "" {
+			gather(1)
+		}
+		if !specs[0].Equal(specs[1]) {
+			gather(0)
+			gather(1)
+		}
+		ep.OutSpec = mesh.Replicated(0)
+		if specs[0][0] != "" {
+			ep.Post = append(ep.Post, Collective{Kind: AllReduceMean, Axis: specs[0][0], Elems: 1})
+		}
+		return ep, nil
+
+	case ir.OpXentGrad:
+		if specs[0][1] != "" {
+			gather(0)
+		}
+		if specs[1][1] != "" {
+			gather(1)
+		}
+		if !specs[0].Equal(specs[1]) {
+			gather(0)
+			gather(1)
+		}
+		ep.OutSpec = specs[0].Clone()
+		if specs[0][0] != "" {
+			// Local grads divide by local rows; global mean needs /global
+			// rows, so scale by 1/groupSize.
+			ep.ScaleCorrection = 1 / float64(p.axisSize(specs[0][0]))
+		}
+		return ep, nil
+
+	case ir.OpZeros, ir.OpConst:
+		ep.OutSpec = mesh.Replicated(len(e.Attrs.Shape))
+		return ep, nil
+
+	default:
+		return EqnPlan{}, fmt.Errorf("unsupported op")
+	}
+}
+
+func outSize(e *ir.Equation) int { return e.Outputs[0].Size() }
+
+func firstShardedAxis(s mesh.Spec) string {
+	for _, n := range s {
+		if n != "" {
+			return n
+		}
+	}
+	return ""
+}
+
+func shardedAxes(s mesh.Spec) []string {
+	var out []string
+	for _, n := range s {
+		if n != "" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func matmulFLOPs(p *Plan, a *ir.Value, sa mesh.Spec, b *ir.Value, sb mesh.Spec) int64 {
+	m, k := a.Shape[0], a.Shape[1]
+	n := b.Shape[1]
+	if sa[0] != "" {
+		m /= p.axisSize(sa[0])
+	}
+	if sa[1] != "" {
+		k /= p.axisSize(sa[1])
+	}
+	if sb[1] != "" {
+		n /= p.axisSize(sb[1])
+	}
+	return 2 * int64(m) * int64(k) * int64(n)
+}

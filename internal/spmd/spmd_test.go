@@ -1,0 +1,298 @@
+package spmd
+
+import (
+	"testing"
+
+	"repro/internal/autodiff"
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mesh"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// ffnGraph traces the Fig. 1a feed-forward network:
+// H2 = relu(X W1) W2, loss = xent(H2, Y).
+func ffnGraph(t *testing.T) *ir.Graph {
+	t.Helper()
+	g, err := trace.Trace("ffn", func(b *trace.Builder) []*ir.Value {
+		x := b.Input("x", 8, 6)
+		y := b.Input("y", 8, 6)
+		w1 := b.Input("w1", 6, 12)
+		w2 := b.Input("w2", 12, 6)
+		h := b.ReLU(b.MatMul(x, w1))
+		out := b.MatMul(h, w2)
+		return []*ir.Value{b.CrossEntropy(out, y)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func ffnInputs(seed uint64) []*tensor.Tensor {
+	rng := tensor.NewRNG(seed)
+	return []*tensor.Tensor{
+		rng.Normal(1, 8, 6),
+		rng.OneHotBatch(8, 6),
+		rng.Normal(0.5, 6, 12),
+		rng.Normal(0.5, 12, 6),
+	}
+}
+
+func runBoth(t *testing.T, g *ir.Graph, m *mesh.Mesh, specs []mesh.Spec, inputs []*tensor.Tensor) ([]*tensor.Tensor, []*tensor.Tensor, *Stats) {
+	t.Helper()
+	ref, err := interp.Eval(g, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Partition(g, m, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := Run(plan, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref, got, stats
+}
+
+// TestDataParallelMatchesUnsharded reproduces Fig. 1c (top): mesh
+// [("data", 2) ("model", 1)], batch sharded over data, weights replicated.
+func TestDataParallelMatchesUnsharded(t *testing.T) {
+	g := ffnGraph(t)
+	m := mesh.MustNew(mesh.Axis{Name: "data", Size: 2}, mesh.Axis{Name: "model", Size: 1})
+	specs := []mesh.Spec{
+		mesh.P("data", ""), // x row-sharded
+		mesh.P("data", ""), // y row-sharded
+		mesh.Replicated(2), // w1 replicated
+		mesh.Replicated(2), // w2 replicated
+	}
+	ref, got, _ := runBoth(t, g, m, specs, ffnInputs(1))
+	for i := range ref {
+		if !tensor.AllClose(got[i], ref[i], 1e-9, 1e-12) {
+			t.Fatalf("output %d differs: %v", i, tensor.MaxAbsDiff(got[i], ref[i]))
+		}
+	}
+}
+
+// TestTensorParallelMatchesUnsharded reproduces Fig. 1c (bottom):
+// Megatron-style TP — W1 column-sharded, W2 row-sharded, one all-reduce.
+func TestTensorParallelMatchesUnsharded(t *testing.T) {
+	g := ffnGraph(t)
+	m := mesh.MustNew(mesh.Axis{Name: "data", Size: 1}, mesh.Axis{Name: "model", Size: 2})
+	specs := []mesh.Spec{
+		mesh.Replicated(2),  // x replicated
+		mesh.Replicated(2),  // y replicated
+		mesh.P("", "model"), // w1 column-sharded
+		mesh.P("model", ""), // w2 row-sharded
+	}
+	ref, got, stats := runBoth(t, g, m, specs, ffnInputs(2))
+	for i := range ref {
+		if !tensor.AllClose(got[i], ref[i], 1e-9, 1e-12) {
+			t.Fatalf("output %d differs: %v", i, tensor.MaxAbsDiff(got[i], ref[i]))
+		}
+	}
+	// The second matmul must have triggered exactly one all-reduce
+	// ("the second matrix-multiply requires only one final all-reduce").
+	if stats.CollectiveCount[AllReduce] != 1 {
+		t.Fatalf("all_reduce count %d, want 1", stats.CollectiveCount[AllReduce])
+	}
+	if stats.CollectiveCount[AllGather] != 0 {
+		t.Fatalf("unexpected all-gathers: %d", stats.CollectiveCount[AllGather])
+	}
+}
+
+// TestDPxTPMatchesUnsharded combines both on a 2x2 mesh.
+func TestDPxTPMatchesUnsharded(t *testing.T) {
+	g := ffnGraph(t)
+	m := mesh.MustNew(mesh.Axis{Name: "data", Size: 2}, mesh.Axis{Name: "model", Size: 2})
+	specs := []mesh.Spec{
+		mesh.P("data", ""),
+		mesh.P("data", ""),
+		mesh.P("", "model"),
+		mesh.P("model", ""),
+	}
+	ref, got, _ := runBoth(t, g, m, specs, ffnInputs(3))
+	for i := range ref {
+		if !tensor.AllClose(got[i], ref[i], 1e-9, 1e-12) {
+			t.Fatalf("output %d differs: %v", i, tensor.MaxAbsDiff(got[i], ref[i]))
+		}
+	}
+}
+
+// TestGradientsUnderDataParallelism checks the full value-and-grad graph,
+// including the xent mean correction under batch sharding.
+func TestGradientsUnderDataParallelism(t *testing.T) {
+	g := ffnGraph(t)
+	gg, err := autodiff.ValueAndGrad(g, g.Inputs[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mesh.MustNew(mesh.Axis{Name: "data", Size: 4})
+	specs := []mesh.Spec{
+		mesh.P("data", ""),
+		mesh.P("data", ""),
+		mesh.Replicated(2),
+		mesh.Replicated(2),
+	}
+	ref, got, _ := runBoth(t, gg, m, specs, ffnInputs(4))
+	for i := range ref {
+		if !tensor.AllClose(got[i], ref[i], 1e-9, 1e-12) {
+			t.Fatalf("grad output %d differs: %v", i, tensor.MaxAbsDiff(got[i], ref[i]))
+		}
+	}
+}
+
+func TestGradientsUnderTensorParallelism(t *testing.T) {
+	g := ffnGraph(t)
+	gg, err := autodiff.ValueAndGrad(g, g.Inputs[2:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mesh.MustNew(mesh.Axis{Name: "model", Size: 3})
+	specs := []mesh.Spec{
+		mesh.Replicated(2),
+		mesh.Replicated(2),
+		mesh.P("", "model"),
+		mesh.P("model", ""),
+	}
+	ref, got, _ := runBoth(t, gg, m, specs, ffnInputs(5))
+	for i := range ref {
+		if !tensor.AllClose(got[i], ref[i], 1e-9, 1e-12) {
+			t.Fatalf("grad output %d differs: %v", i, tensor.MaxAbsDiff(got[i], ref[i]))
+		}
+	}
+}
+
+func TestShardGatherRoundTrip(t *testing.T) {
+	m := mesh.MustNew(mesh.Axis{Name: "a", Size: 2}, mesh.Axis{Name: "b", Size: 3})
+	rng := tensor.NewRNG(6)
+	global := rng.Normal(1, 6, 6)
+	for _, spec := range []mesh.Spec{
+		mesh.Replicated(2),
+		mesh.P("a", ""),
+		mesh.P("", "b"),
+		mesh.P("a", "b"),
+		mesh.P("b", "a"),
+	} {
+		shards := make([]*tensor.Tensor, m.NumDevices())
+		for d := 0; d < m.NumDevices(); d++ {
+			sh, err := Shard(global, spec, m, d)
+			if err != nil {
+				t.Fatalf("spec %s: %v", spec, err)
+			}
+			shards[d] = sh
+		}
+		back, err := Gather(shards, spec, m, global.Shape())
+		if err != nil {
+			t.Fatalf("spec %s: %v", spec, err)
+		}
+		if !tensor.AllClose(back, global, 0, 0) {
+			t.Fatalf("spec %s: gather(shard(x)) != x", spec)
+		}
+	}
+}
+
+func TestShardShapesMatchSpec(t *testing.T) {
+	m := mesh.MustNew(mesh.Axis{Name: "a", Size: 2}, mesh.Axis{Name: "b", Size: 3})
+	global := tensor.New(4, 6)
+	sh, err := Shard(global, mesh.P("a", "b"), m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Dim(0) != 2 || sh.Dim(1) != 2 {
+		t.Fatalf("shard shape %v", sh.Shape())
+	}
+}
+
+func TestPartitionRejectsBadSpecs(t *testing.T) {
+	g := ffnGraph(t)
+	m := mesh.MustNew(mesh.Axis{Name: "data", Size: 3})
+	// 8 rows not divisible by 3.
+	specs := []mesh.Spec{mesh.P("data", ""), mesh.P("data", ""), mesh.Replicated(2), mesh.Replicated(2)}
+	if _, err := Partition(g, m, specs); err == nil {
+		t.Fatal("want divisibility error")
+	}
+	if _, err := Partition(g, m, specs[:2]); err == nil {
+		t.Fatal("want input count error")
+	}
+}
+
+func TestMismatchedElementwiseGathers(t *testing.T) {
+	// a sharded + b sharded differently forces gathers but stays correct.
+	g, err := trace.Trace("mix", func(b *trace.Builder) []*ir.Value {
+		x := b.Input("x", 4, 4)
+		y := b.Input("y", 4, 4)
+		return []*ir.Value{b.Sum(b.Add(x, b.Transpose(y)))}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mesh.MustNew(mesh.Axis{Name: "d", Size: 2})
+	specs := []mesh.Spec{mesh.P("d", ""), mesh.P("d", "")}
+	rng := tensor.NewRNG(8)
+	inputs := []*tensor.Tensor{rng.Normal(1, 4, 4), rng.Normal(1, 4, 4)}
+	ref, got, stats := runBoth(t, g, m, specs, inputs)
+	if !tensor.AllClose(got[0], ref[0], 1e-9, 1e-12) {
+		t.Fatalf("differs: %v vs %v", got[0], ref[0])
+	}
+	if stats.CollectiveCount[AllGather] == 0 {
+		t.Fatal("expected at least one all-gather for mismatched operands")
+	}
+}
+
+func TestReplicationIsConsistentAcrossDevices(t *testing.T) {
+	// After a TP matmul + all-reduce, every device must hold identical
+	// replicated outputs. Run the plan and gather: already covered; here we
+	// verify plan metadata instead.
+	g := ffnGraph(t)
+	m := mesh.MustNew(mesh.Axis{Name: "model", Size: 2})
+	specs := []mesh.Spec{
+		mesh.Replicated(2), mesh.Replicated(2),
+		mesh.P("", "model"), mesh.P("model", ""),
+	}
+	plan, err := Partition(g, m, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Final loss must be fully replicated.
+	if !plan.Out[0].IsReplicated() {
+		t.Fatalf("loss spec %s", plan.Out[0])
+	}
+	tot := plan.TotalCollectives()
+	if tot[AllReduce] == 0 {
+		t.Fatal("TP plan must contain an all-reduce")
+	}
+}
+
+func TestDeviceFLOPsScaleWithSharding(t *testing.T) {
+	g := ffnGraph(t)
+	mTP := mesh.MustNew(mesh.Axis{Name: "model", Size: 2})
+	specsTP := []mesh.Spec{
+		mesh.Replicated(2), mesh.Replicated(2),
+		mesh.P("", "model"), mesh.P("model", ""),
+	}
+	planTP, err := Partition(g, mTP, specsTP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mRep := mesh.MustNew(mesh.Axis{Name: "model", Size: 1})
+	specsRep := []mesh.Spec{
+		mesh.Replicated(2), mesh.Replicated(2), mesh.Replicated(2), mesh.Replicated(2),
+	}
+	planRep, err := Partition(g, mRep, specsRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fTP, fRep int64
+	for _, ep := range planTP.Eqns {
+		fTP += ep.DeviceFLOPs
+	}
+	for _, ep := range planRep.Eqns {
+		fRep += ep.DeviceFLOPs
+	}
+	if fTP*2 != fRep {
+		t.Fatalf("TP per-device FLOPs %d, replicated %d; want exactly half", fTP, fRep)
+	}
+}

@@ -1,0 +1,320 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b elementwise. Shapes must match exactly, or one operand
+// may be a scalar (rank 0), which broadcasts.
+func Add(a, b *Tensor) *Tensor {
+	return zipBroadcast(a, b, func(x, y float64) float64 { return x + y })
+}
+
+// Sub returns a - b elementwise with scalar broadcasting.
+func Sub(a, b *Tensor) *Tensor {
+	return zipBroadcast(a, b, func(x, y float64) float64 { return x - y })
+}
+
+// Mul returns a * b elementwise with scalar broadcasting.
+func Mul(a, b *Tensor) *Tensor {
+	return zipBroadcast(a, b, func(x, y float64) float64 { return x * y })
+}
+
+// Div returns a / b elementwise with scalar broadcasting.
+func Div(a, b *Tensor) *Tensor {
+	return zipBroadcast(a, b, func(x, y float64) float64 { return x / y })
+}
+
+// Maximum returns elementwise max(a, b) with scalar broadcasting.
+func Maximum(a, b *Tensor) *Tensor {
+	return zipBroadcast(a, b, math.Max)
+}
+
+func zipBroadcast(a, b *Tensor, f func(x, y float64) float64) *Tensor {
+	switch {
+	case SameShape(a, b):
+		out := New(a.shape...)
+		for i := range a.data {
+			out.data[i] = f(a.data[i], b.data[i])
+		}
+		return out
+	case b.Rank() == 0:
+		out := New(a.shape...)
+		y := b.data[0]
+		for i := range a.data {
+			out.data[i] = f(a.data[i], y)
+		}
+		return out
+	case a.Rank() == 0:
+		out := New(b.shape...)
+		x := a.data[0]
+		for i := range b.data {
+			out.data[i] = f(x, b.data[i])
+		}
+		return out
+	default:
+		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.shape, b.shape))
+	}
+}
+
+// Scale returns a * s.
+func Scale(a *Tensor, s float64) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = a.data[i] * s
+	}
+	return out
+}
+
+// Neg returns -a.
+func Neg(a *Tensor) *Tensor { return Scale(a, -1) }
+
+// Map applies f elementwise.
+func Map(a *Tensor, f func(float64) float64) *Tensor {
+	out := New(a.shape...)
+	for i := range a.data {
+		out.data[i] = f(a.data[i])
+	}
+	return out
+}
+
+// ReLU returns max(a, 0).
+func ReLU(a *Tensor) *Tensor {
+	return Map(a, func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// ReLUMask returns 1 where a > 0 else 0 (the derivative mask of ReLU).
+func ReLUMask(a *Tensor) *Tensor {
+	return Map(a, func(x float64) float64 {
+		if x > 0 {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Tanh applies tanh elementwise.
+func Tanh(a *Tensor) *Tensor { return Map(a, math.Tanh) }
+
+// Exp applies exp elementwise.
+func Exp(a *Tensor) *Tensor { return Map(a, math.Exp) }
+
+// Log applies natural log elementwise.
+func Log(a *Tensor) *Tensor { return Map(a, math.Log) }
+
+// MatMul computes the matrix product of two rank-2 tensors (m,k)x(k,n)->(m,n).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul wants rank-2 operands, got %v x %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	// ikj loop order for cache friendliness.
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		orow := out.data[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns the rank-2 transpose of a.
+func Transpose(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose wants rank 2, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return out
+}
+
+// Reshape returns a view-copy of a with a new shape of equal element count.
+func Reshape(a *Tensor, shape ...int) *Tensor {
+	if NumElements(shape) != a.Size() {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", a.shape, shape))
+	}
+	out := a.Clone()
+	out.shape = cloneShape(shape)
+	return out
+}
+
+// Sum reduces all elements to a scalar tensor.
+func Sum(a *Tensor) *Tensor {
+	s := 0.0
+	for _, v := range a.data {
+		s += v
+	}
+	return Scalar(s)
+}
+
+// SumAxis0 sums over the leading axis: (d0, d1, ...) -> (d1, ...).
+func SumAxis0(a *Tensor) *Tensor {
+	if a.Rank() == 0 {
+		return a.Clone()
+	}
+	rest := a.shape[1:]
+	out := New(rest...)
+	stride := NumElements(rest)
+	for i := 0; i < a.shape[0]; i++ {
+		base := i * stride
+		for j := 0; j < stride; j++ {
+			out.data[j] += a.data[base+j]
+		}
+	}
+	return out
+}
+
+// MeanAxis0 averages over the leading axis.
+func MeanAxis0(a *Tensor) *Tensor {
+	return Scale(SumAxis0(a), 1/float64(a.shape[0]))
+}
+
+// Slice0 returns the i-th sub-tensor along axis 0: shape (d1, ...).
+func Slice0(a *Tensor, i int) *Tensor {
+	if a.Rank() == 0 {
+		panic("tensor: cannot Slice0 a scalar")
+	}
+	if i < 0 || i >= a.shape[0] {
+		panic(fmt.Sprintf("tensor: Slice0 index %d out of range for shape %v", i, a.shape))
+	}
+	rest := a.shape[1:]
+	stride := NumElements(rest)
+	out := New(rest...)
+	copy(out.data, a.data[i*stride:(i+1)*stride])
+	return out
+}
+
+// SliceRange0 returns rows [lo, hi) along axis 0.
+func SliceRange0(a *Tensor, lo, hi int) *Tensor {
+	if a.Rank() == 0 || lo < 0 || hi > a.shape[0] || lo > hi {
+		panic(fmt.Sprintf("tensor: SliceRange0 [%d,%d) invalid for shape %v", lo, hi, a.shape))
+	}
+	rest := a.shape[1:]
+	stride := NumElements(rest)
+	shape := append([]int{hi - lo}, rest...)
+	out := New(shape...)
+	copy(out.data, a.data[lo*stride:hi*stride])
+	return out
+}
+
+// Stack0 concatenates tensors of identical shape along a new leading axis.
+func Stack0(parts []*Tensor) *Tensor {
+	if len(parts) == 0 {
+		panic("tensor: Stack0 of zero tensors")
+	}
+	for _, p := range parts[1:] {
+		if !SameShape(p, parts[0]) {
+			panic(fmt.Sprintf("tensor: Stack0 shape mismatch %v vs %v", p.shape, parts[0].shape))
+		}
+	}
+	shape := append([]int{len(parts)}, parts[0].shape...)
+	out := New(shape...)
+	stride := parts[0].Size()
+	for i, p := range parts {
+		copy(out.data[i*stride:(i+1)*stride], p.data)
+	}
+	return out
+}
+
+// Concat0 concatenates tensors along the existing leading axis.
+func Concat0(parts []*Tensor) *Tensor {
+	if len(parts) == 0 {
+		panic("tensor: Concat0 of zero tensors")
+	}
+	rest := parts[0].shape[1:]
+	rows := 0
+	for _, p := range parts {
+		if !ShapeEq(p.shape[1:], rest) {
+			panic(fmt.Sprintf("tensor: Concat0 trailing-shape mismatch %v vs %v", p.shape, parts[0].shape))
+		}
+		rows += p.shape[0]
+	}
+	shape := append([]int{rows}, rest...)
+	out := New(shape...)
+	off := 0
+	for _, p := range parts {
+		copy(out.data[off:off+p.Size()], p.data)
+		off += p.Size()
+	}
+	return out
+}
+
+// Softmax computes row-wise softmax of a rank-2 tensor.
+func Softmax(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Softmax wants rank 2, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		orow := out.data[i*n : (i+1)*n]
+		mx := math.Inf(-1)
+		for _, v := range row {
+			if v > mx {
+				mx = v
+			}
+		}
+		s := 0.0
+		for j, v := range row {
+			e := math.Exp(v - mx)
+			orow[j] = e
+			s += e
+		}
+		for j := range orow {
+			orow[j] /= s
+		}
+	}
+	return out
+}
+
+// CrossEntropy computes mean(-sum(targets * log softmax(logits), axis=1)) for
+// rank-2 logits and same-shape target distributions.
+func CrossEntropy(logits, targets *Tensor) *Tensor {
+	if !SameShape(logits, targets) {
+		panic(fmt.Sprintf("tensor: CrossEntropy shape mismatch %v vs %v", logits.shape, targets.shape))
+	}
+	p := Softmax(logits)
+	m, n := logits.shape[0], logits.shape[1]
+	loss := 0.0
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			t := targets.data[i*n+j]
+			if t != 0 {
+				loss -= t * math.Log(p.data[i*n+j]+1e-30)
+			}
+		}
+	}
+	return Scalar(loss / float64(m))
+}
+
+// CrossEntropyGrad returns d(CrossEntropy)/d(logits) = (softmax - targets)/m.
+func CrossEntropyGrad(logits, targets *Tensor) *Tensor {
+	p := Softmax(logits)
+	m := float64(logits.shape[0])
+	return Scale(Sub(p, targets), 1/m)
+}

@@ -1,0 +1,73 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (splitmix64 state with
+// xorshift output) used for reproducible weight initialization without
+// depending on math/rand seeding behavior across Go versions.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed*0x9E3779B97F4A7C15 + 0x632BE59BD9B4E019}
+}
+
+func (r *RNG) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Norm returns an approximately standard-normal value (Box-Muller).
+func (r *RNG) Norm() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Uniform fills a new tensor with uniform values in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = lo + (hi-lo)*r.Float64()
+	}
+	return t
+}
+
+// Normal fills a new tensor with N(0, std^2) values.
+func (r *RNG) Normal(std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = std * r.Norm()
+	}
+	return t
+}
+
+// Xavier fills a new rank-2 tensor with Glorot-uniform values.
+func (r *RNG) Xavier(fanIn, fanOut int) *Tensor {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return r.Uniform(-limit, limit, fanIn, fanOut)
+}
+
+// OneHotBatch builds a (rows, classes) one-hot matrix with random classes,
+// useful for synthetic classification targets.
+func (r *RNG) OneHotBatch(rows, classes int) *Tensor {
+	t := New(rows, classes)
+	for i := 0; i < rows; i++ {
+		c := int(r.next() % uint64(classes))
+		t.data[i*classes+c] = 1
+	}
+	return t
+}

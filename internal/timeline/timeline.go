@@ -1,0 +1,173 @@
+// Package timeline renders pipeline schedules as per-actor timelines — the
+// Fig. 2 style GPipe vs 1F1B comparison — in ASCII, and exports Chrome
+// trace-event JSON for visual inspection.
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/schedule"
+)
+
+// Span is one executed task on an actor's timeline.
+type Span struct {
+	Actor int
+	Start float64
+	End   float64
+	Label string
+	Bwd   bool
+}
+
+// Build simulates the schedule under unit task durations (forward = 1,
+// backward = bwdRatio) and returns the resulting spans.
+func Build(s *schedule.Schedule, bwdRatio float64) []Span {
+	type key struct {
+		mb, stage int
+		ty        schedule.TaskType
+	}
+	doneAt := map[key]float64{}
+	heads := make([]int, s.NumActors)
+	now := make([]float64, s.NumActors)
+	var spans []Span
+
+	readyAt := func(e schedule.Entry) (float64, bool) {
+		switch e.Type {
+		case schedule.Forward:
+			if e.Stage == 0 {
+				return 0, true
+			}
+			t, ok := doneAt[key{e.MB, e.Stage - 1, schedule.Forward}]
+			return t, ok
+		default:
+			tf, ok := doneAt[key{e.MB, e.Stage, schedule.Forward}]
+			if !ok {
+				return 0, false
+			}
+			if e.Stage == s.NumStages-1 {
+				return tf, true
+			}
+			tb, ok := doneAt[key{e.MB, e.Stage + 1, schedule.Backward}]
+			if !ok {
+				return 0, false
+			}
+			if tb > tf {
+				return tb, true
+			}
+			return tf, true
+		}
+	}
+	for {
+		progressed := false
+		finished := true
+		for a := 0; a < s.NumActors; a++ {
+			if heads[a] >= len(s.Actors[a]) {
+				continue
+			}
+			finished = false
+			e := s.Actors[a][heads[a]]
+			r, ok := readyAt(e)
+			if !ok {
+				continue
+			}
+			start := now[a]
+			if r > start {
+				start = r
+			}
+			dur := 1.0
+			if e.Type == schedule.Backward {
+				dur = bwdRatio
+			}
+			end := start + dur
+			doneAt[key{e.MB, e.Stage, e.Type}] = end
+			now[a] = end
+			heads[a]++
+			spans = append(spans, Span{
+				Actor: a, Start: start, End: end,
+				Label: fmt.Sprintf("%d", e.MB+1),
+				Bwd:   e.Type == schedule.Backward,
+			})
+			progressed = true
+		}
+		if finished || !progressed {
+			return spans
+		}
+	}
+}
+
+// RenderASCII draws the spans as one row per actor. Forward tasks print
+// their microbatch number; backward tasks print it bracketed.
+func RenderASCII(w io.Writer, s *schedule.Schedule, bwdRatio float64, width int) {
+	spans := Build(s, bwdRatio)
+	makespan := 0.0
+	for _, sp := range spans {
+		if sp.End > makespan {
+			makespan = sp.End
+		}
+	}
+	if makespan == 0 || width <= 0 {
+		return
+	}
+	scale := float64(width) / makespan
+	rows := make([][]byte, s.NumActors)
+	for a := range rows {
+		rows[a] = []byte(strings.Repeat(".", width))
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	for _, sp := range spans {
+		lo := int(sp.Start * scale)
+		hi := int(sp.End * scale)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		ch := sp.Label[len(sp.Label)-1]
+		for x := lo; x < hi; x++ {
+			if sp.Bwd {
+				rows[sp.Actor][x] = 'a' + ch - '0' // backward: letters
+			} else {
+				rows[sp.Actor][x] = ch // forward: digits
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s  (fwd = microbatch digit, bwd = letter; bubble = '.')\n", s.Name)
+	for a, row := range rows {
+		fmt.Fprintf(w, "actor %d |%s|\n", a, string(row))
+	}
+	fmt.Fprintf(w, "bubble fraction: %.3f\n", s.BubbleFraction(bwdRatio))
+}
+
+// traceEvent is one Chrome trace-event entry.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// WriteChromeTrace exports the schedule as Chrome trace-event JSON
+// (chrome://tracing / Perfetto compatible).
+func WriteChromeTrace(w io.Writer, s *schedule.Schedule, bwdRatio float64) error {
+	spans := Build(s, bwdRatio)
+	events := make([]traceEvent, 0, len(spans))
+	for _, sp := range spans {
+		name := "F" + sp.Label
+		if sp.Bwd {
+			name = "B" + sp.Label
+		}
+		events = append(events, traceEvent{
+			Name: name, Ph: "X",
+			Ts: sp.Start * 1e3, Dur: (sp.End - sp.Start) * 1e3,
+			Pid: 0, Tid: sp.Actor,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

@@ -1,0 +1,90 @@
+package timeline
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/schedule"
+)
+
+func TestBuildSpansComplete(t *testing.T) {
+	s := schedule.OneFOneB(3, 6)
+	spans := Build(s, 2)
+	// 3 stages × 6 mb × (fwd + bwd).
+	if len(spans) != 3*6*2 {
+		t.Fatalf("spans %d, want 36", len(spans))
+	}
+	for _, sp := range spans {
+		if sp.End <= sp.Start {
+			t.Fatalf("empty span %+v", sp)
+		}
+		if sp.Actor < 0 || sp.Actor >= 3 {
+			t.Fatalf("bad actor %d", sp.Actor)
+		}
+	}
+}
+
+func TestSpansNonOverlappingPerActor(t *testing.T) {
+	s := schedule.GPipe(4, 8)
+	spans := Build(s, 2)
+	last := make([]float64, 4)
+	for _, sp := range spans {
+		if sp.Start < last[sp.Actor]-1e-12 {
+			t.Fatalf("actor %d spans overlap at %v", sp.Actor, sp.Start)
+		}
+		if sp.End > last[sp.Actor] {
+			last[sp.Actor] = sp.End
+		}
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	var buf bytes.Buffer
+	s := schedule.OneFOneB(3, 6)
+	RenderASCII(&buf, s, 2, 80)
+	out := buf.String()
+	if !strings.Contains(out, "actor 0") || !strings.Contains(out, "bubble fraction") {
+		t.Fatalf("render missing rows:\n%s", out)
+	}
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Fatal("render too short")
+	}
+}
+
+func TestRenderDegenerate(t *testing.T) {
+	var buf bytes.Buffer
+	s := schedule.OneFOneB(2, 2)
+	RenderASCII(&buf, s, 2, 0) // zero width: no output, no panic
+	if buf.Len() != 0 {
+		t.Fatal("expected no output at width 0")
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	s := schedule.GPipe(2, 3)
+	if err := WriteChromeTrace(&buf, s, 2); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 2*3*2 {
+		t.Fatalf("events %d, want 12", len(doc.TraceEvents))
+	}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.Dur <= 0 {
+			t.Fatalf("bad event %+v", e)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package jaxpp is a Go reproduction of "Scaling Deep Learning Training with
+// MPMD Pipeline Parallelism" (JaxPP, MLSys 2025): a compiler and
+// single-controller MPMD runtime for pipeline-parallel gradient-accumulation
+// training, layered over an SPMD (GSPMD-style) sharding substrate.
+//
+// The programming model mirrors the paper's Fig. 4: a model is written once
+// as a microbatch loss function against a tracing Builder, stage boundaries
+// are marked with PipelineYield, and a RemoteMesh compiles the function under
+// a user-chosen pipeline schedule into one fused program per actor, executed
+// with a single dispatch per actor per step.
+//
+//	mesh := jaxpp.NewRemoteMesh(3)              // 3 actors
+//	step, err := mesh.Compile(jaxpp.CompileSpec{
+//	    Loss: func(b *jaxpp.Builder, params, mb []*jaxpp.Value) *jaxpp.Value {
+//	        h := b.ReLU(b.MatMul(mb[0], params[0]))
+//	        h = b.PipelineYield(h)
+//	        h = b.ReLU(b.MatMul(h, params[1]))
+//	        h = b.PipelineYield(h)
+//	        return b.CrossEntropy(b.MatMul(h, params[2]), mb[1])
+//	    },
+//	    ParamShapes: [][]int{{64, 64}, {64, 64}, {64, 64}},
+//	    BatchShapes: [][]int{{8, 64}, {8, 64}}, // per-microbatch shapes
+//	    Schedule:    jaxpp.OneFOneB(3, 8),
+//	})
+//	losses, grads, err := step.Step(params, batch)
+//
+// Performance experiments against the paper's evaluation (Figs. 6–10,
+// Table 1) run on the calibrated cluster simulator; see SimulateJaxPP and
+// cmd/jaxpp-bench.
+package jaxpp
+
+import (
+	"fmt"
+
+	"repro/internal/autodiff"
+	"repro/internal/ir"
+	"repro/internal/runtime"
+	"repro/internal/schedule"
+	"repro/internal/stage"
+	"repro/internal/taskgraph"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// Value is a symbolic tensor handle produced during tracing.
+type Value = ir.Value
+
+// Builder records model operations during tracing (the jax.make_jaxpr role).
+type Builder = trace.Builder
+
+// Tensor is a dense float64 array.
+type Tensor = tensor.Tensor
+
+// NewTensor returns a zero tensor of the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// TensorFromSlice builds a tensor from data with the given shape.
+func TensorFromSlice(data []float64, shape ...int) (*Tensor, error) {
+	return tensor.FromSlice(data, shape...)
+}
+
+// RNG is a deterministic random generator for initialization.
+type RNG = tensor.RNG
+
+// NewRNG returns a seeded generator.
+func NewRNG(seed uint64) *RNG { return tensor.NewRNG(seed) }
+
+// Schedule assigns pipeline tasks to actors (§4.2 of the paper).
+type Schedule = schedule.Schedule
+
+// ScheduleEntry is one Task(i, ty, stage) element of a user-defined schedule.
+type ScheduleEntry = schedule.Entry
+
+// GPipe returns the GPipe schedule (all forwards, then all backwards).
+func GPipe(actors, microbatches int) *Schedule { return schedule.GPipe(actors, microbatches) }
+
+// OneFOneB returns the 1F1B schedule (Narayanan et al. 2019).
+func OneFOneB(actors, microbatches int) *Schedule { return schedule.OneFOneB(actors, microbatches) }
+
+// Interleaved1F1B returns the interleaved 1F1B schedule with the given
+// circular repeat (stages per actor).
+func Interleaved1F1B(actors, microbatches, repeat int) (*Schedule, error) {
+	return schedule.Interleaved1F1B(actors, microbatches, repeat)
+}
+
+// CustomSchedule builds a user-defined schedule from per-actor task lists,
+// validating executability — arbitrary MPMD schedules are first-class,
+// exactly as in §4.2.
+func CustomSchedule(name string, numStages, numMB int, actors [][]ScheduleEntry) (*Schedule, error) {
+	return schedule.FromLists(name, numStages, numMB, actors)
+}
+
+// LossFn is a traced microbatch loss: given symbolic parameters and one
+// microbatch, it returns the scalar loss. Calls to b.PipelineYield mark
+// pipeline-stage boundaries.
+type LossFn func(b *Builder, params []*Value, microbatch []*Value) *Value
+
+// CompileSpec describes one distributed training step to compile.
+type CompileSpec struct {
+	// Loss is the microbatch loss function (auto-differentiated by the
+	// library; see accumulate_grads in §3.1).
+	Loss LossFn
+	// ParamShapes are the model parameter shapes (pinned on actors by
+	// placement inference, §3.3).
+	ParamShapes [][]int
+	// BatchShapes are the *per-microbatch* input shapes; Step receives the
+	// full batch with leading dims multiplied by the schedule's microbatch
+	// count and slices it.
+	BatchShapes [][]int
+	// Schedule chooses the pipeline schedule; its stage count must equal
+	// 1 + number of PipelineYield calls in Loss.
+	Schedule *Schedule
+	// CommuteGradAccumulation enables the §3.4 loop-commuting rewrite for
+	// shared (tied) weights.
+	CommuteGradAccumulation bool
+	// SPMDDevicesPerActor executes each task SPMD-sharded over this many
+	// virtual devices inside every actor (MPMD of SPMD). 0 or 1 disables.
+	SPMDDevicesPerActor int
+	// DisableBufferDeletion turns off the §4.3 liveness pass (ablation).
+	DisableBufferDeletion bool
+}
+
+// RemoteMesh provisions a cluster of long-lived actors (the paper's
+// RemoteMesh). Actors run as goroutines over an in-process transport.
+type RemoteMesh struct {
+	cluster *runtime.Cluster
+}
+
+// NewRemoteMesh provisions actors on an in-process transport.
+func NewRemoteMesh(actors int) *RemoteMesh {
+	return &RemoteMesh{cluster: runtime.NewCluster(actors)}
+}
+
+// NewRemoteMeshWithTransport provisions actors over a custom transport
+// (e.g. rpcx TCP for multi-process runs).
+func NewRemoteMeshWithTransport(actors int, tr runtime.Transport) *RemoteMesh {
+	return &RemoteMesh{cluster: runtime.NewClusterWithTransport(actors, tr)}
+}
+
+// TrainStep is a compiled distributed training step (the step_fn returned by
+// mesh.distributed in the paper).
+type TrainStep struct {
+	exe   *runtime.Executable
+	prog  *taskgraph.Program
+	spec  CompileSpec
+	graph *ir.Graph
+}
+
+// Compile traces, differentiates, stage-splits, schedules, and loads the
+// training step onto the mesh.
+func (m *RemoteMesh) Compile(spec CompileSpec) (*TrainStep, error) {
+	if spec.Loss == nil || spec.Schedule == nil {
+		return nil, fmt.Errorf("jaxpp: CompileSpec needs Loss and Schedule")
+	}
+	var params, batch []*ir.Value
+	g, err := trace.Trace("train_step", func(b *Builder) []*ir.Value {
+		params = params[:0]
+		batch = batch[:0]
+		for i, s := range spec.BatchShapes {
+			batch = append(batch, b.Input(fmt.Sprintf("batch%d", i), s...))
+		}
+		for i, s := range spec.ParamShapes {
+			params = append(params, b.Input(fmt.Sprintf("param%d", i), s...))
+		}
+		loss := spec.Loss(b, params, batch)
+		return []*ir.Value{loss}
+	})
+	if err != nil {
+		return nil, err
+	}
+	gg, err := autodiff.ValueAndGrad(g, params)
+	if err != nil {
+		return nil, err
+	}
+	split, err := stage.SplitGraph(gg, stage.Options{
+		CommuteGradAccumulation: spec.CommuteGradAccumulation,
+	})
+	if err != nil {
+		return nil, err
+	}
+	batchIdx := make([]int, len(spec.BatchShapes))
+	for i := range batchIdx {
+		batchIdx[i] = i
+	}
+	prog, err := taskgraph.Compile(split, spec.Schedule, taskgraph.Options{
+		BatchInputs:     batchIdx,
+		DisableDeletion: spec.DisableBufferDeletion,
+	})
+	if err != nil {
+		return nil, err
+	}
+	exe, err := m.cluster.Load(prog, runtime.LoadOptions{SPMDDevices: spec.SPMDDevicesPerActor})
+	if err != nil {
+		return nil, err
+	}
+	return &TrainStep{exe: exe, prog: prog, spec: spec, graph: gg}, nil
+}
+
+// Step runs one training step. batch tensors carry the full global batch
+// (per-microbatch leading dim × number of microbatches); params are the
+// current weights. It returns the per-microbatch losses and the accumulated
+// gradients (one per parameter).
+func (t *TrainStep) Step(params, batch []*Tensor) (losses, grads []*Tensor, err error) {
+	if len(params) != len(t.spec.ParamShapes) {
+		return nil, nil, fmt.Errorf("jaxpp: %d params, compiled with %d", len(params), len(t.spec.ParamShapes))
+	}
+	if len(batch) != len(t.spec.BatchShapes) {
+		return nil, nil, fmt.Errorf("jaxpp: %d batch inputs, compiled with %d", len(batch), len(t.spec.BatchShapes))
+	}
+	inputs := append(append([]*Tensor{}, batch...), params...)
+	return t.exe.Step(inputs)
+}
+
+// NumMicrobatches returns the gradient accumulation count.
+func (t *TrainStep) NumMicrobatches() int { return t.prog.Schedule.NumMB }
+
+// NumStages returns the pipeline stage count.
+func (t *TrainStep) NumStages() int { return t.prog.Schedule.NumStages }
+
+// MemoryStats returns per-actor object-store statistics after a step.
+func (t *TrainStep) MemoryStats() []runtime.StoreStats { return t.exe.StoreStatsAll() }
+
+// Program exposes the compiled MPMD program (for inspection and tests).
+func (t *TrainStep) Program() *taskgraph.Program { return t.prog }

@@ -1,0 +1,194 @@
+package jaxpp
+
+import (
+	"testing"
+
+	"repro/internal/rpcx"
+	"repro/internal/tensor"
+)
+
+// mlpSpec builds a CompileSpec for an S-stage MLP.
+func mlpSpec(stages, mbRows, width int, sched *Schedule) CompileSpec {
+	paramShapes := make([][]int, stages)
+	for i := range paramShapes {
+		paramShapes[i] = []int{width, width}
+	}
+	return CompileSpec{
+		Loss: func(b *Builder, params, mb []*Value) *Value {
+			h := mb[0]
+			for i, w := range params {
+				h = b.ReLU(b.MatMul(h, w))
+				if i+1 < len(params) {
+					h = b.PipelineYield(h)
+				}
+			}
+			return b.CrossEntropy(h, mb[1])
+		},
+		ParamShapes: paramShapes,
+		BatchShapes: [][]int{{mbRows, width}, {mbRows, width}},
+		Schedule:    sched,
+	}
+}
+
+func mlpData(stages, mbRows, numMB, width int, seed uint64) (params []*Tensor, x, y *Tensor) {
+	rng := NewRNG(seed)
+	for i := 0; i < stages; i++ {
+		params = append(params, rng.Xavier(width, width))
+	}
+	return params, rng.Normal(1, numMB*mbRows, width), rng.OneHotBatch(numMB*mbRows, width)
+}
+
+func TestCompileAndStep(t *testing.T) {
+	const stages, mbRows, numMB, width = 3, 4, 6, 8
+	mesh := NewRemoteMesh(stages)
+	step, err := mesh.Compile(mlpSpec(stages, mbRows, width, OneFOneB(stages, numMB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step.NumStages() != stages || step.NumMicrobatches() != numMB {
+		t.Fatalf("stages=%d mbs=%d", step.NumStages(), step.NumMicrobatches())
+	}
+	params, x, y := mlpData(stages, mbRows, numMB, width, 1)
+	losses, grads, err := step.Step(params, []*Tensor{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(losses) != numMB || len(grads) != stages {
+		t.Fatalf("losses=%d grads=%d", len(losses), len(grads))
+	}
+}
+
+func TestSchedulesAgreeOnGradients(t *testing.T) {
+	const stages, mbRows, numMB, width = 3, 4, 6, 8
+	params, x, y := mlpData(stages, mbRows, numMB, width, 5)
+	var ref []*Tensor
+	for _, sched := range []*Schedule{GPipe(stages, numMB), OneFOneB(stages, numMB)} {
+		mesh := NewRemoteMesh(stages)
+		step, err := mesh.Compile(mlpSpec(stages, mbRows, width, sched))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, grads, err := step.Step(params, []*Tensor{x, y})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = grads
+			continue
+		}
+		for i := range grads {
+			if !tensor.AllClose(grads[i], ref[i], 1e-10, 1e-12) {
+				t.Fatalf("schedule %s grad %d differs", sched.Name, i)
+			}
+		}
+	}
+}
+
+func TestTCPTransportEndToEnd(t *testing.T) {
+	const stages, mbRows, numMB, width = 3, 4, 6, 8
+	tr, err := rpcx.NewTCPTransport(stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	meshTCP := NewRemoteMeshWithTransport(stages, tr)
+	stepTCP, err := meshTCP.Compile(mlpSpec(stages, mbRows, width, OneFOneB(stages, numMB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshLocal := NewRemoteMesh(stages)
+	stepLocal, err := meshLocal.Compile(mlpSpec(stages, mbRows, width, OneFOneB(stages, numMB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, x, y := mlpData(stages, mbRows, numMB, width, 9)
+	_, gTCP, err := stepTCP.Step(params, []*Tensor{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gLoc, err := stepLocal.Step(params, []*Tensor{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range gTCP {
+		if !tensor.AllClose(gTCP[i], gLoc[i], 1e-12, 1e-12) {
+			t.Fatalf("TCP grad %d differs from in-process", i)
+		}
+	}
+}
+
+func TestCustomSchedule(t *testing.T) {
+	// Hand-written task lists in the §4.2 format.
+	const stages, numMB = 2, 2
+	lists := [][]ScheduleEntry{
+		{
+			{MB: 0, Stage: 0, Type: 0}, {MB: 1, Stage: 0, Type: 0},
+			{MB: 0, Stage: 0, Type: 1}, {MB: 1, Stage: 0, Type: 1},
+		},
+		{
+			{MB: 0, Stage: 1, Type: 0}, {MB: 0, Stage: 1, Type: 1},
+			{MB: 1, Stage: 1, Type: 0}, {MB: 1, Stage: 1, Type: 1},
+		},
+	}
+	sched, err := CustomSchedule("mine", stages, numMB, lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mesh := NewRemoteMesh(stages)
+	step, err := mesh.Compile(mlpSpec(stages, 4, 8, sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, x, y := mlpData(stages, 4, numMB, 8, 13)
+	if _, _, err := step.Step(params, []*Tensor{x, y}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	mesh := NewRemoteMesh(2)
+	if _, err := mesh.Compile(CompileSpec{}); err == nil {
+		t.Fatal("want error for empty spec")
+	}
+	// Schedule stage count mismatch: 3-stage model on a 2-stage schedule.
+	spec := mlpSpec(3, 4, 8, OneFOneB(2, 4))
+	if _, err := mesh.Compile(spec); err == nil {
+		t.Fatal("want stage mismatch error")
+	}
+}
+
+func TestStepArgumentValidation(t *testing.T) {
+	const stages = 2
+	mesh := NewRemoteMesh(stages)
+	step, err := mesh.Compile(mlpSpec(stages, 4, 8, OneFOneB(stages, 4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, x, y := mlpData(stages, 4, 4, 8, 17)
+	if _, _, err := step.Step(params[:1], []*Tensor{x, y}); err == nil {
+		t.Fatal("want param count error")
+	}
+	if _, _, err := step.Step(params, []*Tensor{x}); err == nil {
+		t.Fatal("want batch count error")
+	}
+}
+
+func TestSimAPIBaselines(t *testing.T) {
+	res, err := SimulateJaxPP(SimConfig{
+		Model: GPT3175B(), Cluster: EOSCluster(),
+		GPUs: 64, TP: 8, PP: 8, DP: 1, GlobalBatch: 128, Microbatch: 4, CircularRepeat: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TFLOPSPerDevice < 400 {
+		t.Fatalf("JaxPP sim %f TFLOPS", res.TFLOPSPerDevice)
+	}
+	fres, err := SimulateFSDP(FSDPConfig{Model: GPT3175B(), Cluster: EOSCluster(), GPUs: 64, GlobalBatch: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.TFLOPSPerDevice >= res.TFLOPSPerDevice {
+		t.Fatal("JaxPP should beat FSDP on GPT-3")
+	}
+}

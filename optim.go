@@ -1,0 +1,35 @@
+package jaxpp
+
+import "repro/internal/model"
+
+// Optimizer updates parameters from accumulated gradients (the
+// apply_gradient of the paper's Fig. 4 training loop).
+type Optimizer = model.Optimizer
+
+// SGDOptimizer returns plain stochastic gradient descent.
+func SGDOptimizer() Optimizer { return model.SGD{} }
+
+// MomentumOptimizer returns SGD with classical momentum.
+func MomentumOptimizer(beta float64) Optimizer { return &model.Momentum{Beta: beta} }
+
+// AdamOptimizer returns Adam with standard hyperparameters.
+func AdamOptimizer() Optimizer { return model.NewAdam() }
+
+// AdamWOptimizer returns AdamW with decoupled weight decay.
+func AdamWOptimizer(decay float64) Optimizer { return model.NewAdamW(decay) }
+
+// LRSchedule maps a step index to a learning rate.
+type LRSchedule = model.LRSchedule
+
+// ConstantLR returns a constant learning-rate schedule.
+func ConstantLR(lr float64) LRSchedule { return model.ConstantLR(lr) }
+
+// WarmupCosineLR returns linear warmup followed by cosine decay.
+func WarmupCosineLR(peak, floor float64, warmup, total int) LRSchedule {
+	return model.WarmupCosineLR(peak, floor, warmup, total)
+}
+
+// GradClipByGlobalNorm clips gradients to a maximum global L2 norm.
+func GradClipByGlobalNorm(grads []*Tensor, maxNorm float64) ([]*Tensor, float64) {
+	return model.GradClipByGlobalNorm(grads, maxNorm)
+}

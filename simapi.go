@@ -1,0 +1,51 @@
+package jaxpp
+
+import (
+	"repro/internal/baselines"
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+// The simulation API re-exports the calibrated performance model used to
+// regenerate the paper's evaluation (see DESIGN.md for the substitution
+// rationale: no GPUs are available in this environment, so the EOS cluster
+// is modeled by a discrete-event simulator over real pipeline schedules).
+
+// TransformerConfig describes a transformer workload for the simulator.
+type TransformerConfig = model.TransformerConfig
+
+// GPT3175B is the GPT-3 175B configuration of §5.
+func GPT3175B() TransformerConfig { return model.GPT3_175B() }
+
+// Llama270B is the Llama2 70B configuration of §5.2.
+func Llama270B() TransformerConfig { return model.Llama2_70B() }
+
+// SimConfig is one simulated training configuration (a Table 1 row).
+type SimConfig = sim.Config
+
+// SimScheduleKind converts a schedule name ("gpipe", "1f1b",
+// "interleaved_1f1b") for SimConfig.Schedule.
+func SimScheduleKind(name string) sim.ScheduleKind { return sim.ScheduleKind(name) }
+
+// SimResult is the simulated outcome of a training step.
+type SimResult = sim.Result
+
+// EOSCluster returns the DGX H100 cluster model the paper evaluates on.
+func EOSCluster() perf.ClusterSpec { return perf.EOS() }
+
+// SimulateJaxPP simulates a JaxPP run: (interleaved) 1F1B schedule,
+// overlapped asynchronous P2P, capacity-driven rematerialization.
+func SimulateJaxPP(c SimConfig) (*SimResult, error) { return baselines.JaxPPSimulate(c) }
+
+// SimulateSPMDPP simulates the GSPMD stacked-loop pipeline baseline.
+func SimulateSPMDPP(c SimConfig) (*SimResult, error) { return baselines.SPMDPPSimulate(c) }
+
+// SimulateNeMo simulates the NeMo/Megatron baseline.
+func SimulateNeMo(c SimConfig) (*SimResult, error) { return baselines.NeMoSimulate(c) }
+
+// FSDPConfig is a fully-sharded data-parallel configuration.
+type FSDPConfig = baselines.FSDPConfig
+
+// SimulateFSDP simulates the JAX FSDP baseline.
+func SimulateFSDP(c FSDPConfig) (*SimResult, error) { return baselines.FSDPSimulate(c) }
