@@ -175,6 +175,28 @@ func BenchmarkRuntimePipelineStep(b *testing.B) {
 	}
 }
 
+// BenchmarkRuntimeDPxPPStep measures a hybrid DP×PP training step on the
+// real runtime: 2 pipeline replicas × 4 stages with the end-of-step bucketed
+// gradient AllReduce on the executable collective engine.
+func BenchmarkRuntimeDPxPPStep(b *testing.B) {
+	const stages, mbRows, numMB, width, dpN = 4, 8, 4, 32, 2
+	mesh := NewRemoteMesh(dpN * stages)
+	spec := mlpSpec(stages, mbRows, width, OneFOneB(stages, numMB))
+	spec.DataParallel = dpN
+	step, err := mesh.Compile(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params, x, y := mlpData(stages, mbRows, dpN*numMB, width, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := step.Step(params, []*Tensor{x, y}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(step.DPSyncTime().Seconds()*1e3, "dp-sync-ms")
+}
+
 // BenchmarkCompile measures trace→autodiff→split→unroll→load end to end.
 func BenchmarkCompile(b *testing.B) {
 	const stages, mbRows, numMB, width = 4, 8, 16, 32

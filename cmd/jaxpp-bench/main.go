@@ -1,20 +1,137 @@
 // Command jaxpp-bench regenerates the paper's tables and figures on the
-// simulator. Usage:
+// simulator, and snapshots headline metrics for trend tracking. Usage:
 //
-//	jaxpp-bench -exp all|fig6|fig7|fig8|fig9|fig10|table1
+//	jaxpp-bench -exp all|fig6|fig7|fig8|fig9|fig10|table1|ablations|validate
+//	jaxpp-bench -json BENCH_baseline.json   # machine-readable perf snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/collective"
 	"repro/internal/experiments"
+	"repro/internal/runtime"
 )
 
+// collectiveValidation compares one executed bucketed ring AllReduce on the
+// in-process transport against the simulator's analytic dpSync formula under
+// a calibrated link.
+type collectiveValidation struct {
+	Ranks         int     `json:"ranks"`
+	Elems         int     `json:"elems"`
+	LinkGBs       float64 `json:"link_gbs"`
+	LinkLatencyUs float64 `json:"link_latency_us"`
+	ExecutedMs    float64 `json:"executed_ms"`
+	AnalyticMs    float64 `json:"analytic_ms"`
+	Ratio         float64 `json:"ratio"`
+}
+
+func validateCollective() (*collectiveValidation, error) {
+	const ranks, elems = 4, 1 << 19
+	link := collective.Calibrate(runtime.NewChanTransport(), 0, 1)
+	measured, _, err := collective.MeasureAllReduce(runtime.NewChanTransport(), ranks, elems, collective.DefaultBucketBytes)
+	if err != nil {
+		return nil, err
+	}
+	predicted := collective.PredictBucketedAllReduce(collective.RingLink(link, ranks), []int{elems}, ranks, collective.DefaultBucketBytes)
+	return &collectiveValidation{
+		Ranks:         ranks,
+		Elems:         elems,
+		LinkGBs:       link.BwGBs,
+		LinkLatencyUs: link.Latency * 1e6,
+		ExecutedMs:    measured.Seconds() * 1e3,
+		AnalyticMs:    predicted * 1e3,
+		Ratio:         measured.Seconds() / predicted,
+	}, nil
+}
+
+// snapshot is the machine-readable perf baseline future PRs diff against.
+type snapshot struct {
+	Fig6BestTFLOPSPerDevice float64               `json:"fig6_best_tflops_per_device"`
+	Fig8WeakScalingEffPct   float64               `json:"fig8_weak_scaling_eff_pct"`
+	Table1MeanAbsStepErrPct float64               `json:"table1_mean_abs_step_err_pct"`
+	Collective              *collectiveValidation `json:"collective_validation"`
+}
+
+func buildSnapshot() (*snapshot, error) {
+	s := &snapshot{}
+	fig6, err := experiments.Fig6()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range fig6 {
+		if r.Result.TFLOPSPerDevice > s.Fig6BestTFLOPSPerDevice {
+			s.Fig6BestTFLOPSPerDevice = r.Result.TFLOPSPerDevice
+		}
+	}
+	fig8, err := experiments.Fig8()
+	if err != nil {
+		return nil, err
+	}
+	var first, last float64
+	for _, r := range fig8 {
+		if r.System == "JaxPP" {
+			if first == 0 {
+				first = r.Result.TFLOPSPerDevice
+			}
+			last = r.Result.TFLOPSPerDevice
+		}
+	}
+	if first > 0 {
+		s.Fig8WeakScalingEffPct = 100 * last / first
+	}
+	table1, err := experiments.Table1()
+	if err != nil {
+		return nil, err
+	}
+	var sum float64
+	var n int
+	for _, r := range table1 {
+		if r.PaperStepTime > 0 {
+			e := r.Result.StepTime/r.PaperStepTime - 1
+			if e < 0 {
+				e = -e
+			}
+			sum += e
+			n++
+		}
+	}
+	if n > 0 {
+		s.Table1MeanAbsStepErrPct = 100 * sum / float64(n)
+	}
+	s.Collective, err = validateCollective()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, fig9, fig10, table1, ablations")
+	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, fig9, fig10, table1, ablations, validate")
+	jsonPath := flag.String("json", "", "write a machine-readable perf snapshot to this path and exit")
 	flag.Parse()
+
+	if *jsonPath != "" {
+		s, err := buildSnapshot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jaxpp-bench:", err)
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jaxpp-bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "jaxpp-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+		return
+	}
 
 	run := func(name string) error {
 		switch name {
@@ -58,6 +175,14 @@ func main() {
 				return err
 			}
 			experiments.Print(os.Stdout, "Table 1: training performance", rows)
+		case "validate":
+			v, err := validateCollective()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Collective validation: executed bucketed ring AllReduce vs analytic dpSync\n")
+			fmt.Printf("  %d ranks × %d elems, calibrated link %.2f GB/s %.1fµs/hop\n", v.Ranks, v.Elems, v.LinkGBs, v.LinkLatencyUs)
+			fmt.Printf("  executed %.3fms, analytic %.3fms, ratio %.2f\n", v.ExecutedMs, v.AnalyticMs, v.Ratio)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -67,7 +192,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1", "ablations"}
+		names = []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1", "ablations", "validate"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

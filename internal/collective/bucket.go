@@ -1,0 +1,94 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// DefaultBucketBytes is the default gradient-fusion bucket size (4 MiB, the
+// NCCL/DDP-style tradeoff: large enough to amortize per-message latency,
+// small enough to overlap with remaining compute).
+const DefaultBucketBytes = 4 << 20
+
+const bytesPerElem = 8 // float64
+
+// bucketBoundaries partitions consecutive tensor sizes into fusion buckets
+// of at most bucketBytes (an oversized tensor forms its own bucket) and
+// returns the [start, end) tensor-index range of each bucket. It is the
+// single source of truth for the fusion rule: the executing path
+// (AllReduceBuckets) and the analytic paths (NumBuckets,
+// PredictBucketedAllReduce) must agree on boundaries for the
+// executed-vs-analytic validation to stay meaningful.
+func bucketBoundaries(sizes []int, bucketBytes int) [][2]int {
+	if bucketBytes <= 0 {
+		bucketBytes = DefaultBucketBytes
+	}
+	var out [][2]int
+	for start := 0; start < len(sizes); {
+		end := start + 1
+		elems := sizes[start]
+		for end < len(sizes) && (elems+sizes[end])*bytesPerElem <= bucketBytes {
+			elems += sizes[end]
+			end++
+		}
+		out = append(out, [2]int{start, end})
+		start = end
+	}
+	return out
+}
+
+func tensorSizes(ts []*tensor.Tensor) []int {
+	sizes := make([]int, len(ts))
+	for i, t := range ts {
+		sizes[i] = t.Size()
+	}
+	return sizes
+}
+
+// AllReduceBuckets all-reduces a list of tensors by coalescing consecutive
+// tensors into flat buckets of at most bucketBytes (a tensor larger than the
+// cap forms its own bucket) and ring all-reducing each bucket. Shapes are
+// restored on return. Every rank must pass tensors with identical shapes in
+// identical order — the same contract that makes bucketing deterministic in
+// DDP-style gradient synchronization.
+func (c *Communicator) AllReduceBuckets(ts []*tensor.Tensor, op Op, bucketBytes int) ([]*tensor.Tensor, error) {
+	out := make([]*tensor.Tensor, len(ts))
+	for _, b := range bucketBoundaries(tensorSizes(ts), bucketBytes) {
+		start, end := b[0], b[1]
+		elems := 0
+		for i := start; i < end; i++ {
+			elems += ts[i].Size()
+		}
+		flat := make([]float64, 0, elems)
+		for i := start; i < end; i++ {
+			flat = append(flat, ts[i].Data()...)
+		}
+		bucket, err := tensor.FromSlice(flat, len(flat))
+		if err != nil {
+			return nil, err
+		}
+		reduced, err := c.AllReduce(bucket, op)
+		if err != nil {
+			return nil, fmt.Errorf("collective: bucket [%d,%d): %w", start, end, err)
+		}
+		rd := reduced.Data()
+		off := 0
+		for i := start; i < end; i++ {
+			t, err := tensor.FromSlice(rd[off:off+ts[i].Size()], ts[i].Shape()...)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = t
+			off += ts[i].Size()
+		}
+	}
+	return out, nil
+}
+
+// NumBuckets reports how many buckets AllReduceBuckets would form for the
+// given tensor sizes — exposed so cost models and tests can predict the
+// latency term without running the collective.
+func NumBuckets(sizes []int, bucketBytes int) int {
+	return len(bucketBoundaries(sizes, bucketBytes))
+}

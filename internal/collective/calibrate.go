@@ -1,0 +1,202 @@
+package collective
+
+import (
+	"fmt"
+	goruntime "runtime"
+	"sync"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/tensor"
+)
+
+// calibTagBase is a reserved tag window for calibration traffic, below the
+// group windows and far above pipeline P2P tags.
+const calibTagBase = TagSpaceBase / 2
+
+// Calibrate measures the effective per-hop link of a transport as the ring
+// collectives experience it, between actor IDs a and b: per-hop latency from
+// small-message ping-pongs, and bandwidth from bulk transfers that perform
+// the same per-hop work a reduce-scatter step does (sender-side chunk copy +
+// receiver-side elementwise reduce). The returned perf.Link feeds the same
+// analytic formulas the simulator's dpSync cost model uses, which is what
+// makes executed-vs-analytic validation apples-to-apples.
+func Calibrate(tr Transport, a, b int) perf.Link {
+	const (
+		pingIters = 200
+		bwIters   = 8
+		bwElems   = 1 << 19 // 4 MiB per hop
+	)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	// Responder.
+	go func() {
+		defer wg.Done()
+		for i := 0; i < pingIters; i++ {
+			t, err := tr.Recv(b, a, calibTagBase+i)
+			if err != nil {
+				return
+			}
+			tr.Send(b, a, calibTagBase+pingIters+i, t)
+		}
+		acc := make([]float64, bwElems)
+		for i := 0; i < bwIters; i++ {
+			t, err := tr.Recv(b, a, calibTagBase+2*pingIters+2*i)
+			if err != nil {
+				return
+			}
+			OpSum.combine(acc, t.Data())
+			// Echo with the same per-hop work profile (copy + send).
+			back := make([]float64, bwElems)
+			copy(back, acc)
+			bt, _ := tensor.FromSlice(back, bwElems)
+			tr.Send(b, a, calibTagBase+2*pingIters+2*i+1, bt)
+		}
+	}()
+
+	// Latency: round trips of 1-element tensors.
+	ping := tensor.Scalar(1)
+	t0 := time.Now()
+	for i := 0; i < pingIters; i++ {
+		tr.Send(a, b, calibTagBase+i, ping)
+		if _, err := tr.Recv(a, b, calibTagBase+pingIters+i); err != nil {
+			return perf.Link{BwGBs: 1, Latency: 1e-6}
+		}
+	}
+	latency := time.Since(t0).Seconds() / float64(2*pingIters)
+
+	// Bandwidth: bulk round trips with reduce work on the receiving side.
+	payload := make([]float64, bwElems)
+	for i := range payload {
+		payload[i] = float64(i)
+	}
+	acc := make([]float64, bwElems)
+	t1 := time.Now()
+	for i := 0; i < bwIters; i++ {
+		out := make([]float64, bwElems)
+		copy(out, payload)
+		ot, _ := tensor.FromSlice(out, bwElems)
+		tr.Send(a, b, calibTagBase+2*pingIters+2*i, ot)
+		back, err := tr.Recv(a, b, calibTagBase+2*pingIters+2*i+1)
+		if err != nil {
+			return perf.Link{BwGBs: 1, Latency: latency}
+		}
+		OpSum.combine(acc, back.Data())
+	}
+	elapsed := time.Since(t1).Seconds()
+	wg.Wait()
+
+	hops := float64(2 * bwIters)
+	bytesPerHop := float64(bwElems * bytesPerElem)
+	perHop := elapsed/hops - latency
+	if perHop <= 0 {
+		perHop = elapsed / hops
+	}
+	return perf.Link{
+		BwGBs:   bytesPerHop / perHop / 1e9,
+		Latency: latency,
+	}
+}
+
+// RingLink derates a calibrated link for an n-rank in-process ring. The
+// analytic ring formulas assume every rank makes progress simultaneously —
+// true of GPUs and NICs, but goroutine ranks share min(GOMAXPROCS, n) OS
+// cores, so per-rank effective bandwidth shrinks by n/min(GOMAXPROCS, n)
+// (perf.EffectiveBandwidthShare's contention model applied to cores instead
+// of links). On a machine with >= n cores this is the identity.
+func RingLink(l perf.Link, n int) perf.Link {
+	procs := goruntime.GOMAXPROCS(0)
+	if procs > n {
+		procs = n
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	return perf.Link{
+		BwGBs:   perf.EffectiveBandwidthShare(l.BwGBs*float64(procs), n), // l.BwGBs · procs/n
+		Latency: l.Latency,
+	}
+}
+
+// PredictBucketedAllReduce returns the analytic wall time of
+// AllReduceBuckets over the given link: the sum of ring all-reduce times of
+// each fused bucket, computed with the identical perf formula the
+// simulator's dpSync cost term uses. Pass the per-tensor element counts in
+// the order they would be reduced.
+func PredictBucketedAllReduce(l perf.Link, sizes []int, n, bucketBytes int) float64 {
+	total := 0.0
+	for _, b := range bucketBoundaries(sizes, bucketBytes) {
+		elems := 0
+		for _, s := range sizes[b[0]:b[1]] {
+			elems += s
+		}
+		total += l.AllReduce(float64(elems*bytesPerElem), n)
+	}
+	return total
+}
+
+// MeasureAllReduce runs one bucketed all-reduce of elems float64 elements
+// over n ranks (actor IDs 0..n-1 on tr) and returns the slowest rank's wall
+// time, measured from a barrier-aligned start, plus the reduced tensor from
+// rank 0 for correctness checks.
+func MeasureAllReduce(tr Transport, n, elems, bucketBytes int) (time.Duration, *tensor.Tensor, error) {
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	g, err := NewGroup(tr, ranks, 0)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	durs := make([]time.Duration, n)
+	outs := make([]*tensor.Tensor, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			comm, err := g.Comm(r)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			data := make([]float64, elems)
+			for i := range data {
+				data[i] = float64(r + 1)
+			}
+			in, err := tensor.FromSlice(data, elems)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			if err := comm.Barrier(); err != nil {
+				errs[r] = err
+				return
+			}
+			start := time.Now()
+			red, err := comm.AllReduceBuckets([]*tensor.Tensor{in}, OpSum, bucketBytes)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			durs[r] = time.Since(start)
+			outs[r] = red[0]
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return 0, nil, fmt.Errorf("collective: measure rank %d: %w", r, err)
+		}
+	}
+	max := durs[0]
+	for _, d := range durs[1:] {
+		if d > max {
+			max = d
+		}
+	}
+	return max, outs[0], nil
+}

@@ -1,0 +1,271 @@
+// Package collective is the executable collective-communication engine: the
+// role NCCL collectives play for JaxPP's data-parallel dimension, layered on
+// the runtime's tag-matched point-to-point transport. It provides process
+// groups derived from mesh.Mesh axes and ring-based AllReduce, ReduceScatter,
+// AllGather, Broadcast, and Barrier with chunked transfers and bucketed
+// gradient fusion.
+//
+// Tag discipline: pipeline P2P traffic uses the small sequential tags the
+// taskgraph compiler allocates (0..NumTags). Collective tags live in a
+// disjoint space starting at TagSpaceBase, carved into per-group windows;
+// within a group every operation consumes a deterministic window of tags
+// derived from a per-rank operation counter. Because every rank of a group
+// must issue the same sequence of collective calls (the usual collective
+// contract), the counters agree across ranks without coordination, so
+// collectives and pipeline sends can share one transport without tag
+// collisions or deadlock.
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+	"repro/internal/tensor"
+)
+
+// Transport is the point-to-point substrate collectives run over. It is
+// structurally identical to runtime.Transport so any runtime transport
+// (in-process channels, rendezvous, TCP) satisfies it without importing this
+// package — and package runtime can import collective without a cycle.
+type Transport interface {
+	Send(from, to, tag int, t *tensor.Tensor)
+	Recv(to, from, tag int) (*tensor.Tensor, error)
+}
+
+// Op is a reduction operator.
+type Op int
+
+const (
+	// OpSum adds elementwise (gradient accumulation).
+	OpSum Op = iota
+	// OpMax takes the elementwise maximum.
+	OpMax
+	// OpMin takes the elementwise minimum.
+	OpMin
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	}
+	return "?"
+}
+
+// combine reduces src into dst elementwise.
+func (o Op) combine(dst, src []float64) {
+	switch o {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	}
+}
+
+const (
+	// TagSpaceBase is the first tag reserved for collectives. Pipeline P2P
+	// tags are allocated sequentially from zero by the taskgraph compiler and
+	// never reach this region.
+	TagSpaceBase = 1 << 20
+
+	// GroupTagWindow is the tag window owned by one group. Operation tag
+	// windows wrap modulo this, which is safe: a tag is reusable once the
+	// message that used it was consumed, and ring dependencies guarantee any
+	// op more than a window behind has fully drained.
+	GroupTagWindow = 1 << 14
+)
+
+// Group is a process group: an ordered set of transport actor IDs that
+// perform collectives together, plus a private tag window.
+type Group struct {
+	tr      Transport
+	ranks   []int // actor IDs; position in the slice is the rank
+	tagBase int
+}
+
+// NewGroup builds a process group over the given actor IDs. groupID selects
+// the group's tag window and must be unique among groups that could share a
+// (sender, receiver) actor pair; groups over disjoint actor sets may reuse
+// IDs. Rank order is the order of `ranks`.
+func NewGroup(tr Transport, ranks []int, groupID int) (*Group, error) {
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("collective: empty group")
+	}
+	if groupID < 0 {
+		return nil, fmt.Errorf("collective: negative group ID %d", groupID)
+	}
+	// Every operation's tag window (2n+2) must fit the group window, or
+	// opWindow's modulus degenerates.
+	if maxRanks := (GroupTagWindow - 2) / 2; len(ranks) > maxRanks {
+		return nil, fmt.Errorf("collective: group of %d ranks exceeds the %d-rank tag-window limit", len(ranks), maxRanks)
+	}
+	seen := map[int]bool{}
+	for _, r := range ranks {
+		if seen[r] {
+			return nil, fmt.Errorf("collective: duplicate actor %d in group", r)
+		}
+		seen[r] = true
+	}
+	return &Group{
+		tr:      tr,
+		ranks:   append([]int(nil), ranks...),
+		tagBase: TagSpaceBase + groupID*GroupTagWindow,
+	}, nil
+}
+
+// Size returns the number of ranks.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// Ranks returns a copy of the member actor IDs in rank order.
+func (g *Group) Ranks() []int { return append([]int(nil), g.ranks...) }
+
+// Comm returns the communicator handle for the given rank (0-based position
+// in the group). Each participating goroutine must use its own Communicator;
+// the per-rank operation counter it carries is what makes tag allocation
+// deterministic.
+func (g *Group) Comm(rank int) (*Communicator, error) {
+	if rank < 0 || rank >= len(g.ranks) {
+		return nil, fmt.Errorf("collective: rank %d out of range for group of %d", rank, len(g.ranks))
+	}
+	return &Communicator{g: g, rank: rank}, nil
+}
+
+// CommForActor returns the communicator for the member with the given
+// transport actor ID.
+func (g *Group) CommForActor(actor int) (*Communicator, error) {
+	for i, r := range g.ranks {
+		if r == actor {
+			return g.Comm(i)
+		}
+	}
+	return nil, fmt.Errorf("collective: actor %d not in group %v", actor, g.ranks)
+}
+
+// Communicator is one rank's handle on a group. Not safe for concurrent use
+// by multiple goroutines (like an NCCL communicator).
+type Communicator struct {
+	g    *Group
+	rank int
+	seq  int
+}
+
+// Rank returns this communicator's rank within the group.
+func (c *Communicator) Rank() int { return c.rank }
+
+// Size returns the group size.
+func (c *Communicator) Size() int { return c.g.Size() }
+
+// opWindow reserves the next deterministic tag window for one collective
+// operation and returns its base tag. The window must cover every distinct
+// (ring step) tag the operation uses: 2(n-1) for all-reduce, n for broadcast,
+// ceil(log2 n)+1 for barrier — opTagStride bounds them all.
+func (c *Communicator) opWindow() int {
+	stride := c.opTagStride()
+	opsPerWindow := GroupTagWindow / stride
+	base := c.g.tagBase + (c.seq%opsPerWindow)*stride
+	c.seq++
+	return base
+}
+
+func (c *Communicator) opTagStride() int {
+	return 2*len(c.g.ranks) + 2
+}
+
+// next and prev are the ring neighbours in group-rank space.
+func (c *Communicator) next() int { return c.g.ranks[(c.rank+1)%len(c.g.ranks)] }
+func (c *Communicator) prev() int {
+	n := len(c.g.ranks)
+	return c.g.ranks[(c.rank-1+n)%n]
+}
+
+// self returns this rank's transport actor ID.
+func (c *Communicator) self() int { return c.g.ranks[c.rank] }
+
+// World derives process groups from a device mesh: actor IDs are the mesh's
+// row-major device IDs, exactly how the runtime lays out DP×PP actor grids.
+type World struct {
+	tr   Transport
+	mesh *mesh.Mesh
+}
+
+// NewWorld binds a mesh to a transport.
+func NewWorld(tr Transport, m *mesh.Mesh) *World {
+	return &World{tr: tr, mesh: m}
+}
+
+// GroupsAlong returns one process group per slice of the mesh along the
+// named axis: every combination of the remaining axes' coordinates yields a
+// group whose ranks vary only along `axis`, ordered by that coordinate.
+// Group IDs are deterministic: slices are numbered by the row-major order of
+// their fixed coordinates, offset so different axes get disjoint windows.
+func (w *World) GroupsAlong(axis string) ([]*Group, error) {
+	axisIdx := w.mesh.AxisIndex(axis)
+	if axisIdx < 0 {
+		return nil, fmt.Errorf("collective: mesh %v has no axis %q", w.mesh, axis)
+	}
+	axisSize := w.mesh.Axes[axisIdx].Size
+	numSlices := w.mesh.NumDevices() / axisSize
+	idOffset := 0
+	for i := 0; i < axisIdx; i++ {
+		idOffset += w.mesh.NumDevices() / w.mesh.Axes[i].Size
+	}
+
+	groups := make([]*Group, 0, numSlices)
+	seen := map[int]bool{}
+	for dev := 0; dev < w.mesh.NumDevices(); dev++ {
+		coords := w.mesh.Coords(dev)
+		if coords[axisIdx] != 0 {
+			continue
+		}
+		ranks := make([]int, axisSize)
+		for k := 0; k < axisSize; k++ {
+			coords[axisIdx] = k
+			ranks[k] = w.mesh.DeviceID(coords)
+		}
+		g, err := NewGroup(w.tr, ranks, idOffset+len(groups))
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range ranks {
+			if seen[r] {
+				return nil, fmt.Errorf("collective: device %d in two slices along %q", r, axis)
+			}
+			seen[r] = true
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}
+
+// CommFor returns the communicator of the given device for its group along
+// the named axis.
+func (w *World) CommFor(axis string, device int) (*Communicator, error) {
+	groups, err := w.GroupsAlong(axis)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range groups {
+		for _, r := range g.ranks {
+			if r == device {
+				return g.CommForActor(device)
+			}
+		}
+	}
+	return nil, fmt.Errorf("collective: device %d not on mesh %v", device, w.mesh)
+}

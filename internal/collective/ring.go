@@ -1,0 +1,239 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// chunkRange returns the [lo, hi) element range of chunk i when n elements
+// are balanced over parts chunks: the first n%parts chunks get one extra
+// element, so any length (including zero and odd sizes) and any ring size
+// (including non-powers-of-two) partition cleanly.
+func chunkRange(n, parts, i int) (lo, hi int) {
+	base := n / parts
+	rem := n % parts
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// sendChunk ships data[lo:hi] as a flat tensor.
+func (c *Communicator) sendChunk(to, tag int, data []float64, lo, hi int) {
+	chunk := make([]float64, hi-lo)
+	copy(chunk, data[lo:hi])
+	t, _ := tensor.FromSlice(chunk, hi-lo)
+	c.g.tr.Send(c.self(), to, tag, t)
+}
+
+// recvChunk receives a flat tensor and checks its length.
+func (c *Communicator) recvChunk(from, tag, want int) ([]float64, error) {
+	t, err := c.g.tr.Recv(c.self(), from, tag)
+	if err != nil {
+		return nil, err
+	}
+	if t.Size() != want {
+		return nil, fmt.Errorf("collective: rank %d received chunk of %d elements, expected %d", c.rank, t.Size(), want)
+	}
+	return t.Data(), nil
+}
+
+// AllReduce performs a ring all-reduce of t with the given operator and
+// returns the result (same shape on every rank). The tensor is split into
+// Size() chunks; a reduce-scatter pass (n-1 steps) leaves each rank with one
+// fully reduced chunk, and an all-gather pass (n-1 steps) circulates the
+// reduced chunks — the bandwidth-optimal 2(n-1)/n·bytes schedule the
+// simulator's perf.RingAllReduceTime models.
+func (c *Communicator) AllReduce(t *tensor.Tensor, op Op) (*tensor.Tensor, error) {
+	n := c.Size()
+	base := c.opWindow() // consumed even on the fast paths to keep ranks in lockstep
+	if n == 1 || t.Size() == 0 {
+		return t.Clone(), nil
+	}
+	acc := t.Clone()
+	data := acc.Data()
+	L := len(data)
+
+	// Reduce-scatter: at step s, send the chunk you most recently reduced
+	// (rank-s) and fold the incoming chunk (rank-s-1) into the accumulator.
+	for s := 0; s < n-1; s++ {
+		sendIdx := ((c.rank-s)%n + n) % n
+		recvIdx := ((c.rank-s-1)%n + n) % n
+		slo, shi := chunkRange(L, n, sendIdx)
+		rlo, rhi := chunkRange(L, n, recvIdx)
+		c.sendChunk(c.next(), base+s, data, slo, shi)
+		in, err := c.recvChunk(c.prev(), base+s, rhi-rlo)
+		if err != nil {
+			return nil, err
+		}
+		op.combine(data[rlo:rhi], in)
+	}
+
+	// All-gather: circulate the fully reduced chunks.
+	for s := 0; s < n-1; s++ {
+		sendIdx := ((c.rank+1-s)%n + n) % n
+		recvIdx := ((c.rank-s)%n + n) % n
+		slo, shi := chunkRange(L, n, sendIdx)
+		rlo, rhi := chunkRange(L, n, recvIdx)
+		c.sendChunk(c.next(), base+n-1+s, data, slo, shi)
+		in, err := c.recvChunk(c.prev(), base+n-1+s, rhi-rlo)
+		if err != nil {
+			return nil, err
+		}
+		copy(data[rlo:rhi], in)
+	}
+	return acc, nil
+}
+
+// ReduceScatter reduces t across the group and returns this rank's chunk of
+// the result as a flat tensor (chunk boundaries follow the balanced
+// partition chunkRange uses everywhere, so AllGather(ReduceScatter(t))
+// reassembles the full AllReduce result).
+func (c *Communicator) ReduceScatter(t *tensor.Tensor, op Op) (*tensor.Tensor, error) {
+	n := c.Size()
+	base := c.opWindow()
+	acc := t.Clone()
+	data := acc.Data()
+	L := len(data)
+	if n == 1 {
+		out, _ := tensor.FromSlice(data, L)
+		return out, nil
+	}
+	// Shifted ring indices relative to AllReduce so that after n-1 steps
+	// rank r owns fully reduced chunk r (the NCCL ReduceScatter layout).
+	for s := 0; s < n-1; s++ {
+		sendIdx := ((c.rank-s-1)%n + 2*n) % n
+		recvIdx := ((c.rank-s-2)%n + 2*n) % n
+		slo, shi := chunkRange(L, n, sendIdx)
+		rlo, rhi := chunkRange(L, n, recvIdx)
+		c.sendChunk(c.next(), base+s, data, slo, shi)
+		in, err := c.recvChunk(c.prev(), base+s, rhi-rlo)
+		if err != nil {
+			return nil, err
+		}
+		op.combine(data[rlo:rhi], in)
+	}
+	lo, hi := chunkRange(L, n, c.rank)
+	chunk := make([]float64, hi-lo)
+	copy(chunk, data[lo:hi])
+	out, _ := tensor.FromSlice(chunk, hi-lo)
+	return out, nil
+}
+
+// AllGather concatenates every rank's shard along axis 0 in rank order.
+// Shards may have different leading dimensions (sizes travel with the
+// payloads around the ring) but must share trailing dimensions.
+func (c *Communicator) AllGather(shard *tensor.Tensor) (*tensor.Tensor, error) {
+	n := c.Size()
+	base := c.opWindow()
+	if n == 1 {
+		return shard.Clone(), nil
+	}
+	if shard.Rank() == 0 {
+		return nil, fmt.Errorf("collective: AllGather needs rank >= 1 shards (got a scalar)")
+	}
+	parts := make([]*tensor.Tensor, n)
+	parts[c.rank] = shard
+	// Ring circulation: at step s forward the shard originally owned by
+	// rank-s, receive the one owned by rank-s-1.
+	cur := shard
+	for s := 0; s < n-1; s++ {
+		c.g.tr.Send(c.self(), c.next(), base+s, cur)
+		in, err := c.g.tr.Recv(c.self(), c.prev(), base+s)
+		if err != nil {
+			return nil, err
+		}
+		owner := ((c.rank-s-1)%n + n) % n
+		parts[owner] = in
+		cur = in
+	}
+	return tensor.Concat0(parts), nil
+}
+
+// Broadcast distributes root's tensor to every rank (ranks other than root
+// pass t == nil or any placeholder; the root's value wins). The transfer is
+// a chunked pipelined ring: the root streams n chunks to its successor and
+// each intermediate rank forwards chunks as they arrive, so total time
+// approaches one tensor transfer instead of n-1 sequential hops.
+func (c *Communicator) Broadcast(t *tensor.Tensor, root int) (*tensor.Tensor, error) {
+	n := c.Size()
+	base := c.opWindow()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("collective: broadcast root %d out of range for group of %d", root, n)
+	}
+	if n == 1 {
+		return t.Clone(), nil
+	}
+	dist := ((c.rank-root)%n + n) % n
+	if dist == 0 {
+		if t == nil {
+			return nil, fmt.Errorf("collective: broadcast root has nil tensor")
+		}
+		data := t.Data()
+		L := len(data)
+		// Shape prologue so receivers can rebuild the tensor; then chunks.
+		shape := t.Shape()
+		shapeData := make([]float64, len(shape))
+		for i, d := range shape {
+			shapeData[i] = float64(d)
+		}
+		st, _ := tensor.FromSlice(shapeData, len(shape))
+		c.g.tr.Send(c.self(), c.next(), base+n, st)
+		for k := 0; k < n; k++ {
+			lo, hi := chunkRange(L, n, k)
+			c.sendChunk(c.next(), base+k, data, lo, hi)
+		}
+		return t.Clone(), nil
+	}
+	st, err := c.g.tr.Recv(c.self(), c.prev(), base+n)
+	if err != nil {
+		return nil, err
+	}
+	shape := make([]int, st.Size())
+	for i, v := range st.Data() {
+		shape[i] = int(v)
+	}
+	if dist < n-1 {
+		c.g.tr.Send(c.self(), c.next(), base+n, st)
+	}
+	L := tensor.NumElements(shape)
+	data := make([]float64, L)
+	for k := 0; k < n; k++ {
+		lo, hi := chunkRange(L, n, k)
+		in, err := c.recvChunk(c.prev(), base+k, hi-lo)
+		if err != nil {
+			return nil, err
+		}
+		copy(data[lo:hi], in)
+		if dist < n-1 {
+			c.sendChunk(c.next(), base+k, data, lo, hi)
+		}
+	}
+	return tensor.FromSlice(data, shape...)
+}
+
+// Barrier blocks until every rank of the group has entered it. It is a
+// dissemination barrier: ceil(log2 n) rounds of token passes at
+// exponentially growing distance, so each rank transitively hears from all.
+func (c *Communicator) Barrier() error {
+	n := c.Size()
+	base := c.opWindow()
+	if n == 1 {
+		return nil
+	}
+	token := tensor.Scalar(1)
+	round := 0
+	for d := 1; d < n; d *= 2 {
+		to := c.g.ranks[(c.rank+d)%n]
+		from := c.g.ranks[((c.rank-d)%n+n)%n]
+		c.g.tr.Send(c.self(), to, base+round, token)
+		if _, err := c.g.tr.Recv(c.self(), from, base+round); err != nil {
+			return err
+		}
+		round++
+	}
+	return nil
+}

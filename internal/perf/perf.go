@@ -93,6 +93,33 @@ func RingAllGatherTime(bytes float64, n int, bwGBs, latency float64) float64 {
 	return vol/(bwGBs*1e9) + float64(n-1)*latency
 }
 
+// Link is a calibrated point-to-point channel model: the (bandwidth,
+// latency) pair every collective cost formula consumes. The simulator builds
+// Links from DeviceSpec fields; the executable collective engine builds them
+// by measuring a real transport (collective.Calibrate), which is what lets
+// executed collective wall-times be validated against the same analytic
+// formulas the simulator uses.
+type Link struct {
+	BwGBs   float64 // one-direction bandwidth, GB/s
+	Latency float64 // per-hop latency, seconds
+}
+
+// AllReduce returns the analytic ring all-reduce time over this link — the
+// exact dpSync formula of the simulator's cost model.
+func (l Link) AllReduce(bytes float64, n int) float64 {
+	return RingAllReduceTime(bytes, n, l.BwGBs, l.Latency)
+}
+
+// AllGather returns the analytic ring all-gather time over this link.
+func (l Link) AllGather(bytes float64, n int) float64 {
+	return RingAllGatherTime(bytes, n, l.BwGBs, l.Latency)
+}
+
+// P2P returns the analytic point-to-point transfer time over this link.
+func (l Link) P2P(bytes float64) float64 {
+	return P2PTime(bytes, l.BwGBs, l.Latency)
+}
+
 // P2PTime returns the time to move bytes point-to-point over the network.
 func P2PTime(bytes float64, bwGBs, latency float64) float64 {
 	if bytes <= 0 {

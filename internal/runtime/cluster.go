@@ -49,20 +49,46 @@ type LoadOptions struct {
 
 	// SyncSends makes every actor block on sends (Fig. 5 ablation).
 	SyncSends bool
+
+	// DataParallel loads the program onto this many pipeline replicas over
+	// disjoint actor ranges: replica r owns actors [r·P, (r+1)·P) where P is
+	// the program's actor count, the row-major layout of a
+	// [("data", R), ("pipe", P)] device mesh. Peer IDs inside each replica's
+	// instruction streams are offset accordingly; tags need no remapping
+	// because transport matching is per (sender, receiver, tag) triple.
+	// 0 or 1 loads a single replica.
+	DataParallel int
 }
 
 // Executable is a loaded MPMD program ready for repeated Step calls — the
 // returned step_fn of mesh.distributed in the paper.
 type Executable struct {
-	cluster *Cluster
-	prog    *taskgraph.Program
+	cluster  *Cluster
+	prog     *taskgraph.Program
+	replicas int // data-parallel replica count (>= 1)
+	pp       int // actors per replica
+
+	// epilogues run on the owning actor's goroutine after its program each
+	// step — the hook the driver uses to attach end-of-step collectives
+	// (e.g. the data-parallel gradient all-reduce), overlapping them with
+	// other actors' pipeline cooldown.
+	epilogues []func(*Store) error
 }
 
-// Load installs a compiled program on the cluster.
+// Load installs a compiled program on the cluster, replicated over
+// opts.DataParallel pipeline replicas.
 func (c *Cluster) Load(prog *taskgraph.Program, opts LoadOptions) (*Executable, error) {
-	if prog.Schedule.NumActors != len(c.Actors) {
-		return nil, fmt.Errorf("runtime: program wants %d actors, cluster has %d", prog.Schedule.NumActors, len(c.Actors))
+	replicas := opts.DataParallel
+	if replicas < 1 {
+		replicas = 1
 	}
+	pp := prog.Schedule.NumActors
+	if pp*replicas != len(c.Actors) {
+		return nil, fmt.Errorf("runtime: program wants %d actors × %d replicas, cluster has %d", pp, replicas, len(c.Actors))
+	}
+	// Compile each pipeline actor's segments once; the runner closures are
+	// pure over immutable graphs/plans, so replicas share them.
+	segsByActor := make([][]*segmentExecutable, pp)
 	for a, instrs := range prog.Actors {
 		needed := map[int]bool{}
 		for _, in := range instrs {
@@ -70,19 +96,57 @@ func (c *Cluster) Load(prog *taskgraph.Program, opts LoadOptions) (*Executable, 
 				needed[in.Seg] = true
 			}
 		}
-		var segs []*segmentExecutable
 		for segIdx := range needed {
 			seg := prog.Split.Segments[segIdx]
 			run, err := makeRunner(seg.Graph, opts)
 			if err != nil {
 				return nil, fmt.Errorf("runtime: compiling segment %d: %w", segIdx, err)
 			}
-			segs = append(segs, &segmentExecutable{seg: segIdx, run: run})
+			segsByActor[a] = append(segsByActor[a], &segmentExecutable{seg: segIdx, run: run})
 		}
-		c.Actors[a].SyncSends = opts.SyncSends
-		c.Actors[a].Load(instrs, segs)
 	}
-	return &Executable{cluster: c, prog: prog}, nil
+	for r := 0; r < replicas; r++ {
+		base := r * pp
+		for a, instrs := range prog.Actors {
+			local := instrs
+			if base > 0 {
+				local = make([]taskgraph.Instr, len(instrs))
+				copy(local, instrs)
+				for i := range local {
+					if local[i].Kind == taskgraph.OpSend || local[i].Kind == taskgraph.OpRecv {
+						local[i].Peer += base
+					}
+				}
+			}
+			c.Actors[base+a].SyncSends = opts.SyncSends
+			c.Actors[base+a].Load(local, segsByActor[a])
+		}
+	}
+	return &Executable{
+		cluster:   c,
+		prog:      prog,
+		replicas:  replicas,
+		pp:        pp,
+		epilogues: make([]func(*Store) error, len(c.Actors)),
+	}, nil
+}
+
+// Replicas returns the data-parallel replica count.
+func (e *Executable) Replicas() int { return e.replicas }
+
+// ActorsPerReplica returns the pipeline actor count of one replica.
+func (e *Executable) ActorsPerReplica() int { return e.pp }
+
+// SetStepEpilogue installs fn to run on the given global actor's goroutine
+// after its instruction program completes each step (e.g. a data-parallel
+// gradient all-reduce). fn receives the actor's object store. Pass nil to
+// clear.
+func (e *Executable) SetStepEpilogue(actor int, fn func(*Store) error) error {
+	if actor < 0 || actor >= len(e.epilogues) {
+		return fmt.Errorf("runtime: epilogue actor %d out of range", actor)
+	}
+	e.epilogues[actor] = fn
+	return nil
 }
 
 // makeRunner builds the per-segment executor: plain interpretation, or SPMD
@@ -118,9 +182,17 @@ func makeRunner(g *ir.Graph, opts LoadOptions) (func([]*tensor.Tensor) ([]*tenso
 }
 
 // Step runs one training step. inputs must match the original traced graph's
-// inputs positionally; batch inputs carry the full batch with leading
-// dimension NumMB × microbatch rows and are sliced per microbatch by the
-// driver. Returns the per-microbatch losses and the final gradients.
+// inputs positionally; batch inputs carry the full global batch with leading
+// dimension Replicas × NumMB × microbatch rows — replica-major — and are
+// sliced per replica per microbatch by the driver. Returns the per-microbatch
+// losses (replica-major, Replicas × NumMB entries) and the final gradients of
+// replica 0 (after any epilogue collectives, so with a DP gradient
+// all-reduce installed these are the globally synchronized gradients).
+//
+// A Step error poisons the transport: peers of the failed actor may have
+// already buffered sends under tags the next step reuses, so a retried Step
+// could consume a stale payload (the same reason NCCL aborts a communicator
+// after a collective error). Re-provision the cluster instead of retrying.
 func (e *Executable) Step(inputs []*tensor.Tensor) (losses []*tensor.Tensor, grads []*tensor.Tensor, err error) {
 	prog := e.prog
 	src := prog.Split.Source
@@ -128,17 +200,9 @@ func (e *Executable) Step(inputs []*tensor.Tensor) (losses []*tensor.Tensor, gra
 		return nil, nil, fmt.Errorf("runtime: %d inputs for %d graph inputs", len(inputs), len(src.Inputs))
 	}
 	actors := e.cluster.Actors
+	numMB := prog.Schedule.NumMB
 
-	// Clear last step's results so accumulators restart.
-	for _, g := range prog.Grads {
-		actors[g.Actor].Store.Delete(g.Buf)
-	}
-	for _, l := range prog.Losses {
-		actors[l.Actor].Store.Delete(l.Buf)
-	}
-
-	// Place parameters (owner copies; replicas flow through the pre-loop
-	// send/recv instructions already in the programs).
+	// Validate replica-invariant inputs once, before the replica loop.
 	for i, p := range prog.Params {
 		if p == nil {
 			continue
@@ -146,30 +210,56 @@ func (e *Executable) Step(inputs []*tensor.Tensor) (losses []*tensor.Tensor, gra
 		if !tensor.ShapeEq(inputs[i].Shape(), src.Inputs[i].Shape) {
 			return nil, nil, fmt.Errorf("runtime: input %d shape %v, expected %v", i, inputs[i].Shape(), src.Inputs[i].Shape)
 		}
-		actors[p.Actor].Store.Put(p.Buf, inputs[i])
 	}
-	// Place batch microbatches.
-	numMB := prog.Schedule.NumMB
-	for i, placements := range prog.Batch {
-		want := src.Inputs[i].Shape
-		full := inputs[i]
-		if full.Rank() == 0 || full.Dim(0) != want[0]*numMB {
-			return nil, nil, fmt.Errorf("runtime: batch input %d has leading dim %v, expected %d×%d", i, full.Shape(), numMB, want[0])
+
+	for r := 0; r < e.replicas; r++ {
+		base := r * e.pp
+		// Clear last step's results so accumulators restart.
+		for _, g := range prog.Grads {
+			actors[base+g.Actor].Store.Delete(g.Buf)
 		}
-		for mb := 0; mb < numMB; mb++ {
-			slice := tensor.SliceRange0(full, mb*want[0], (mb+1)*want[0])
-			actors[placements[mb].Actor].Store.Put(placements[mb].Buf, slice)
+		for _, l := range prog.Losses {
+			actors[base+l.Actor].Store.Delete(l.Buf)
+		}
+		// Place parameters (owner copies; intra-replica tied-weight copies
+		// flow through the pre-loop send/recv instructions already in the
+		// programs; tensors are immutable, so replicas share storage).
+		for i, p := range prog.Params {
+			if p == nil {
+				continue
+			}
+			actors[base+p.Actor].Store.Put(p.Buf, inputs[i])
+		}
+		// Place this replica's shard of the batch, microbatch by microbatch.
+		for i, placements := range prog.Batch {
+			want := src.Inputs[i].Shape
+			full := inputs[i]
+			if full.Rank() == 0 || full.Dim(0) != want[0]*numMB*e.replicas {
+				return nil, nil, fmt.Errorf("runtime: batch input %d has leading dim %v, expected %d×%d×%d", i, full.Shape(), e.replicas, numMB, want[0])
+			}
+			for mb := 0; mb < numMB; mb++ {
+				row := (r*numMB + mb) * want[0]
+				slice := tensor.SliceRange0(full, row, row+want[0])
+				actors[base+placements[mb].Actor].Store.Put(placements[mb].Buf, slice)
+			}
 		}
 	}
 
-	// Dispatch: one fused "RPC" per actor (§4.4), all concurrent.
+	// Dispatch: one fused "RPC" per actor (§4.4), all concurrent. Each actor
+	// runs its program, then its step epilogue (e.g. the DP gradient
+	// all-reduce), which overlaps with peers still in pipeline cooldown.
 	errs := make([]error, len(actors))
 	var wg sync.WaitGroup
 	for i, a := range actors {
 		wg.Add(1)
 		go func(i int, a *Actor) {
 			defer wg.Done()
-			errs[i] = a.RunStep()
+			if errs[i] = a.RunStep(); errs[i] != nil {
+				return
+			}
+			if fn := e.epilogues[i]; fn != nil {
+				errs[i] = fn(a.Store)
+			}
 		}(i, a)
 	}
 	wg.Wait()
@@ -179,14 +269,17 @@ func (e *Executable) Step(inputs []*tensor.Tensor) (losses []*tensor.Tensor, gra
 		}
 	}
 
-	// Fetch results.
-	losses = make([]*tensor.Tensor, numMB)
-	for mb, l := range prog.Losses {
-		t, err := actors[l.Actor].Store.Get(l.Buf)
-		if err != nil {
-			return nil, nil, fmt.Errorf("runtime: loss mb %d: %w", mb, err)
+	// Fetch results: losses replica-major, gradients from replica 0.
+	losses = make([]*tensor.Tensor, e.replicas*numMB)
+	for r := 0; r < e.replicas; r++ {
+		base := r * e.pp
+		for mb, l := range prog.Losses {
+			t, err := actors[base+l.Actor].Store.Get(l.Buf)
+			if err != nil {
+				return nil, nil, fmt.Errorf("runtime: replica %d loss mb %d: %w", r, mb, err)
+			}
+			losses[r*numMB+mb] = t
 		}
-		losses[mb] = t
 	}
 	grads = make([]*tensor.Tensor, len(prog.Grads))
 	for gi, g := range prog.Grads {

@@ -1,7 +1,9 @@
 package runtime
 
 import (
+	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/tensor"
 )
@@ -13,8 +15,42 @@ type Transport interface {
 	// Send delivers t from actor `from` to actor `to` under tag. It must not
 	// block indefinitely on the receiver.
 	Send(from, to, tag int, t *tensor.Tensor)
-	// Recv blocks until the matching Send and returns its payload.
+	// Recv blocks until the matching Send and returns its payload, or an
+	// error if the transport gives up (e.g. a receive timeout fires because
+	// no send with a matching tag ever arrives).
 	Recv(to, from, tag int) (*tensor.Tensor, error)
+}
+
+// DefaultRecvTimeout bounds how long the in-process transports wait for a
+// matching send before reporting a mismatched tag / deadlock as an error.
+// At in-process scale no legitimate receive waits anywhere near this long;
+// a receive that does is a tag-allocation bug or a communication deadlock,
+// and an error beats a hung process.
+const DefaultRecvTimeout = 30 * time.Second
+
+// recvTimeoutErr formats the diagnostic for a receive that never matched.
+func recvTimeoutErr(timeout time.Duration, to, from, tag int) error {
+	return fmt.Errorf("runtime: recv on actor %d from %d tag %d timed out after %v: no matching send (mismatched tag or communication deadlock)", to, from, tag, timeout)
+}
+
+// recvWithTimeout waits on ch up to timeout (forever if timeout <= 0).
+func recvWithTimeout(ch chan *tensor.Tensor, timeout time.Duration, to, from, tag int) (*tensor.Tensor, error) {
+	if timeout <= 0 {
+		return <-ch, nil
+	}
+	select {
+	case t := <-ch:
+		return t, nil
+	default:
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case t := <-ch:
+		return t, nil
+	case <-timer.C:
+		return nil, recvTimeoutErr(timeout, to, from, tag)
+	}
 }
 
 type chanKey struct{ from, to, tag int }
@@ -26,13 +62,19 @@ type ChanTransport struct {
 	mu  sync.Mutex
 	chs map[chanKey]chan *tensor.Tensor
 
+	// RecvTimeout bounds every Recv; when it fires, Recv returns an error
+	// instead of hanging forever on a tag no sender will ever match.
+	// Zero or negative waits indefinitely. Set before actors start.
+	RecvTimeout time.Duration
+
 	sent      int
 	sentElems int64
 }
 
-// NewChanTransport returns an empty in-process transport.
+// NewChanTransport returns an empty in-process transport with the default
+// receive timeout.
 func NewChanTransport() *ChanTransport {
-	return &ChanTransport{chs: map[chanKey]chan *tensor.Tensor{}}
+	return &ChanTransport{chs: map[chanKey]chan *tensor.Tensor{}, RecvTimeout: DefaultRecvTimeout}
 }
 
 func (c *ChanTransport) ch(k chanKey) chan *tensor.Tensor {
@@ -55,10 +97,14 @@ func (c *ChanTransport) Send(from, to, tag int, t *tensor.Tensor) {
 	c.ch(chanKey{from, to, tag}) <- t
 }
 
-// Recv implements Transport.
+// Recv implements Transport. On timeout the channel is left registered so a
+// late sender still completes against it instead of blocking forever.
 func (c *ChanTransport) Recv(to, from, tag int) (*tensor.Tensor, error) {
 	k := chanKey{from, to, tag}
-	t := <-c.ch(k)
+	t, err := recvWithTimeout(c.ch(k), c.RecvTimeout, to, from, tag)
+	if err != nil {
+		return nil, err
+	}
 	c.mu.Lock()
 	delete(c.chs, k)
 	c.mu.Unlock()
@@ -80,11 +126,18 @@ func (c *ChanTransport) SendCount() (int, int64) {
 type RendezvousTransport struct {
 	mu  sync.Mutex
 	chs map[chanKey]chan *tensor.Tensor
+
+	// RecvTimeout mirrors ChanTransport.RecvTimeout: a receive whose tag no
+	// sender ever matches errors out instead of hanging forever. Sends keep
+	// their deliberately blocking rendezvous semantics — that hazard is the
+	// point of this transport.
+	RecvTimeout time.Duration
 }
 
-// NewRendezvousTransport returns an empty rendezvous transport.
+// NewRendezvousTransport returns an empty rendezvous transport with the
+// default receive timeout.
 func NewRendezvousTransport() *RendezvousTransport {
-	return &RendezvousTransport{chs: map[chanKey]chan *tensor.Tensor{}}
+	return &RendezvousTransport{chs: map[chanKey]chan *tensor.Tensor{}, RecvTimeout: DefaultRecvTimeout}
 }
 
 func (r *RendezvousTransport) ch(k chanKey) chan *tensor.Tensor {
@@ -106,7 +159,10 @@ func (r *RendezvousTransport) Send(from, to, tag int, t *tensor.Tensor) {
 // Recv implements Transport.
 func (r *RendezvousTransport) Recv(to, from, tag int) (*tensor.Tensor, error) {
 	k := chanKey{from, to, tag}
-	t := <-r.ch(k)
+	t, err := recvWithTimeout(r.ch(k), r.RecvTimeout, to, from, tag)
+	if err != nil {
+		return nil, err
+	}
 	r.mu.Lock()
 	delete(r.chs, k)
 	r.mu.Unlock()

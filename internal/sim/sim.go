@@ -219,9 +219,22 @@ func (c *Config) deriveCosts() (*costModel, error) {
 	// dimension, inter-node bandwidth.
 	if c.DP > 1 {
 		gradBytes := paramsPerGPU * 4
-		cm.dpSync = perf.RingAllReduceTime(gradBytes, c.DP, dev.NetGBs, dev.NetLatency)
+		link := perf.Link{BwGBs: dev.NetGBs, Latency: dev.NetLatency}
+		cm.dpSync = link.AllReduce(gradBytes, c.DP)
 	}
 	return cm, nil
+}
+
+// DPSyncTime exposes the analytic end-of-step DP gradient all-reduce
+// estimate (the dpSync term of the cost model). The executable collective
+// engine validates its measured bucketed AllReduce wall time against this
+// same formula under a calibrated link (see collective.Calibrate).
+func (c *Config) DPSyncTime() (float64, error) {
+	cm, err := c.deriveCosts()
+	if err != nil {
+		return 0, err
+	}
+	return cm.dpSync, nil
 }
 
 // decideRemat applies the HBM capacity rule given the schedule's peak

@@ -31,9 +31,12 @@ package jaxpp
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/autodiff"
+	"repro/internal/collective"
 	"repro/internal/ir"
+	"repro/internal/mesh"
 	"repro/internal/runtime"
 	"repro/internal/schedule"
 	"repro/internal/stage"
@@ -118,6 +121,20 @@ type CompileSpec struct {
 	SPMDDevicesPerActor int
 	// DisableBufferDeletion turns off the §4.3 liveness pass (ablation).
 	DisableBufferDeletion bool
+	// DataParallel composes pipeline parallelism with this many data-parallel
+	// pipeline replicas over a [("data", R), ("pipe", P)] actor mesh — the
+	// DP×PP composition the paper scales to hundreds of GPUs (§5). The mesh
+	// must hold DataParallel × Schedule.NumActors actors. Each replica
+	// processes its own shard of the global batch; at step end the actors
+	// owning gradients run a bucketed ring all-reduce across replicas on the
+	// executable collective engine, overlapping with pipeline cooldown on
+	// other actors. Step then returns globally summed gradients — identical
+	// semantics to a single pipeline accumulating R × NumMB microbatches.
+	// 0 or 1 disables.
+	DataParallel int
+	// DPBucketBytes caps the gradient-fusion bucket size of the DP
+	// all-reduce (default collective.DefaultBucketBytes).
+	DPBucketBytes int
 }
 
 // RemoteMesh provisions a cluster of long-lived actors (the paper's
@@ -144,6 +161,11 @@ type TrainStep struct {
 	prog  *taskgraph.Program
 	spec  CompileSpec
 	graph *ir.Graph
+
+	// dpSyncNanos[actor] is the wall time the actor's last DP gradient
+	// all-reduce took (0 for actors without gradients or when DP is off).
+	// Written by each actor's own goroutine during Step, read afterwards.
+	dpSyncNanos []int64
 }
 
 // Compile traces, differentiates, stage-splits, schedules, and loads the
@@ -189,17 +211,96 @@ func (m *RemoteMesh) Compile(spec CompileSpec) (*TrainStep, error) {
 	if err != nil {
 		return nil, err
 	}
-	exe, err := m.cluster.Load(prog, runtime.LoadOptions{SPMDDevices: spec.SPMDDevicesPerActor})
+	exe, err := m.cluster.Load(prog, runtime.LoadOptions{
+		SPMDDevices:  spec.SPMDDevicesPerActor,
+		DataParallel: spec.DataParallel,
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &TrainStep{exe: exe, prog: prog, spec: spec, graph: gg}, nil
+	t := &TrainStep{exe: exe, prog: prog, spec: spec, graph: gg}
+	if err := t.installDPSync(m.cluster.Transport); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// installDPSync attaches the end-of-step data-parallel gradient all-reduce:
+// for every pipeline actor that owns gradient accumulators, a bucketed ring
+// AllReduce across its replica peers, derived from the "data" axis of the
+// [("data", R), ("pipe", P)] actor mesh. Each actor starts its all-reduce as
+// soon as its own program finishes, overlapping the sync with pipeline
+// cooldown on later stages.
+func (t *TrainStep) installDPSync(tr runtime.Transport) error {
+	replicas := t.exe.Replicas()
+	pp := t.exe.ActorsPerReplica()
+	t.dpSyncNanos = make([]int64, replicas*pp)
+	if replicas <= 1 {
+		return nil
+	}
+	m, err := mesh.New(mesh.Axis{Name: "data", Size: replicas}, mesh.Axis{Name: "pipe", Size: pp})
+	if err != nil {
+		return err
+	}
+	// Row-major device IDs of the mesh coincide with the runtime's global
+	// actor layout, so groups along "data" are exactly the replica peers of
+	// each pipeline position.
+	groups, err := collective.NewWorld(tr, m).GroupsAlong("data")
+	if err != nil {
+		return err
+	}
+	bucketBytes := t.spec.DPBucketBytes
+	for a := 0; a < pp; a++ {
+		var bufs []taskgraph.BufID
+		for _, g := range t.prog.Grads {
+			if g.Actor == a {
+				bufs = append(bufs, g.Buf)
+			}
+		}
+		if len(bufs) == 0 {
+			continue
+		}
+		for r := 0; r < replicas; r++ {
+			comm, err := groups[a].Comm(r)
+			if err != nil {
+				return err
+			}
+			global := r*pp + a
+			bufs := bufs
+			err = t.exe.SetStepEpilogue(global, func(store *runtime.Store) error {
+				start := time.Now()
+				ts := make([]*tensor.Tensor, len(bufs))
+				for i, b := range bufs {
+					g, err := store.Get(b)
+					if err != nil {
+						return fmt.Errorf("jaxpp: dp sync: %w", err)
+					}
+					ts[i] = g
+				}
+				reduced, err := comm.AllReduceBuckets(ts, collective.OpSum, bucketBytes)
+				if err != nil {
+					return fmt.Errorf("jaxpp: dp sync: %w", err)
+				}
+				for i, b := range bufs {
+					store.Put(b, reduced[i])
+				}
+				t.dpSyncNanos[global] = time.Since(start).Nanoseconds()
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Step runs one training step. batch tensors carry the full global batch
-// (per-microbatch leading dim × number of microbatches); params are the
-// current weights. It returns the per-microbatch losses and the accumulated
-// gradients (one per parameter).
+// (per-microbatch leading dim × number of microbatches × data-parallel
+// replicas, replica-major); params are the current weights. It returns the
+// per-microbatch losses (NumReplicas × NumMicrobatches entries,
+// replica-major) and the accumulated gradients (one per parameter, summed
+// over every replica's microbatches when DataParallel is on).
 func (t *TrainStep) Step(params, batch []*Tensor) (losses, grads []*Tensor, err error) {
 	if len(params) != len(t.spec.ParamShapes) {
 		return nil, nil, fmt.Errorf("jaxpp: %d params, compiled with %d", len(params), len(t.spec.ParamShapes))
@@ -211,8 +312,24 @@ func (t *TrainStep) Step(params, batch []*Tensor) (losses, grads []*Tensor, err 
 	return t.exe.Step(inputs)
 }
 
-// NumMicrobatches returns the gradient accumulation count.
+// NumMicrobatches returns the gradient accumulation count per replica.
 func (t *TrainStep) NumMicrobatches() int { return t.prog.Schedule.NumMB }
+
+// NumReplicas returns the data-parallel replica count (1 when DP is off).
+func (t *TrainStep) NumReplicas() int { return t.exe.Replicas() }
+
+// DPSyncTime returns the slowest actor's data-parallel gradient all-reduce
+// wall time during the last Step (zero when DataParallel is off) — the
+// executed counterpart of the simulator's analytic dpSync term.
+func (t *TrainStep) DPSyncTime() time.Duration {
+	var max int64
+	for _, n := range t.dpSyncNanos {
+		if n > max {
+			max = n
+		}
+	}
+	return time.Duration(max)
+}
 
 // NumStages returns the pipeline stage count.
 func (t *TrainStep) NumStages() int { return t.prog.Schedule.NumStages }

@@ -34,6 +34,12 @@ type SimResult = sim.Result
 // EOSCluster returns the DGX H100 cluster model the paper evaluates on.
 func EOSCluster() perf.ClusterSpec { return perf.EOS() }
 
+// DPSyncEstimate returns the simulator's analytic end-of-step data-parallel
+// gradient all-reduce time for a configuration — the dpSync term the
+// executable collective engine (internal/collective) validates its measured
+// bucketed AllReduce wall time against.
+func DPSyncEstimate(c SimConfig) (float64, error) { return c.DPSyncTime() }
+
 // SimulateJaxPP simulates a JaxPP run: (interleaved) 1F1B schedule,
 // overlapped asynchronous P2P, capacity-driven rematerialization.
 func SimulateJaxPP(c SimConfig) (*SimResult, error) { return baselines.JaxPPSimulate(c) }
