@@ -10,10 +10,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/autodiff"
 	"repro/internal/collective"
 	"repro/internal/experiments"
+	"repro/internal/interp"
+	"repro/internal/ir"
 	"repro/internal/runtime"
+	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // collectiveValidation compares one executed bucketed ring AllReduce on the
@@ -48,11 +54,83 @@ func validateCollective() (*collectiveValidation, error) {
 	}, nil
 }
 
+// kernelStats are executed-kernel micro measurements recorded alongside the
+// executed-vs-analytic ratio, so kernel regressions and model drift are
+// distinguishable in the snapshot diff.
+type kernelStats struct {
+	MatMul256GFLOPs float64 `json:"matmul_256_gflops"`
+	InterpStepUs    float64 `json:"interp_step_us"`
+}
+
+// measureKernels times a 256x256 matmul and one compiled forward+backward
+// interpreter step of a 4-layer MLP (the op mix pipeline segments execute).
+func measureKernels() (*kernelStats, error) {
+	const size = 256
+	rng := tensor.NewRNG(1)
+	a := rng.Normal(1, size, size)
+	b := rng.Normal(1, size, size)
+	dst := tensor.New(size, size)
+	const mmIters = 10
+	tensor.MatMulInto(dst, a, b) // warm the worker pool
+	t0 := time.Now()
+	for i := 0; i < mmIters; i++ {
+		tensor.MatMulInto(dst, a, b)
+	}
+	mmSecs := time.Since(t0).Seconds() / mmIters
+	flops := 2 * float64(size) * float64(size) * float64(size)
+
+	const depth, rows, width = 4, 8, 32
+	var params []*ir.Value
+	g, err := trace.Trace("bench-mlp", func(tb *trace.Builder) []*ir.Value {
+		x := tb.Input("x", rows, width)
+		y := tb.Input("y", rows, width)
+		h := x
+		for d := 0; d < depth; d++ {
+			w := tb.Input(fmt.Sprintf("w%d", d), width, width)
+			params = append(params, w)
+			h = tb.ReLU(tb.MatMul(h, w))
+		}
+		return []*ir.Value{tb.CrossEntropy(h, y)}
+	})
+	if err != nil {
+		return nil, err
+	}
+	gg, err := autodiff.ValueAndGrad(g, params)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := interp.NewProgram(gg)
+	if err != nil {
+		return nil, err
+	}
+	inputs := []*tensor.Tensor{rng.Normal(1, rows, width), rng.OneHotBatch(rows, width)}
+	for range params {
+		inputs = append(inputs, rng.Xavier(width, width))
+	}
+	const warm, iters = 20, 200
+	for i := 0; i < warm; i++ {
+		if _, err := prog.Run(inputs); err != nil {
+			return nil, err
+		}
+	}
+	t1 := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := prog.Run(inputs); err != nil {
+			return nil, err
+		}
+	}
+	return &kernelStats{
+		MatMul256GFLOPs: flops / mmSecs / 1e9,
+		InterpStepUs:    time.Since(t1).Seconds() / iters * 1e6,
+	}, nil
+}
+
 // snapshot is the machine-readable perf baseline future PRs diff against.
 type snapshot struct {
 	Fig6BestTFLOPSPerDevice float64               `json:"fig6_best_tflops_per_device"`
 	Fig8WeakScalingEffPct   float64               `json:"fig8_weak_scaling_eff_pct"`
 	Table1MeanAbsStepErrPct float64               `json:"table1_mean_abs_step_err_pct"`
+	Kernels                 *kernelStats          `json:"kernels"`
 	Collective              *collectiveValidation `json:"collective_validation"`
 }
 
@@ -101,6 +179,10 @@ func buildSnapshot() (*snapshot, error) {
 	}
 	if n > 0 {
 		s.Table1MeanAbsStepErrPct = 100 * sum / float64(n)
+	}
+	s.Kernels, err = measureKernels()
+	if err != nil {
+		return nil, err
 	}
 	s.Collective, err = validateCollective()
 	if err != nil {

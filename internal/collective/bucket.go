@@ -17,7 +17,7 @@ const bytesPerElem = 8 // float64
 // of at most bucketBytes (an oversized tensor forms its own bucket) and
 // returns the [start, end) tensor-index range of each bucket. It is the
 // single source of truth for the fusion rule: the executing path
-// (AllReduceBuckets) and the analytic paths (NumBuckets,
+// (AllReduceBucketsInPlace) and the analytic paths (NumBuckets,
 // PredictBucketedAllReduce) must agree on boundaries for the
 // executed-vs-analytic validation to stay meaningful.
 func bucketBoundaries(sizes []int, bucketBytes int) [][2]int {
@@ -38,56 +38,67 @@ func bucketBoundaries(sizes []int, bucketBytes int) [][2]int {
 	return out
 }
 
-func tensorSizes(ts []*tensor.Tensor) []int {
-	sizes := make([]int, len(ts))
-	for i, t := range ts {
-		sizes[i] = t.Size()
-	}
-	return sizes
-}
-
-// AllReduceBuckets all-reduces a list of tensors by coalescing consecutive
-// tensors into flat buckets of at most bucketBytes (a tensor larger than the
-// cap forms its own bucket) and ring all-reducing each bucket. Shapes are
-// restored on return. Every rank must pass tensors with identical shapes in
-// identical order — the same contract that makes bucketing deterministic in
-// DDP-style gradient synchronization.
-func (c *Communicator) AllReduceBuckets(ts []*tensor.Tensor, op Op, bucketBytes int) ([]*tensor.Tensor, error) {
-	out := make([]*tensor.Tensor, len(ts))
-	for _, b := range bucketBoundaries(tensorSizes(ts), bucketBytes) {
+// AllReduceBucketsInPlace all-reduces a list of rank-private mutable tensors
+// in place, coalescing consecutive tensors into flat buckets of at most
+// bucketBytes (a tensor larger than the cap forms its own bucket) and ring
+// all-reducing each bucket through the communicator's reusable scratch.
+// Every rank must pass tensors with identical shapes in identical order —
+// the same contract that makes bucketing deterministic in DDP-style gradient
+// synchronization. This is the steady-state gradient-sync path: per step it
+// touches only the persistent scratch and pooled chunks.
+func (c *Communicator) AllReduceBucketsInPlace(ts []*tensor.Tensor, op Op, bucketBytes int) error {
+	for _, b := range c.bucketPlan(ts, bucketBytes) {
 		start, end := b[0], b[1]
+		base := c.opWindow()
+		if end-start == 1 {
+			// Single-tensor bucket (the oversized-gradient case): reduce
+			// directly in the tensor's own storage, no staging copies.
+			if c.Size() > 1 && ts[start].Size() > 0 {
+				if err := c.allReduceData(base, ts[start].Data(), op); err != nil {
+					return fmt.Errorf("collective: bucket [%d,%d): %w", start, end, err)
+				}
+			}
+			continue
+		}
 		elems := 0
 		for i := start; i < end; i++ {
 			elems += ts[i].Size()
 		}
-		flat := make([]float64, 0, elems)
-		for i := start; i < end; i++ {
-			flat = append(flat, ts[i].Data()...)
-		}
-		bucket, err := tensor.FromSlice(flat, len(flat))
-		if err != nil {
-			return nil, err
-		}
-		reduced, err := c.AllReduce(bucket, op)
-		if err != nil {
-			return nil, fmt.Errorf("collective: bucket [%d,%d): %w", start, end, err)
-		}
-		rd := reduced.Data()
+		flat := c.flatScratch(elems)
 		off := 0
 		for i := start; i < end; i++ {
-			t, err := tensor.FromSlice(rd[off:off+ts[i].Size()], ts[i].Shape()...)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = t
+			copy(flat[off:], ts[i].Data())
 			off += ts[i].Size()
 		}
+		if c.Size() > 1 && elems > 0 {
+			if err := c.allReduceData(base, flat, op); err != nil {
+				return fmt.Errorf("collective: bucket [%d,%d): %w", start, end, err)
+			}
+		}
+		off = 0
+		for i := start; i < end; i++ {
+			ts[i].CopyFrom(flat[off : off+ts[i].Size()])
+			off += ts[i].Size()
+		}
+	}
+	return nil
+}
+
+// AllReduceBuckets is the pure form of AllReduceBucketsInPlace: inputs are
+// left untouched and freshly allocated reduced tensors are returned.
+func (c *Communicator) AllReduceBuckets(ts []*tensor.Tensor, op Op, bucketBytes int) ([]*tensor.Tensor, error) {
+	out := make([]*tensor.Tensor, len(ts))
+	for i, t := range ts {
+		out[i] = t.Clone()
+	}
+	if err := c.AllReduceBucketsInPlace(out, op, bucketBytes); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// NumBuckets reports how many buckets AllReduceBuckets would form for the
-// given tensor sizes — exposed so cost models and tests can predict the
+// NumBuckets reports how many buckets AllReduceBucketsInPlace would form for
+// the given tensor sizes — exposed so cost models and tests can predict the
 // latency term without running the collective.
 func NumBuckets(sizes []int, bucketBytes int) int {
 	return len(bucketBoundaries(sizes, bucketBytes))

@@ -17,15 +17,29 @@ const calibTagBase = TagSpaceBase / 2
 // Calibrate measures the effective per-hop link of a transport as the ring
 // collectives experience it, between actor IDs a and b: per-hop latency from
 // small-message ping-pongs, and bandwidth from bulk transfers that perform
-// the same per-hop work a reduce-scatter step does (sender-side chunk copy +
-// receiver-side elementwise reduce). The returned perf.Link feeds the same
-// analytic formulas the simulator's dpSync cost model uses, which is what
-// makes executed-vs-analytic validation apples-to-apples.
+// the same per-hop work a reduce-scatter step does in steady state — a
+// sender-side copy into a pooled chunk and a receiver-side elementwise
+// reduce followed by a recycle, exactly the sendChunk/combineChunk profile.
+// The returned perf.Link feeds the same analytic formulas the simulator's
+// dpSync cost model uses, which is what makes executed-vs-analytic
+// validation apples-to-apples.
 func Calibrate(tr Transport, a, b int) perf.Link {
 	const (
 		pingIters = 200
+		bwWarmup  = 2
 		bwIters   = 8
 		bwElems   = 1 << 19 // 4 MiB per hop
+	)
+
+	// Strictly alternating round trips reuse two fixed tags per direction, so
+	// after the first iteration every message lands in a warm persistent
+	// mailbox — the same steady state the ring collectives reach once their
+	// tag windows wrap.
+	const (
+		tagPing = calibTagBase
+		tagPong = calibTagBase + 1
+		tagBulk = calibTagBase + 2
+		tagEcho = calibTagBase + 3
 	)
 
 	var wg sync.WaitGroup
@@ -34,24 +48,24 @@ func Calibrate(tr Transport, a, b int) perf.Link {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < pingIters; i++ {
-			t, err := tr.Recv(b, a, calibTagBase+i)
+			t, err := tr.Recv(b, a, tagPing)
 			if err != nil {
 				return
 			}
-			tr.Send(b, a, calibTagBase+pingIters+i, t)
+			tr.Send(b, a, tagPong, t)
 		}
 		acc := make([]float64, bwElems)
-		for i := 0; i < bwIters; i++ {
-			t, err := tr.Recv(b, a, calibTagBase+2*pingIters+2*i)
+		for i := 0; i < bwWarmup+bwIters; i++ {
+			t, err := tr.Recv(b, a, tagBulk)
 			if err != nil {
 				return
 			}
 			OpSum.combine(acc, t.Data())
-			// Echo with the same per-hop work profile (copy + send).
-			back := make([]float64, bwElems)
-			copy(back, acc)
-			bt, _ := tensor.FromSlice(back, bwElems)
-			tr.Send(b, a, calibTagBase+2*pingIters+2*i+1, bt)
+			tensor.Recycle(t)
+			// Echo with the same per-hop work profile (pooled copy + send).
+			back := tensor.GetScratch(bwElems)
+			back.CopyFrom(acc)
+			tr.Send(b, a, tagEcho, back)
 		}
 	}()
 
@@ -59,30 +73,35 @@ func Calibrate(tr Transport, a, b int) perf.Link {
 	ping := tensor.Scalar(1)
 	t0 := time.Now()
 	for i := 0; i < pingIters; i++ {
-		tr.Send(a, b, calibTagBase+i, ping)
-		if _, err := tr.Recv(a, b, calibTagBase+pingIters+i); err != nil {
+		tr.Send(a, b, tagPing, ping)
+		if _, err := tr.Recv(a, b, tagPong); err != nil {
 			return perf.Link{BwGBs: 1, Latency: 1e-6}
 		}
 	}
 	latency := time.Since(t0).Seconds() / float64(2*pingIters)
 
 	// Bandwidth: bulk round trips with reduce work on the receiving side.
+	// Warmup iterations populate the scratch pool so the timed ones measure
+	// steady state.
 	payload := make([]float64, bwElems)
 	for i := range payload {
 		payload[i] = float64(i)
 	}
 	acc := make([]float64, bwElems)
-	t1 := time.Now()
-	for i := 0; i < bwIters; i++ {
-		out := make([]float64, bwElems)
-		copy(out, payload)
-		ot, _ := tensor.FromSlice(out, bwElems)
-		tr.Send(a, b, calibTagBase+2*pingIters+2*i, ot)
-		back, err := tr.Recv(a, b, calibTagBase+2*pingIters+2*i+1)
+	var t1 time.Time
+	for i := 0; i < bwWarmup+bwIters; i++ {
+		if i == bwWarmup {
+			t1 = time.Now()
+		}
+		out := tensor.GetScratch(bwElems)
+		out.CopyFrom(payload)
+		tr.Send(a, b, tagBulk, out)
+		back, err := tr.Recv(a, b, tagEcho)
 		if err != nil {
 			return perf.Link{BwGBs: 1, Latency: latency}
 		}
 		OpSum.combine(acc, back.Data())
+		tensor.Recycle(back)
 	}
 	elapsed := time.Since(t1).Seconds()
 	wg.Wait()
@@ -119,11 +138,11 @@ func RingLink(l perf.Link, n int) perf.Link {
 	}
 }
 
-// PredictBucketedAllReduce returns the analytic wall time of
-// AllReduceBuckets over the given link: the sum of ring all-reduce times of
-// each fused bucket, computed with the identical perf formula the
-// simulator's dpSync cost term uses. Pass the per-tensor element counts in
-// the order they would be reduced.
+// PredictBucketedAllReduce returns the analytic wall time of a bucketed
+// all-reduce over the given link: the sum of ring all-reduce times of each
+// fused bucket, computed with the identical perf formula the simulator's
+// dpSync cost term uses. Pass the per-tensor element counts in the order
+// they would be reduced.
 func PredictBucketedAllReduce(l perf.Link, sizes []int, n, bucketBytes int) float64 {
 	total := 0.0
 	for _, b := range bucketBoundaries(sizes, bucketBytes) {
@@ -136,11 +155,16 @@ func PredictBucketedAllReduce(l perf.Link, sizes []int, n, bucketBytes int) floa
 	return total
 }
 
-// MeasureAllReduce runs one bucketed all-reduce of elems float64 elements
-// over n ranks (actor IDs 0..n-1 on tr) and returns the slowest rank's wall
-// time, measured from a barrier-aligned start, plus the reduced tensor from
-// rank 0 for correctness checks.
+// MeasureAllReduce runs bucketed all-reduces of elems float64 elements over
+// n ranks (actor IDs 0..n-1 on tr) and returns the steady-state wall time —
+// the slowest rank's duration from a barrier-aligned start, averaged over
+// several timed iterations after warmup rounds that populate the scratch
+// pools — plus the reduced tensor from rank 0 for correctness checks.
 func MeasureAllReduce(tr Transport, n, elems, bucketBytes int) (time.Duration, *tensor.Tensor, error) {
+	// Each iteration consumes two op tag windows (barrier + all-reduce);
+	// enough warmups walk the group's tag window all the way around, so the
+	// timed iterations run entirely on warm mailboxes and pooled chunks.
+	const warmups, iters = 24, 5
 	ranks := make([]int, n)
 	for i := range ranks {
 		ranks[i] = i
@@ -150,7 +174,7 @@ func MeasureAllReduce(tr Transport, n, elems, bucketBytes int) (time.Duration, *
 		return 0, nil, err
 	}
 
-	durs := make([]time.Duration, n)
+	durs := make([][iters]time.Duration, n)
 	outs := make([]*tensor.Tensor, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -172,18 +196,24 @@ func MeasureAllReduce(tr Transport, n, elems, bucketBytes int) (time.Duration, *
 				errs[r] = err
 				return
 			}
-			if err := comm.Barrier(); err != nil {
-				errs[r] = err
-				return
+			work := in.Clone()
+			bufs := []*tensor.Tensor{work}
+			for it := 0; it < warmups+iters; it++ {
+				work.CopyFrom(in.Data())
+				if err := comm.Barrier(); err != nil {
+					errs[r] = err
+					return
+				}
+				start := time.Now()
+				if err := comm.AllReduceBucketsInPlace(bufs, OpSum, bucketBytes); err != nil {
+					errs[r] = err
+					return
+				}
+				if it >= warmups {
+					durs[r][it-warmups] = time.Since(start)
+				}
 			}
-			start := time.Now()
-			red, err := comm.AllReduceBuckets([]*tensor.Tensor{in}, OpSum, bucketBytes)
-			if err != nil {
-				errs[r] = err
-				return
-			}
-			durs[r] = time.Since(start)
-			outs[r] = red[0]
+			outs[r] = work
 		}(r)
 	}
 	wg.Wait()
@@ -192,11 +222,17 @@ func MeasureAllReduce(tr Transport, n, elems, bucketBytes int) (time.Duration, *
 			return 0, nil, fmt.Errorf("collective: measure rank %d: %w", r, err)
 		}
 	}
-	max := durs[0]
-	for _, d := range durs[1:] {
-		if d > max {
-			max = d
+	// Per iteration, the collective's wall time is the slowest rank's;
+	// average those maxima over the timed iterations.
+	var total time.Duration
+	for it := 0; it < iters; it++ {
+		max := durs[0][it]
+		for r := 1; r < n; r++ {
+			if durs[r][it] > max {
+				max = durs[r][it]
+			}
 		}
+		total += max
 	}
-	return max, outs[0], nil
+	return total / iters, outs[0], nil
 }

@@ -85,10 +85,19 @@ const (
 	TagSpaceBase = 1 << 20
 
 	// GroupTagWindow is the tag window owned by one group. Operation tag
-	// windows wrap modulo this, which is safe: a tag is reusable once the
-	// message that used it was consumed, and ring dependencies guarantee any
-	// op more than a window behind has fully drained.
-	GroupTagWindow = 1 << 14
+	// windows wrap modulo this quickly — by design: the transport keeps one
+	// persistent mailbox per (sender, receiver, tag), so a small window means
+	// steady-state collectives rebind warm mailboxes instead of allocating
+	// fresh ones every operation. Wrapping is safe regardless of rank skew:
+	// a mailbox delivers its messages in FIFO order and has capacity one, so
+	// a send that reuses a tag whose previous message is still unconsumed
+	// simply backpressures until the receiver — which consumes tags in the
+	// same per-pair order every rank issues them (the collective contract) —
+	// drains it. The tradeoff is group size: operation windows of 2n+2 tags
+	// must fit the group window at least twice, capping groups at 63 ranks —
+	// far beyond any in-process goroutine ring worth running, but raise this
+	// constant if an external transport ever hosts larger executable groups.
+	GroupTagWindow = 1 << 8
 )
 
 // Group is a process group: an ordered set of transport actor IDs that
@@ -110,9 +119,10 @@ func NewGroup(tr Transport, ranks []int, groupID int) (*Group, error) {
 	if groupID < 0 {
 		return nil, fmt.Errorf("collective: negative group ID %d", groupID)
 	}
-	// Every operation's tag window (2n+2) must fit the group window, or
-	// opWindow's modulus degenerates.
-	if maxRanks := (GroupTagWindow - 2) / 2; len(ranks) > maxRanks {
+	// Every operation's tag window (2n+2) must fit the group window at least
+	// twice, or opWindow's modulus degenerates to reusing one window
+	// back-to-back.
+	if maxRanks := (GroupTagWindow/2 - 2) / 2; len(ranks) > maxRanks {
 		return nil, fmt.Errorf("collective: group of %d ranks exceeds the %d-rank tag-window limit", len(ranks), maxRanks)
 	}
 	seen := map[int]bool{}
@@ -163,6 +173,52 @@ type Communicator struct {
 	g    *Group
 	rank int
 	seq  int
+
+	// flat is the reusable gradient-fusion scratch AllReduceBucketsInPlace
+	// coalesces bucket tensors into; it grows to the largest bucket seen and
+	// is then reused every step.
+	flat []float64
+
+	// Cached fusion plan: the gradient list's sizes are invariant across
+	// steps, so bucket boundaries are computed once and reused until the
+	// sizes or the bucket cap change.
+	planSizes  []int
+	planBounds [][2]int
+	planBytes  int
+}
+
+// bucketPlan returns the fusion-bucket boundaries for ts, recomputing only
+// when the tensor sizes or bucket cap differ from the cached plan (the
+// steady-state path performs no allocations).
+func (c *Communicator) bucketPlan(ts []*tensor.Tensor, bucketBytes int) [][2]int {
+	same := c.planBounds != nil && c.planBytes == bucketBytes && len(c.planSizes) == len(ts)
+	if same {
+		for i, t := range ts {
+			if c.planSizes[i] != t.Size() {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		return c.planBounds
+	}
+	c.planSizes = c.planSizes[:0]
+	for _, t := range ts {
+		c.planSizes = append(c.planSizes, t.Size())
+	}
+	c.planBounds = bucketBoundaries(c.planSizes, bucketBytes)
+	c.planBytes = bucketBytes
+	return c.planBounds
+}
+
+// flatScratch returns an n-element scratch slice private to this
+// communicator, growing it on first use and reusing it afterwards.
+func (c *Communicator) flatScratch(n int) []float64 {
+	if cap(c.flat) < n {
+		c.flat = make([]float64, n)
+	}
+	return c.flat[:n]
 }
 
 // Rank returns this communicator's rank within the group.

@@ -6,6 +6,13 @@ import (
 	"repro/internal/tensor"
 )
 
+// Chunk transfer discipline: every chunked collective ships pooled scratch
+// tensors (tensor.GetScratch) and reduces or copies incoming chunks directly
+// into the rank-private accumulator. Ownership of a chunk transfers with the
+// message — the sender never touches it again and the receiver recycles it
+// after consuming — so steady-state collectives perform zero heap
+// allocations and exactly one copy per hop (the profile Calibrate measures).
+
 // chunkRange returns the [lo, hi) element range of chunk i when n elements
 // are balanced over parts chunks: the first n%parts chunks get one extra
 // element, so any length (including zero and odd sizes) and any ring size
@@ -21,40 +28,49 @@ func chunkRange(n, parts, i int) (lo, hi int) {
 	return lo, hi
 }
 
-// sendChunk ships data[lo:hi] as a flat tensor.
+// sendChunk ships data[lo:hi] as a flat pooled tensor owned by the receiver.
 func (c *Communicator) sendChunk(to, tag int, data []float64, lo, hi int) {
-	chunk := make([]float64, hi-lo)
-	copy(chunk, data[lo:hi])
-	t, _ := tensor.FromSlice(chunk, hi-lo)
-	c.g.tr.Send(c.self(), to, tag, t)
+	chunk := tensor.GetScratch(hi - lo)
+	chunk.CopyFrom(data[lo:hi])
+	c.g.tr.Send(c.self(), to, tag, chunk)
 }
 
-// recvChunk receives a flat tensor and checks its length.
-func (c *Communicator) recvChunk(from, tag, want int) ([]float64, error) {
+// combineChunk receives a chunk, reduces it into dst with op, and recycles
+// the chunk's storage.
+func (c *Communicator) combineChunk(from, tag int, dst []float64, op Op) error {
 	t, err := c.g.tr.Recv(c.self(), from, tag)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if t.Size() != want {
-		return nil, fmt.Errorf("collective: rank %d received chunk of %d elements, expected %d", c.rank, t.Size(), want)
+	if t.Size() != len(dst) {
+		return fmt.Errorf("collective: rank %d received chunk of %d elements, expected %d", c.rank, t.Size(), len(dst))
 	}
-	return t.Data(), nil
+	op.combine(dst, t.Data())
+	tensor.Recycle(t)
+	return nil
 }
 
-// AllReduce performs a ring all-reduce of t with the given operator and
-// returns the result (same shape on every rank). The tensor is split into
-// Size() chunks; a reduce-scatter pass (n-1 steps) leaves each rank with one
-// fully reduced chunk, and an all-gather pass (n-1 steps) circulates the
-// reduced chunks — the bandwidth-optimal 2(n-1)/n·bytes schedule the
-// simulator's perf.RingAllReduceTime models.
-func (c *Communicator) AllReduce(t *tensor.Tensor, op Op) (*tensor.Tensor, error) {
-	n := c.Size()
-	base := c.opWindow() // consumed even on the fast paths to keep ranks in lockstep
-	if n == 1 || t.Size() == 0 {
-		return t.Clone(), nil
+// copyChunk receives a chunk, copies it over dst, and recycles its storage.
+func (c *Communicator) copyChunk(from, tag int, dst []float64) error {
+	t, err := c.g.tr.Recv(c.self(), from, tag)
+	if err != nil {
+		return err
 	}
-	acc := t.Clone()
-	data := acc.Data()
+	if t.Size() != len(dst) {
+		return fmt.Errorf("collective: rank %d received chunk of %d elements, expected %d", c.rank, t.Size(), len(dst))
+	}
+	copy(dst, t.Data())
+	tensor.Recycle(t)
+	return nil
+}
+
+// allReduceData ring-all-reduces data in place across the group: a
+// reduce-scatter pass (n-1 steps) leaves each rank with one fully reduced
+// chunk, and an all-gather pass (n-1 steps) circulates the reduced chunks —
+// the bandwidth-optimal 2(n-1)/n·bytes schedule the simulator's
+// perf.RingAllReduceTime models. data must be rank-private storage.
+func (c *Communicator) allReduceData(base int, data []float64, op Op) error {
+	n := c.Size()
 	L := len(data)
 
 	// Reduce-scatter: at step s, send the chunk you most recently reduced
@@ -65,11 +81,9 @@ func (c *Communicator) AllReduce(t *tensor.Tensor, op Op) (*tensor.Tensor, error
 		slo, shi := chunkRange(L, n, sendIdx)
 		rlo, rhi := chunkRange(L, n, recvIdx)
 		c.sendChunk(c.next(), base+s, data, slo, shi)
-		in, err := c.recvChunk(c.prev(), base+s, rhi-rlo)
-		if err != nil {
-			return nil, err
+		if err := c.combineChunk(c.prev(), base+s, data[rlo:rhi], op); err != nil {
+			return err
 		}
-		op.combine(data[rlo:rhi], in)
 	}
 
 	// All-gather: circulate the fully reduced chunks.
@@ -79,13 +93,39 @@ func (c *Communicator) AllReduce(t *tensor.Tensor, op Op) (*tensor.Tensor, error
 		slo, shi := chunkRange(L, n, sendIdx)
 		rlo, rhi := chunkRange(L, n, recvIdx)
 		c.sendChunk(c.next(), base+n-1+s, data, slo, shi)
-		in, err := c.recvChunk(c.prev(), base+n-1+s, rhi-rlo)
-		if err != nil {
-			return nil, err
+		if err := c.copyChunk(c.prev(), base+n-1+s, data[rlo:rhi]); err != nil {
+			return err
 		}
-		copy(data[rlo:rhi], in)
 	}
-	return acc, nil
+	return nil
+}
+
+// AllReduce performs a ring all-reduce of t with the given operator and
+// returns the result as a fresh tensor (same shape on every rank).
+func (c *Communicator) AllReduce(t *tensor.Tensor, op Op) (*tensor.Tensor, error) {
+	out := t.Clone()
+	if err := c.AllReduceInto(out, out, op); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AllReduceInto reduces src across the group into dst, which must have the
+// same shape and be rank-private mutable storage (dst == src reduces in
+// place). At steady state the operation performs no heap allocations: chunks
+// come from the scratch pool and return to it on the receiving rank.
+func (c *Communicator) AllReduceInto(dst, src *tensor.Tensor, op Op) error {
+	if !tensor.SameShape(dst, src) {
+		return fmt.Errorf("collective: AllReduceInto shape mismatch %v vs %v", dst.Shape(), src.Shape())
+	}
+	base := c.opWindow() // consumed even on the fast paths to keep ranks in lockstep
+	if dst != src {
+		dst.CopyFrom(src.Data())
+	}
+	if c.Size() == 1 || dst.Size() == 0 {
+		return nil
+	}
+	return c.allReduceData(base, dst.Data(), op)
 }
 
 // ReduceScatter reduces t across the group and returns this rank's chunk of
@@ -95,13 +135,13 @@ func (c *Communicator) AllReduce(t *tensor.Tensor, op Op) (*tensor.Tensor, error
 func (c *Communicator) ReduceScatter(t *tensor.Tensor, op Op) (*tensor.Tensor, error) {
 	n := c.Size()
 	base := c.opWindow()
-	acc := t.Clone()
-	data := acc.Data()
-	L := len(data)
+	L := t.Size()
 	if n == 1 {
-		out, _ := tensor.FromSlice(data, L)
-		return out, nil
+		return tensor.FromSlice(t.Data(), L)
 	}
+	w := tensor.GetScratch(L)
+	w.CopyFrom(t.Data())
+	data := w.Data()
 	// Shifted ring indices relative to AllReduce so that after n-1 steps
 	// rank r owns fully reduced chunk r (the NCCL ReduceScatter layout).
 	for s := 0; s < n-1; s++ {
@@ -110,22 +150,22 @@ func (c *Communicator) ReduceScatter(t *tensor.Tensor, op Op) (*tensor.Tensor, e
 		slo, shi := chunkRange(L, n, sendIdx)
 		rlo, rhi := chunkRange(L, n, recvIdx)
 		c.sendChunk(c.next(), base+s, data, slo, shi)
-		in, err := c.recvChunk(c.prev(), base+s, rhi-rlo)
-		if err != nil {
+		if err := c.combineChunk(c.prev(), base+s, data[rlo:rhi], op); err != nil {
 			return nil, err
 		}
-		op.combine(data[rlo:rhi], in)
 	}
 	lo, hi := chunkRange(L, n, c.rank)
-	chunk := make([]float64, hi-lo)
-	copy(chunk, data[lo:hi])
-	out, _ := tensor.FromSlice(chunk, hi-lo)
-	return out, nil
+	out, err := tensor.FromSlice(data[lo:hi], hi-lo)
+	tensor.Recycle(w)
+	return out, err
 }
 
 // AllGather concatenates every rank's shard along axis 0 in rank order.
 // Shards may have different leading dimensions (sizes travel with the
-// payloads around the ring) but must share trailing dimensions.
+// payloads around the ring) but must share trailing dimensions. Shard
+// tensors are forwarded zero-copy: each hop relays the received tensor
+// object itself, so no rank may mutate its shard until the gather returns on
+// every rank.
 func (c *Communicator) AllGather(shard *tensor.Tensor) (*tensor.Tensor, error) {
 	n := c.Size()
 	base := c.opWindow()
@@ -176,11 +216,10 @@ func (c *Communicator) Broadcast(t *tensor.Tensor, root int) (*tensor.Tensor, er
 		L := len(data)
 		// Shape prologue so receivers can rebuild the tensor; then chunks.
 		shape := t.Shape()
-		shapeData := make([]float64, len(shape))
+		st := tensor.GetScratch(len(shape))
 		for i, d := range shape {
-			shapeData[i] = float64(d)
+			st.Data()[i] = float64(d)
 		}
-		st, _ := tensor.FromSlice(shapeData, len(shape))
 		c.g.tr.Send(c.self(), c.next(), base+n, st)
 		for k := 0; k < n; k++ {
 			lo, hi := chunkRange(L, n, k)
@@ -196,24 +235,30 @@ func (c *Communicator) Broadcast(t *tensor.Tensor, root int) (*tensor.Tensor, er
 	for i, v := range st.Data() {
 		shape[i] = int(v)
 	}
-	if dist < n-1 {
+	last := dist == n-1
+	if !last {
+		// Forward the shape prologue tensor itself; ownership moves on.
 		c.g.tr.Send(c.self(), c.next(), base+n, st)
+	} else {
+		tensor.Recycle(st)
 	}
 	L := tensor.NumElements(shape)
 	data := make([]float64, L)
 	for k := 0; k < n; k++ {
 		lo, hi := chunkRange(L, n, k)
-		in, err := c.recvChunk(c.prev(), base+k, hi-lo)
-		if err != nil {
+		if err := c.copyChunk(c.prev(), base+k, data[lo:hi]); err != nil {
 			return nil, err
 		}
-		copy(data[lo:hi], in)
-		if dist < n-1 {
+		if !last {
 			c.sendChunk(c.next(), base+k, data, lo, hi)
 		}
 	}
-	return tensor.FromSlice(data, shape...)
+	return tensor.View(data, shape...), nil
 }
+
+// barrierToken is the shared payload of every barrier message: barriers
+// carry no data, so all ranks send the same immutable tensor.
+var barrierToken = tensor.Scalar(1)
 
 // Barrier blocks until every rank of the group has entered it. It is a
 // dissemination barrier: ceil(log2 n) rounds of token passes at
@@ -224,12 +269,11 @@ func (c *Communicator) Barrier() error {
 	if n == 1 {
 		return nil
 	}
-	token := tensor.Scalar(1)
 	round := 0
 	for d := 1; d < n; d *= 2 {
 		to := c.g.ranks[(c.rank+d)%n]
 		from := c.g.ranks[((c.rank-d)%n+n)%n]
-		c.g.tr.Send(c.self(), to, base+round, token)
+		c.g.tr.Send(c.self(), to, base+round, barrierToken)
 		if _, err := c.g.tr.Recv(c.self(), from, base+round); err != nil {
 			return err
 		}

@@ -1,0 +1,453 @@
+package interp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ir"
+	"repro/internal/tensor"
+)
+
+// Program is a graph compiled to a flat list of closures over a dense value
+// environment — the role an XLA executable plays for one pipeline segment.
+// Compilation runs a liveness pass (ir.Graph.LastUse) so execution can:
+//
+//   - free dead intermediates into the tensor scratch pool the moment their
+//     last consumer runs (steady-state steps allocate almost nothing),
+//   - execute elementwise ops (including gradient-accumulation adds) in
+//     place on dying operands it owns,
+//   - fuse MatMul→ReLU and MatMul→Add→ReLU chains into single kernels.
+//
+// Aliasing is tracked per storage root: Reshape views and in-place results
+// share their operand's root, and a root is recycled only after every value
+// aliasing it has died. Caller-provided inputs are never mutated or recycled;
+// returned outputs are owned by the caller.
+//
+// A Program is immutable after compilation and safe for concurrent Run calls
+// (data-parallel replicas share one compiled program per segment).
+type Program struct {
+	g        *ir.Graph
+	nSlots   int
+	outSlots []int
+	// copyOut marks outputs that must be cloned on the way out: outputs
+	// whose storage aliases a caller input (a Reshape of an input) or an
+	// earlier output. Cloning there keeps the ownership contract — every
+	// returned tensor is independently owned by the caller — airtight.
+	copyOut []bool
+	instrs  []pinstr
+	envPool sync.Pool // *[]*tensor.Tensor of length nSlots
+}
+
+// pinstr is one compiled instruction: an evaluation closure plus the storage
+// roots that die once it has run.
+type pinstr struct {
+	eval func(env []*tensor.Tensor) error
+	free []int
+}
+
+// compiler carries the per-graph analysis state while closures are emitted.
+type compiler struct {
+	g        *ir.Graph
+	slotOf   map[int]int // value ID -> dense env slot
+	lastUse  []int       // per slot: last consuming eqn index (-1 unused, len(Eqns) output)
+	root     []int       // per slot: storage-root slot (aliases share a root)
+	owned    []bool      // per root slot: storage is program-owned (recyclable)
+	rootLast []int       // per root slot: last eqn index at which any alias is live
+	freed    []bool      // per root slot: a recycle has been scheduled
+	instrs   []pinstr
+}
+
+// NewProgram compiles g. The graph must be SSA-well-formed (ir.Verify).
+func NewProgram(g *ir.Graph) (*Program, error) {
+	c := &compiler{g: g, slotOf: make(map[int]int, len(g.Inputs)+len(g.Eqns))}
+	for i, v := range g.Inputs {
+		c.slotOf[v.ID] = i
+	}
+	n := len(g.Inputs)
+	for i, e := range g.Eqns {
+		if len(e.Outputs) != 1 {
+			return nil, fmt.Errorf("interp: eqn %d has %d outputs, want 1", i, len(e.Outputs))
+		}
+		c.slotOf[e.Outputs[0].ID] = n
+		n++
+	}
+	c.lastUse = make([]int, n)
+	for s := range c.lastUse {
+		c.lastUse[s] = -1
+	}
+	for id, last := range g.LastUse() {
+		c.lastUse[c.slotOf[id]] = last
+	}
+	c.root = make([]int, n)
+	c.owned = make([]bool, n)
+	c.rootLast = make([]int, n)
+	c.freed = make([]bool, n)
+	for s := 0; s < n; s++ {
+		c.root[s] = s
+		c.rootLast[s] = c.lastUse[s]
+	}
+
+	for i := 0; i < len(g.Eqns); i++ {
+		i = c.emit(i)
+	}
+
+	p := &Program{g: g, nSlots: n, instrs: c.instrs}
+	p.outSlots = make([]int, len(g.Outputs))
+	p.copyOut = make([]bool, len(g.Outputs))
+	ownedRoots := map[int]bool{}
+	for i, o := range g.Outputs {
+		s := c.slotOf[o.ID]
+		p.outSlots[i] = s
+		r := c.root[s]
+		p.copyOut[i] = !c.owned[r] || ownedRoots[r]
+		ownedRoots[r] = true
+	}
+	p.envPool.New = func() any {
+		env := make([]*tensor.Tensor, n)
+		return &env
+	}
+	return p, nil
+}
+
+func (c *compiler) slot(v *ir.Value) int { return c.slotOf[v.ID] }
+
+// raiseRootLast extends the lifetime of root r to at least eqn index last.
+func (c *compiler) raiseRootLast(r, last int) {
+	if last > c.rootLast[r] {
+		c.rootLast[r] = last
+	}
+}
+
+// push appends an instruction and schedules recycling of every involved
+// owned root whose lifetime ends at or before eqn index at (fused chains can
+// retire an operand at an interior, fused-away equation). fusedAway slots are
+// intermediates that never materialized and must not be freed.
+func (c *compiler) push(at int, eval func([]*tensor.Tensor) error, involved []int, fusedAway ...int) {
+	var free []int
+	for _, s := range involved {
+		r := c.root[s]
+		if !c.owned[r] || c.freed[r] {
+			continue
+		}
+		fused := false
+		for _, f := range fusedAway {
+			if r == f {
+				fused = true
+			}
+		}
+		if !fused && c.rootLast[r] <= at {
+			free = append(free, r)
+			c.freed[r] = true
+		}
+	}
+	c.instrs = append(c.instrs, pinstr{eval: eval, free: free})
+}
+
+// freshOut marks the output slot as a new program-owned storage root.
+func (c *compiler) freshOut(i, out int) {
+	c.owned[out] = true
+	c.raiseRootLast(out, i) // unused outputs die at their own instruction
+}
+
+// adoptable reports whether arg's storage may be overwritten at eqn i to hold
+// the output: the root is program-owned, every alias dies at i, and the
+// shapes match.
+func (c *compiler) adoptable(i, argSlot int, argShape, outShape []int) bool {
+	r := c.root[argSlot]
+	return c.owned[r] && c.rootLast[r] == i && tensor.ShapeEq(argShape, outShape)
+}
+
+// adopt records that out reuses arg's storage root.
+func (c *compiler) adopt(i, argSlot, outSlot int) {
+	r := c.root[argSlot]
+	c.root[outSlot] = r
+	c.raiseRootLast(r, c.lastUse[outSlot])
+	c.raiseRootLast(r, i) // at minimum the storage lives through this eqn
+}
+
+// emit compiles eqn i (possibly fusing followers) and returns the index of
+// the last equation consumed.
+func (c *compiler) emit(i int) int {
+	e := c.g.Eqns[i]
+	out := c.slot(e.Outputs[0])
+	args := make([]int, len(e.Inputs))
+	for k, in := range e.Inputs {
+		args[k] = c.slot(in)
+	}
+	outShape := e.Outputs[0].Shape
+	involved := append(append([]int(nil), args...), out)
+
+	switch e.Op {
+	case ir.OpReshape:
+		// Zero-copy view: output aliases the operand's storage root.
+		a := args[0]
+		r := c.root[a]
+		c.root[out] = r
+		c.raiseRootLast(r, c.lastUse[out])
+		shape := e.Attrs.Shape
+		c.push(i, func(env []*tensor.Tensor) error {
+			env[out] = tensor.Reshape(env[a], shape...)
+			return nil
+		}, involved)
+		return i
+
+	case ir.OpMatMul:
+		if j, fused := c.tryFuseMatMul(i, e, args, out); fused {
+			return j
+		}
+		a, b := args[0], args[1]
+		c.freshOut(i, out)
+		c.push(i, func(env []*tensor.Tensor) error {
+			dst := tensor.GetScratchShaped(outShape...)
+			tensor.MatMulInto(dst, env[a], env[b])
+			env[out] = dst
+			return nil
+		}, involved)
+		return i
+
+	case ir.OpAdd, ir.OpSub, ir.OpMul:
+		into := tensor.AddInto
+		switch e.Op {
+		case ir.OpSub:
+			into = tensor.SubInto
+		case ir.OpMul:
+			into = tensor.MulInto
+		}
+		a, b := args[0], args[1]
+		// Prefer writing into a dying operand (gradient-accumulation adds hit
+		// this path); the kernels are index-local, so the other operand may
+		// alias the destination.
+		switch {
+		case c.adoptable(i, a, e.Inputs[0].Shape, outShape):
+			c.adopt(i, a, out)
+			c.push(i, func(env []*tensor.Tensor) error {
+				t := env[a]
+				into(t, t, env[b])
+				env[out] = t
+				return nil
+			}, involved)
+		case c.adoptable(i, b, e.Inputs[1].Shape, outShape):
+			c.adopt(i, b, out)
+			c.push(i, func(env []*tensor.Tensor) error {
+				t := env[b]
+				into(t, env[a], t)
+				env[out] = t
+				return nil
+			}, involved)
+		default:
+			c.freshOut(i, out)
+			c.push(i, func(env []*tensor.Tensor) error {
+				dst := tensor.GetScratchShaped(outShape...)
+				into(dst, env[a], env[b])
+				env[out] = dst
+				return nil
+			}, involved)
+		}
+		return i
+
+	case ir.OpScale, ir.OpReLU, ir.OpReLUMask, ir.OpSoftmax:
+		factor := e.Attrs.Factor
+		var into func(dst, a *tensor.Tensor)
+		switch e.Op {
+		case ir.OpScale:
+			into = func(dst, a *tensor.Tensor) { tensor.ScaleInto(dst, a, factor) }
+		case ir.OpReLU:
+			into = tensor.ReLUInto
+		case ir.OpReLUMask:
+			into = tensor.ReLUMaskInto
+		case ir.OpSoftmax:
+			into = tensor.SoftmaxInto
+		}
+		a := args[0]
+		if c.adoptable(i, a, e.Inputs[0].Shape, outShape) {
+			c.adopt(i, a, out)
+			c.push(i, func(env []*tensor.Tensor) error {
+				t := env[a]
+				into(t, t)
+				env[out] = t
+				return nil
+			}, involved)
+		} else {
+			c.freshOut(i, out)
+			c.push(i, func(env []*tensor.Tensor) error {
+				dst := tensor.GetScratchShaped(outShape...)
+				into(dst, env[a])
+				env[out] = dst
+				return nil
+			}, involved)
+		}
+		return i
+
+	case ir.OpXentGrad:
+		a, b := args[0], args[1]
+		// dst may alias the logits but never the targets.
+		if c.adoptable(i, a, e.Inputs[0].Shape, outShape) && c.root[b] != c.root[a] {
+			c.adopt(i, a, out)
+			c.push(i, func(env []*tensor.Tensor) error {
+				t := env[a]
+				tensor.CrossEntropyGradInto(t, t, env[b])
+				env[out] = t
+				return nil
+			}, involved)
+		} else {
+			c.freshOut(i, out)
+			c.push(i, func(env []*tensor.Tensor) error {
+				dst := tensor.GetScratchShaped(outShape...)
+				tensor.CrossEntropyGradInto(dst, env[a], env[b])
+				env[out] = dst
+				return nil
+			}, involved)
+		}
+		return i
+
+	case ir.OpTranspose:
+		a := args[0]
+		c.freshOut(i, out)
+		c.push(i, func(env []*tensor.Tensor) error {
+			dst := tensor.GetScratchShaped(outShape...)
+			tensor.TransposeInto(dst, env[a])
+			env[out] = dst
+			return nil
+		}, involved)
+		return i
+
+	case ir.OpSumAxis0:
+		a := args[0]
+		c.freshOut(i, out)
+		c.push(i, func(env []*tensor.Tensor) error {
+			dst := tensor.GetScratchShaped(outShape...)
+			tensor.SumAxis0Into(dst, env[a])
+			env[out] = dst
+			return nil
+		}, involved)
+		return i
+
+	case ir.OpZeros:
+		c.freshOut(i, out)
+		c.push(i, func(env []*tensor.Tensor) error {
+			env[out] = tensor.GetScratchZero(outShape...)
+			return nil
+		}, involved)
+		return i
+
+	default:
+		// Generic fallback: the reference Apply. Results are fresh tensors
+		// (Reshape, the only aliasing op, is handled above), so the output is
+		// a recyclable root.
+		op, attrs := e.Op, e.Attrs
+		c.freshOut(i, out)
+		argsCopy := append([]int(nil), args...)
+		c.push(i, func(env []*tensor.Tensor) error {
+			in := make([]*tensor.Tensor, len(argsCopy))
+			for k, s := range argsCopy {
+				in[k] = env[s]
+			}
+			t, err := Apply(op, attrs, in)
+			if err != nil {
+				return err
+			}
+			env[out] = t
+			return nil
+		}, involved)
+		return i
+	}
+}
+
+// tryFuseMatMul fuses MatMul→ReLU and MatMul→Add→ReLU chains when the
+// intermediate values have no other consumer. Returns the index of the last
+// fused equation.
+func (c *compiler) tryFuseMatMul(i int, e *ir.Equation, args []int, out int) (int, bool) {
+	eqns := c.g.Eqns
+	a, b := args[0], args[1]
+	mmShape := e.Outputs[0].Shape
+
+	// MatMul → ReLU
+	if i+1 < len(eqns) {
+		f := eqns[i+1]
+		if f.Op == ir.OpReLU && f.Inputs[0].ID == e.Outputs[0].ID && c.lastUse[out] == i+1 {
+			fOut := c.slot(f.Outputs[0])
+			c.freshOut(i+1, fOut)
+			shape := f.Outputs[0].Shape
+			c.push(i+1, func(env []*tensor.Tensor) error {
+				dst := tensor.GetScratchShaped(shape...)
+				tensor.MatMulReLUInto(dst, env[a], env[b])
+				env[fOut] = dst
+				return nil
+			}, []int{a, b, fOut}, out)
+			return i + 1, true
+		}
+		// MatMul → Add → ReLU (bias before activation)
+		if i+2 < len(eqns) && f.Op == ir.OpAdd && c.lastUse[out] == i+1 {
+			var cIn *ir.Value
+			if f.Inputs[0].ID == e.Outputs[0].ID {
+				cIn = f.Inputs[1]
+			} else if f.Inputs[1].ID == e.Outputs[0].ID {
+				cIn = f.Inputs[0]
+			}
+			// Add(mm, mm) offers no bias operand: the fused kernel would
+			// read the never-materialized MatMul slot.
+			if cIn != nil && cIn.ID == e.Outputs[0].ID {
+				cIn = nil
+			}
+			g := eqns[i+2]
+			fOut := c.slot(f.Outputs[0])
+			if cIn != nil && g.Op == ir.OpReLU && g.Inputs[0].ID == f.Outputs[0].ID &&
+				c.lastUse[fOut] == i+2 &&
+				(tensor.ShapeEq(cIn.Shape, mmShape) || len(cIn.Shape) == 0) {
+				cSlot := c.slot(cIn)
+				gOut := c.slot(g.Outputs[0])
+				c.freshOut(i+2, gOut)
+				shape := g.Outputs[0].Shape
+				c.push(i+2, func(env []*tensor.Tensor) error {
+					dst := tensor.GetScratchShaped(shape...)
+					tensor.MatMulAddReLUInto(dst, env[a], env[b], env[cSlot])
+					env[gOut] = dst
+					return nil
+				}, []int{a, b, cSlot, gOut}, out, fOut)
+				return i + 2, true
+			}
+		}
+	}
+	return i, false
+}
+
+// Run executes the program on inputs (positionally matching the graph's
+// inputs) and returns the output tensors. Inputs are never mutated; outputs
+// are owned by the caller. Safe for concurrent use.
+func (p *Program) Run(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	g := p.g
+	if len(inputs) != len(g.Inputs) {
+		return nil, fmt.Errorf("interp: graph %q wants %d inputs, got %d", g.Name, len(g.Inputs), len(inputs))
+	}
+	for i, v := range g.Inputs {
+		if !tensor.ShapeEq(v.Shape, inputs[i].Shape()) {
+			return nil, fmt.Errorf("interp: input %d shape %v, value wants %v", i, inputs[i].Shape(), v.Shape)
+		}
+	}
+	envp := p.envPool.Get().(*[]*tensor.Tensor)
+	env := *envp
+	copy(env, inputs)
+	for i := range p.instrs {
+		ins := &p.instrs[i]
+		if err := ins.eval(env); err != nil {
+			clear(env)
+			p.envPool.Put(envp)
+			return nil, fmt.Errorf("interp: eqn %d: %w", i, err)
+		}
+		for _, s := range ins.free {
+			tensor.Recycle(env[s])
+			env[s] = nil
+		}
+	}
+	outs := make([]*tensor.Tensor, len(p.outSlots))
+	for i, s := range p.outSlots {
+		if p.copyOut[i] {
+			outs[i] = env[s].Clone()
+		} else {
+			outs[i] = env[s]
+		}
+	}
+	clear(env)
+	p.envPool.Put(envp)
+	return outs, nil
+}

@@ -1,0 +1,256 @@
+package interp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/autodiff"
+	"repro/internal/ir"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// mlpGrad traces a depth-layer MLP with cross-entropy loss and differentiates
+// it — the op mix (matmul, relu, xent, transposes, accumulation adds) every
+// pipeline segment executes.
+func mlpGrad(tb testing.TB, depth, rows, width int) (*ir.Graph, []*tensor.Tensor) {
+	tb.Helper()
+	var params []*ir.Value
+	g, err := trace.Trace("mlp", func(b *trace.Builder) []*ir.Value {
+		x := b.Input("x", rows, width)
+		y := b.Input("y", rows, width)
+		h := x
+		for d := 0; d < depth; d++ {
+			w := b.Input(fmt.Sprintf("w%d", d), width, width)
+			params = append(params, w)
+			h = b.ReLU(b.MatMul(h, w))
+		}
+		return []*ir.Value{b.CrossEntropy(h, y)}
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	gg, err := autodiff.ValueAndGrad(g, params)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	rng := tensor.NewRNG(3)
+	inputs := []*tensor.Tensor{rng.Normal(1, rows, width), rng.OneHotBatch(rows, width)}
+	for range params {
+		inputs = append(inputs, rng.Xavier(width, width))
+	}
+	return gg, inputs
+}
+
+// TestProgramMatchesEval is the golden gate for the compiled-closure
+// executor: on a traced forward+backward graph, Program.Run must reproduce
+// the reference interpreter bit for bit — in-place execution, buffer
+// pooling, and fusion must be unobservable.
+func TestProgramMatchesEval(t *testing.T) {
+	g, inputs := mlpGrad(t, 3, 8, 16)
+	want, err := Eval(g, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProgram(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Repeated runs reuse pooled buffers; results must stay identical and
+	// previously returned outputs must stay intact.
+	var prev []*tensor.Tensor
+	for step := 0; step < 5; step++ {
+		got, err := p.Run(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("step %d: %d outputs, want %d", step, len(got), len(want))
+		}
+		for i := range want {
+			if !tensor.AllClose(got[i], want[i], 0, 0) {
+				t.Fatalf("step %d output %d: program diverges from Eval", step, i)
+			}
+		}
+		for i := range prev {
+			if !tensor.AllClose(prev[i], want[i], 0, 0) {
+				t.Fatalf("step %d: pooling clobbered a previously returned output %d", step, i)
+			}
+		}
+		prev = got
+	}
+	// Inputs must never be mutated by in-place execution.
+	rng := tensor.NewRNG(3)
+	fresh := []*tensor.Tensor{rng.Normal(1, 8, 16), rng.OneHotBatch(8, 16)}
+	for i := 0; i < 2; i++ {
+		if !tensor.AllClose(inputs[i], fresh[i], 0, 0) {
+			t.Fatalf("input %d was mutated by Run", i)
+		}
+	}
+}
+
+// TestProgramReshapeAliasing checks that view-reshapes through the compiled
+// path neither corrupt results nor recycle storage that outputs alias.
+func TestProgramReshapeAliasing(t *testing.T) {
+	g, err := trace.Trace("reshape", func(b *trace.Builder) []*ir.Value {
+		x := b.Input("x", 4, 6)
+		v := b.Reshape(x, 6, 4)              // aliases a graph input
+		m := b.MatMul(v, b.Reshape(v, 4, 6)) // alias of alias
+		flat := b.Reshape(m, 36)             // output aliases an intermediate
+		return []*ir.Value{flat, b.Sum(m)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProgram(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(5)
+	in := rng.Normal(1, 4, 6)
+	want, err := Eval(g, []*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		got, err := p.Run([]*tensor.Tensor{in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if !tensor.AllClose(got[j], want[j], 1e-12, 1e-12) {
+				t.Fatalf("run %d output %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+// TestProgramOutputsIndependent pins the ownership contract for outputs:
+// even when a graph output is a Reshape of a caller input, or two outputs
+// share storage, the returned tensors must be independently owned — mutating
+// one must not touch the caller's inputs or any other output.
+func TestProgramOutputsIndependent(t *testing.T) {
+	g, err := trace.Trace("alias-out", func(b *trace.Builder) []*ir.Value {
+		x := b.Input("x", 2, 3)
+		v := b.Reshape(x, 3, 2) // output aliasing a caller input
+		s := b.Scale(x, 2)
+		return []*ir.Value{v, s, b.Reshape(s, 6)} // two outputs sharing a root
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProgram(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tensor.MustFromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	got, err := p.Run([]*tensor.Tensor{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0].Set(99, 0, 0)
+	if in.At(0, 0) != 1 {
+		t.Fatal("mutating output 0 corrupted the caller's input")
+	}
+	got[1].Set(-7, 0, 0)
+	if got[2].Data()[0] == -7 {
+		t.Fatal("outputs 1 and 2 share storage")
+	}
+}
+
+// TestProgramFusionSelfAdd pins the fuser's corner case ReLU(Add(mm, mm)):
+// both Add operands are the MatMul result, so there is no bias operand to
+// fuse and the chain must fall back to unfused execution (regression: the
+// fused kernel read the never-materialized MatMul slot and panicked).
+func TestProgramFusionSelfAdd(t *testing.T) {
+	g, err := trace.Trace("self-add", func(b *trace.Builder) []*ir.Value {
+		x := b.Input("x", 4, 4)
+		w := b.Input("w", 4, 4)
+		mm := b.MatMul(x, w)
+		return []*ir.Value{b.ReLU(b.Add(mm, mm))}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProgram(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(9)
+	in := []*tensor.Tensor{rng.Normal(1, 4, 4), rng.Normal(1, 4, 4)}
+	want, err := Eval(g, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(got[0], want[0], 1e-12, 1e-12) {
+		t.Fatal("self-add fusion corner case diverges from Eval")
+	}
+}
+
+// TestProgramConcurrentRuns exercises one shared Program from several
+// goroutines (data-parallel replicas share compiled segments); run under
+// -race.
+func TestProgramConcurrentRuns(t *testing.T) {
+	g, inputs := mlpGrad(t, 2, 4, 8)
+	want, err := Eval(g, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProgram(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			for i := 0; i < 50; i++ {
+				got, err := p.Run(inputs)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for j := range want {
+					if !tensor.AllClose(got[j], want[j], 0, 0) {
+						errc <- fmt.Errorf("iteration %d output %d mismatch", i, j)
+						return
+					}
+				}
+			}
+			errc <- nil
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpStep measures one forward+backward evaluation of a 4-layer
+// MLP on the compiled program vs the reference interpreter (-benchmem shows
+// the pooling win).
+func BenchmarkInterpStep(b *testing.B) {
+	g, inputs := mlpGrad(b, 4, 8, 32)
+	p, err := NewProgram(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("compiled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Run(inputs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Eval(g, inputs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

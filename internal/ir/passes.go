@@ -120,6 +120,24 @@ func (g *Graph) Uses() map[int][]int {
 	return u
 }
 
+// LastUse returns, for each value ID, the index of the equation consuming it
+// last. Graph outputs are pinned to len(Eqns) so they outlive every equation;
+// values no equation consumes are absent. This is the liveness information
+// the interpreter's compiled programs use to free dead intermediates into the
+// tensor buffer pool.
+func (g *Graph) LastUse() map[int]int {
+	last := make(map[int]int, len(g.Eqns)+len(g.Outputs))
+	for i, e := range g.Eqns {
+		for _, in := range e.Inputs {
+			last[in.ID] = i
+		}
+	}
+	for _, o := range g.Outputs {
+		last[o.ID] = len(g.Eqns)
+	}
+	return last
+}
+
 // Clone deep-copies the graph. Values are re-minted with identical IDs so
 // that ID-keyed maps carry over.
 func (g *Graph) Clone() *Graph {

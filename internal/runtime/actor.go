@@ -131,11 +131,9 @@ func (a *Actor) exec(in taskgraph.Instr) error {
 		if err != nil {
 			return err
 		}
-		if dst, err := a.Store.Get(in.Dst); err == nil {
-			a.Store.Put(in.Dst, tensor.Add(dst, src))
-		} else {
-			a.Store.Put(in.Dst, src.Clone())
-		}
+		// In-place gradient accumulation: the store mutates its private
+		// accumulator instead of allocating a fresh sum every microbatch.
+		a.Store.Accumulate(in.Dst, src)
 		return nil
 
 	case taskgraph.OpAdd:

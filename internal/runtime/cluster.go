@@ -156,9 +156,13 @@ func (e *Executable) SetStepEpilogue(actor int, fn func(*Store) error) error {
 // choice requires, so numerics are preserved for any choice.
 func makeRunner(g *ir.Graph, opts LoadOptions) (func([]*tensor.Tensor) ([]*tensor.Tensor, error), error) {
 	if opts.SPMDDevices <= 1 {
-		return func(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
-			return interp.Eval(g, ins)
-		}, nil
+		// Compile once to a closure program with liveness-driven buffer
+		// pooling; replicas share the immutable program.
+		prog, err := interp.NewProgram(g)
+		if err != nil {
+			return nil, err
+		}
+		return prog.Run, nil
 	}
 	m, err := mesh.New(mesh.Axis{Name: "intra", Size: opts.SPMDDevices})
 	if err != nil {

@@ -102,6 +102,36 @@ func (s *Store) Delete(id taskgraph.BufID) {
 	s.reclaim(id)
 }
 
+// Accumulate adds src into the buffer, in place when the store owns the
+// accumulator exclusively: a buffer with in-flight sends may be concurrently
+// read by the transport, so those fall back to an out-of-place add (the same
+// reason deletions defer, §4.3). A missing buffer is initialized to a copy of
+// src, which is what makes every later accumulation exclusively store-owned.
+func (s *Store) Accumulate(id taskgraph.BufID, src *tensor.Tensor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dst, ok := s.bufs[id]
+	if ok && s.inflight[id] == 0 && tensor.SameShape(dst, src) {
+		tensor.AddInto(dst, dst, src)
+		return
+	}
+	var out *tensor.Tensor
+	if ok {
+		out = tensor.Add(dst, src)
+		s.liveBytes -= bytesOf(dst)
+	} else {
+		out = src.Clone()
+	}
+	s.bufs[id] = out
+	s.liveBytes += bytesOf(out)
+	if s.liveBytes > s.peakBytes {
+		s.peakBytes = s.liveBytes
+	}
+	if len(s.bufs) > s.peakBufs {
+		s.peakBufs = len(s.bufs)
+	}
+}
+
 func (s *Store) reclaim(id taskgraph.BufID) {
 	if t, ok := s.bufs[id]; ok {
 		s.liveBytes -= bytesOf(t)

@@ -3,6 +3,7 @@ package runtime
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/tensor"
@@ -33,6 +34,25 @@ func recvTimeoutErr(timeout time.Duration, to, from, tag int) error {
 	return fmt.Errorf("runtime: recv on actor %d from %d tag %d timed out after %v: no matching send (mismatched tag or communication deadlock)", to, from, tag, timeout)
 }
 
+// timerPool recycles the timeout timers blocking Sends and Recvs arm,
+// keeping both hot paths allocation-free (Go 1.23+ timer semantics make
+// Reset-after-fire safe without draining).
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if v := timerPool.Get(); v != nil {
+		timer := v.(*time.Timer)
+		timer.Reset(d)
+		return timer
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(timer *time.Timer) {
+	timer.Stop()
+	timerPool.Put(timer)
+}
+
 // recvWithTimeout waits on ch up to timeout (forever if timeout <= 0).
 func recvWithTimeout(ch chan *tensor.Tensor, timeout time.Duration, to, from, tag int) (*tensor.Tensor, error) {
 	if timeout <= 0 {
@@ -43,8 +63,8 @@ func recvWithTimeout(ch chan *tensor.Tensor, timeout time.Duration, to, from, ta
 		return t, nil
 	default:
 	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
+	timer := getTimer(timeout)
+	defer putTimer(timer)
 	select {
 	case t := <-ch:
 		return t, nil
@@ -55,67 +75,129 @@ func recvWithTimeout(ch chan *tensor.Tensor, timeout time.Duration, to, from, ta
 
 type chanKey struct{ from, to, tag int }
 
-// ChanTransport is the in-process Transport: one buffered channel per
-// (sender, receiver, tag) triple, created lazily by whichever side arrives
-// first. Buffering size 1 plus unique tags make sends non-blocking.
-type ChanTransport struct {
+// numShards spreads the mailbox registry over independently locked shards so
+// concurrent actors' Send/Recv never serialize on one global mutex. Must be a
+// power of two.
+const numShards = 32
+
+type chanShard struct {
 	mu  sync.Mutex
 	chs map[chanKey]chan *tensor.Tensor
+	// Pad shards to a full 64-byte cache line (8B mutex + 8B map + 48B) so
+	// neighbouring locks don't false-share under contention.
+	_ [48]byte
+}
+
+func (k chanKey) shard() int {
+	h := uint64(k.from)*0x9e3779b97f4a7c15 ^ uint64(k.to)*0xbf58476d1ce4e5b9 ^ uint64(k.tag)*0x94d049bb133111eb
+	h ^= h >> 29
+	return int(h & (numShards - 1))
+}
+
+// ChanTransport is the in-process Transport: one buffered channel per
+// (sender, receiver, tag) triple, created lazily by whichever side arrives
+// first and kept registered as a persistent mailbox — tag reuse (the
+// collective engine's windows wrap, the pipeline reuses its tags every step)
+// rebinds the same channel, so steady-state traffic allocates nothing.
+// Buffering size 1 plus unique live tags make sends non-blocking.
+type ChanTransport struct {
+	shards [numShards]chanShard
 
 	// RecvTimeout bounds every Recv; when it fires, Recv returns an error
 	// instead of hanging forever on a tag no sender will ever match.
 	// Zero or negative waits indefinitely. Set before actors start.
 	RecvTimeout time.Duration
 
-	sent      int
-	sentElems int64
+	// SendTimeout bounds a Send into a mailbox whose previous message was
+	// never consumed — reachable when the receiving actor aborted its
+	// program, or (pathologically) when it stalls longer than the timeout.
+	// When it fires, the payload is dropped and the transport is poisoned:
+	// every subsequent Recv errors, because after a drop, tag reuse could
+	// otherwise match a later same-shape message to an earlier receive and
+	// corrupt data silently. Zero or negative waits indefinitely. Set before
+	// actors start.
+	SendTimeout time.Duration
+
+	// dropped is set when a timed-out Send discarded its payload; the
+	// transport is then permanently poisoned (re-provision the cluster, the
+	// same recovery Step errors already require).
+	dropped atomic.Bool
+
+	sent      atomic.Int64
+	sentElems atomic.Int64
 }
 
 // NewChanTransport returns an empty in-process transport with the default
-// receive timeout.
+// timeouts.
 func NewChanTransport() *ChanTransport {
-	return &ChanTransport{chs: map[chanKey]chan *tensor.Tensor{}, RecvTimeout: DefaultRecvTimeout}
+	c := &ChanTransport{RecvTimeout: DefaultRecvTimeout, SendTimeout: DefaultRecvTimeout}
+	for i := range c.shards {
+		c.shards[i].chs = map[chanKey]chan *tensor.Tensor{}
+	}
+	return c
 }
 
 func (c *ChanTransport) ch(k chanKey) chan *tensor.Tensor {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ch, ok := c.chs[k]
+	s := &c.shards[k.shard()]
+	s.mu.Lock()
+	ch, ok := s.chs[k]
 	if !ok {
 		ch = make(chan *tensor.Tensor, 1)
-		c.chs[k] = ch
+		s.chs[k] = ch
 	}
+	s.mu.Unlock()
 	return ch
 }
 
-// Send implements Transport.
+// Send implements Transport. Steady-state sends are non-blocking (a live
+// tag's mailbox is empty by the tag-reuse discipline); a send that finds the
+// mailbox still full backpressures up to SendTimeout for the receiver to
+// drain it, then drops the payload and poisons the transport so the failure
+// surfaces as errors on every rank instead of wedging this one or silently
+// skewing tag matching.
 func (c *ChanTransport) Send(from, to, tag int, t *tensor.Tensor) {
-	c.mu.Lock()
-	c.sent++
-	c.sentElems += int64(t.Size())
-	c.mu.Unlock()
-	c.ch(chanKey{from, to, tag}) <- t
+	// Ownership of t transfers to the receiver the moment the channel send
+	// completes (it may recycle the tensor immediately), so read the size
+	// up front.
+	size := int64(t.Size())
+	ch := c.ch(chanKey{from, to, tag})
+	select {
+	case ch <- t:
+		c.sent.Add(1)
+		c.sentElems.Add(size)
+		return
+	default:
+	}
+	if c.SendTimeout <= 0 {
+		ch <- t
+		c.sent.Add(1)
+		c.sentElems.Add(size)
+		return
+	}
+	timer := getTimer(c.SendTimeout)
+	defer putTimer(timer)
+	select {
+	case ch <- t:
+		c.sent.Add(1)
+		c.sentElems.Add(size)
+	case <-timer.C:
+		c.dropped.Store(true)
+	}
 }
 
-// Recv implements Transport. On timeout the channel is left registered so a
-// late sender still completes against it instead of blocking forever.
+// Recv implements Transport. The mailbox stays registered after delivery
+// (and after a timeout, so a late sender still completes against it instead
+// of blocking forever); a future reuse of the tag matches the same channel.
 func (c *ChanTransport) Recv(to, from, tag int) (*tensor.Tensor, error) {
-	k := chanKey{from, to, tag}
-	t, err := recvWithTimeout(c.ch(k), c.RecvTimeout, to, from, tag)
-	if err != nil {
-		return nil, err
+	if c.dropped.Load() {
+		return nil, fmt.Errorf("runtime: transport poisoned: a send timed out and dropped its payload; re-provision the cluster")
 	}
-	c.mu.Lock()
-	delete(c.chs, k)
-	c.mu.Unlock()
-	return t, nil
+	return recvWithTimeout(c.ch(chanKey{from, to, tag}), c.RecvTimeout, to, from, tag)
 }
 
 // SendCount returns the number of sends and total elements moved.
 func (c *ChanTransport) SendCount() (int, int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.sent, c.sentElems
+	return int(c.sent.Load()), c.sentElems.Load()
 }
 
 // RendezvousTransport is a Transport whose sends block until the matching
@@ -158,13 +240,5 @@ func (r *RendezvousTransport) Send(from, to, tag int, t *tensor.Tensor) {
 
 // Recv implements Transport.
 func (r *RendezvousTransport) Recv(to, from, tag int) (*tensor.Tensor, error) {
-	k := chanKey{from, to, tag}
-	t, err := recvWithTimeout(r.ch(k), r.RecvTimeout, to, from, tag)
-	if err != nil {
-		return nil, err
-	}
-	r.mu.Lock()
-	delete(r.chs, k)
-	r.mu.Unlock()
-	return t, nil
+	return recvWithTimeout(r.ch(chanKey{from, to, tag}), r.RecvTimeout, to, from, tag)
 }

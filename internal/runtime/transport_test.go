@@ -1,0 +1,53 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// TestSendTimeoutPoisonsTransport pins the bounded-send behaviour of the
+// persistent-mailbox transport: a send into a mailbox whose previous message
+// was never consumed (the receiver aborted or stalled) must drop after
+// SendTimeout instead of wedging the sending actor, and the drop must poison
+// the transport — after it, tag matching can no longer be trusted, so every
+// Recv errors and the dropped payload is not counted as sent.
+func TestSendTimeoutPoisonsTransport(t *testing.T) {
+	c := NewChanTransport()
+	c.SendTimeout = 20 * time.Millisecond
+	c.Send(0, 1, 7, tensor.Scalar(1)) // fills the mailbox; the receiver aborted
+	done := make(chan struct{})
+	go func() {
+		c.Send(0, 1, 7, tensor.Scalar(2)) // tag reuse against the full mailbox
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send hung on a full mailbox with an aborted receiver")
+	}
+	if _, err := c.Recv(1, 0, 7); err == nil {
+		t.Fatal("Recv succeeded on a poisoned transport")
+	}
+	if n, _ := c.SendCount(); n != 1 {
+		t.Fatalf("SendCount = %d, want 1 (dropped payloads must not count)", n)
+	}
+}
+
+// TestSendAfterConsumeDoesNotBlock checks the steady-state contract: once a
+// mailbox's message is consumed, reusing its tag sends without blocking.
+func TestSendAfterConsumeDoesNotBlock(t *testing.T) {
+	c := NewChanTransport()
+	c.SendTimeout = time.Second
+	for i := 0; i < 100; i++ {
+		c.Send(2, 3, 9, tensor.Scalar(float64(i)))
+		got, err := c.Recv(3, 2, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Data()[0] != float64(i) {
+			t.Fatalf("iteration %d delivered %v", i, got.Data()[0])
+		}
+	}
+}

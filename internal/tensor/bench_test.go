@@ -1,0 +1,77 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkMatMul measures the (possibly parallel) matmul kernel across the
+// size range the pipeline microbatches and calibration models span. Run with
+// -benchmem so allocation regressions in the kernel path are visible.
+func BenchmarkMatMul(b *testing.B) {
+	for _, size := range []int{64, 128, 256, 512} {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			r := rand.New(rand.NewSource(1))
+			x := rnd(r, size, size)
+			y := rnd(r, size, size)
+			dst := New(size, size)
+			b.SetBytes(int64(8 * size * size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(dst, x, y)
+			}
+			flops := 2 * float64(size) * float64(size) * float64(size)
+			b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+		})
+	}
+}
+
+// BenchmarkMatMulFused compares the fused matmul+bias+relu kernel against
+// its unfused composition.
+func BenchmarkMatMulFused(b *testing.B) {
+	const size = 256
+	r := rand.New(rand.NewSource(1))
+	x := rnd(r, size, size)
+	y := rnd(r, size, size)
+	c := rnd(r, size, size)
+	dst := New(size, size)
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MatMulAddReLUInto(dst, x, y, c)
+		}
+	})
+	b.Run("unfused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			t := MatMul(x, y)
+			t = Add(t, c)
+			t = ReLU(t)
+			dst = t
+		}
+	})
+}
+
+// BenchmarkElementwise measures the specialized elementwise loops, pure vs
+// destination-passing.
+func BenchmarkElementwise(b *testing.B) {
+	const n = 1 << 16
+	r := rand.New(rand.NewSource(1))
+	x := rnd(r, n)
+	y := rnd(r, n)
+	dst := New(n)
+	b.Run("AddPure", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = Add(x, y)
+		}
+	})
+	b.Run("AddInto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			AddInto(dst, x, y)
+		}
+	})
+	b.Run("AxpyInto", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			AxpyInto(dst, x, 0.5)
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// rnd returns a deterministic random tensor.
+func rnd(r *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = r.NormFloat64()
+	}
+	return t
+}
+
+// TestIntoKernelsMatchPure checks every destination-passing kernel against
+// its pure counterpart (golden equality), both into fresh storage and in
+// place over an operand.
+func TestIntoKernelsMatchPure(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a := rnd(r, 6, 5)
+	b := rnd(r, 6, 5)
+	s := Scalar(1.75)
+
+	binCases := []struct {
+		name string
+		pure func(a, b *Tensor) *Tensor
+		into func(dst, a, b *Tensor)
+	}{
+		{"Add", Add, AddInto},
+		{"Sub", Sub, SubInto},
+		{"Mul", Mul, MulInto},
+	}
+	for _, tc := range binCases {
+		for _, rhs := range []*Tensor{b, s} {
+			want := tc.pure(a, rhs)
+			dst := New(6, 5)
+			tc.into(dst, a, rhs)
+			if !AllClose(dst, want, 0, 0) {
+				t.Errorf("%sInto(fresh) != %s", tc.name, tc.name)
+			}
+			inPlace := a.Clone()
+			tc.into(inPlace, inPlace, rhs)
+			if !AllClose(inPlace, want, 0, 0) {
+				t.Errorf("%sInto(in place) != %s", tc.name, tc.name)
+			}
+		}
+		// Scalar on the left broadcasts too.
+		want := tc.pure(s, b)
+		dst := New(6, 5)
+		tc.into(dst, s, b)
+		if !AllClose(dst, want, 0, 0) {
+			t.Errorf("%sInto(scalar lhs) != %s", tc.name, tc.name)
+		}
+	}
+
+	unaryCases := []struct {
+		name string
+		pure func(*Tensor) *Tensor
+		into func(dst, a *Tensor)
+	}{
+		{"ReLU", ReLU, ReLUInto},
+		{"ReLUMask", ReLUMask, ReLUMaskInto},
+		{"Softmax", Softmax, SoftmaxInto},
+	}
+	for _, tc := range unaryCases {
+		want := tc.pure(a)
+		dst := New(6, 5)
+		tc.into(dst, a)
+		if !AllClose(dst, want, 0, 0) {
+			t.Errorf("%sInto(fresh) != %s", tc.name, tc.name)
+		}
+		inPlace := a.Clone()
+		tc.into(inPlace, inPlace)
+		if !AllClose(inPlace, want, 0, 0) {
+			t.Errorf("%sInto(in place) != %s", tc.name, tc.name)
+		}
+	}
+
+	// ScaleInto / AxpyInto.
+	want := Scale(a, 2.5)
+	dst := New(6, 5)
+	ScaleInto(dst, a, 2.5)
+	if !AllClose(dst, want, 0, 0) {
+		t.Error("ScaleInto != Scale")
+	}
+	inPlace := a.Clone()
+	ScaleInto(inPlace, inPlace, 2.5)
+	if !AllClose(inPlace, want, 0, 0) {
+		t.Error("ScaleInto in place != Scale")
+	}
+	axpy := b.Clone()
+	AxpyInto(axpy, a, 3.0)
+	if !AllClose(axpy, Add(b, Scale(a, 3.0)), 1e-12, 1e-12) {
+		t.Error("AxpyInto != b + 3a")
+	}
+
+	// CrossEntropyGradInto, aliasing the logits.
+	targets := rnd(r, 6, 5)
+	wantG := CrossEntropyGrad(a, targets)
+	g := a.Clone()
+	CrossEntropyGradInto(g, g, targets)
+	if !AllClose(g, wantG, 1e-12, 1e-12) {
+		t.Error("CrossEntropyGradInto in place != CrossEntropyGrad")
+	}
+
+	// TransposeInto / SumAxis0Into over scratch garbage.
+	tr := GetScratchShaped(5, 6)
+	TransposeInto(tr, a)
+	if !AllClose(tr, Transpose(a), 0, 0) {
+		t.Error("TransposeInto != Transpose")
+	}
+	sa := GetScratchShaped(5)
+	SumAxis0Into(sa, a)
+	if !AllClose(sa, SumAxis0(a), 1e-12, 1e-12) {
+		t.Error("SumAxis0Into != SumAxis0")
+	}
+}
+
+// TestMatMulKernels checks the parallel MatMul and the fused variants against
+// a naive reference over the benchmark size range.
+func TestMatMulKernels(t *testing.T) {
+	naive := func(a, b *Tensor) *Tensor {
+		m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+		out := New(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for p := 0; p < k; p++ {
+					s += a.At(i, p) * b.At(p, j)
+				}
+				out.Set(s, i, j)
+			}
+		}
+		return out
+	}
+	r := rand.New(rand.NewSource(11))
+	for _, size := range []int{3, 17, 64, 129, 256} {
+		a := rnd(r, size, size)
+		b := rnd(r, size, size)
+		want := naive(a, b)
+		if got := MatMul(a, b); !AllClose(got, want, 1e-9, 1e-9) {
+			t.Fatalf("MatMul(%d) mismatch", size)
+		}
+		// Fused variants over scratch garbage destinations.
+		relu := GetScratchShaped(size, size)
+		MatMulReLUInto(relu, a, b)
+		if !AllClose(relu, ReLU(want), 1e-9, 1e-9) {
+			t.Fatalf("MatMulReLUInto(%d) mismatch", size)
+		}
+		c := rnd(r, size, size)
+		if got := MatMulAddReLU(a, b, c); !AllClose(got, ReLU(Add(want, c)), 1e-9, 1e-9) {
+			t.Fatalf("MatMulAddReLU(%d) mismatch", size)
+		}
+		if got := MatMulAddReLU(a, b, Scalar(0.5)); !AllClose(got, ReLU(Add(want, Scalar(0.5))), 1e-9, 1e-9) {
+			t.Fatalf("MatMulAddReLU(%d, scalar) mismatch", size)
+		}
+	}
+}
+
+// TestScratchPoolReuse exercises GetScratch/Recycle from many goroutines (run
+// under -race) and checks shape plumbing and reuse invariants.
+func TestScratchPoolReuse(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := 64 + (w*37+i*13)%1000
+				s := GetScratch(n)
+				if s.Size() != n || s.Dim(0) != n {
+					t.Errorf("GetScratch(%d) has shape %v", n, s.Shape())
+					return
+				}
+				s.Data()[0] = float64(w) // owner may mutate scratch
+				sh := GetScratchShaped(4, n)
+				if sh.Size() != 4*n {
+					t.Errorf("GetScratchShaped(4,%d) has %d elements", n, sh.Size())
+					return
+				}
+				z := GetScratchZero(n)
+				for _, v := range z.Data() {
+					if v != 0 {
+						t.Error("GetScratchZero returned dirty storage")
+						return
+					}
+				}
+				z.Data()[n-1] = 1
+				Recycle(s)
+				Recycle(sh)
+				Recycle(z)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestReshapeViewOfScratch checks the documented aliasing contract: a view
+// and its base share storage, and ReshapeCopy breaks the sharing.
+func TestReshapeViewOfScratch(t *testing.T) {
+	base := GetScratchShaped(2, 6)
+	base.CopyFrom([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	v := Reshape(base, 3, 4)
+	base.Data()[5] = 99
+	if v.At(1, 1) != 99 {
+		t.Fatal("Reshape view does not share storage")
+	}
+	c := ReshapeCopy(base, 4, 3)
+	base.Data()[5] = -1
+	if c.Data()[5] != 99 {
+		t.Fatal("ReshapeCopy shares storage")
+	}
+	Recycle(base)
+}

@@ -5,72 +5,201 @@ import (
 	"math"
 )
 
+// Elementwise kernels are specialized per operator (no closure dispatch in
+// the hot loops) and come in two forms: pure (allocate a result) and
+// destination-passing *Into (write into caller-owned storage, which may alias
+// an operand). The interpreter's compiled programs and the runtime's gradient
+// accumulation use the Into forms on storage they own.
+
+// checkBinShapes panics unless a and b are elementwise-compatible (equal
+// shapes or one scalar).
+func checkBinShapes(name string, a, b *Tensor) {
+	if !SameShape(a, b) && a.Rank() != 0 && b.Rank() != 0 {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", name, a.shape, b.shape))
+	}
+}
+
+// checkDst panics unless dst has exactly the given shape.
+func checkDst(name string, dst *Tensor, shape []int) {
+	if !ShapeEq(dst.shape, shape) {
+		panic(fmt.Sprintf("tensor: %s destination shape %v, want %v", name, dst.shape, shape))
+	}
+}
+
+// binShape returns the broadcast result shape of a and b.
+func binShape(a, b *Tensor) []int {
+	if a.Rank() != 0 {
+		return a.shape
+	}
+	return b.shape
+}
+
 // Add returns a + b elementwise. Shapes must match exactly, or one operand
 // may be a scalar (rank 0), which broadcasts.
 func Add(a, b *Tensor) *Tensor {
-	return zipBroadcast(a, b, func(x, y float64) float64 { return x + y })
+	checkBinShapes("Add", a, b)
+	out := New(binShape(a, b)...)
+	AddInto(out, a, b)
+	return out
+}
+
+// AddInto stores a + b into dst (dst may alias a or b).
+func AddInto(dst, a, b *Tensor) {
+	checkBinShapes("AddInto", a, b)
+	checkDst("AddInto", dst, binShape(a, b))
+	switch {
+	case SameShape(a, b):
+		for i, x := range a.data {
+			dst.data[i] = x + b.data[i]
+		}
+	case b.Rank() == 0:
+		y := b.data[0]
+		for i, x := range a.data {
+			dst.data[i] = x + y
+		}
+	default:
+		x := a.data[0]
+		for i, y := range b.data {
+			dst.data[i] = x + y
+		}
+	}
 }
 
 // Sub returns a - b elementwise with scalar broadcasting.
 func Sub(a, b *Tensor) *Tensor {
-	return zipBroadcast(a, b, func(x, y float64) float64 { return x - y })
+	checkBinShapes("Sub", a, b)
+	out := New(binShape(a, b)...)
+	SubInto(out, a, b)
+	return out
+}
+
+// SubInto stores a - b into dst (dst may alias a or b).
+func SubInto(dst, a, b *Tensor) {
+	checkBinShapes("SubInto", a, b)
+	checkDst("SubInto", dst, binShape(a, b))
+	switch {
+	case SameShape(a, b):
+		for i, x := range a.data {
+			dst.data[i] = x - b.data[i]
+		}
+	case b.Rank() == 0:
+		y := b.data[0]
+		for i, x := range a.data {
+			dst.data[i] = x - y
+		}
+	default:
+		x := a.data[0]
+		for i, y := range b.data {
+			dst.data[i] = x - y
+		}
+	}
 }
 
 // Mul returns a * b elementwise with scalar broadcasting.
 func Mul(a, b *Tensor) *Tensor {
-	return zipBroadcast(a, b, func(x, y float64) float64 { return x * y })
+	checkBinShapes("Mul", a, b)
+	out := New(binShape(a, b)...)
+	MulInto(out, a, b)
+	return out
+}
+
+// MulInto stores a * b into dst (dst may alias a or b).
+func MulInto(dst, a, b *Tensor) {
+	checkBinShapes("MulInto", a, b)
+	checkDst("MulInto", dst, binShape(a, b))
+	switch {
+	case SameShape(a, b):
+		for i, x := range a.data {
+			dst.data[i] = x * b.data[i]
+		}
+	case b.Rank() == 0:
+		y := b.data[0]
+		for i, x := range a.data {
+			dst.data[i] = x * y
+		}
+	default:
+		x := a.data[0]
+		for i, y := range b.data {
+			dst.data[i] = x * y
+		}
+	}
 }
 
 // Div returns a / b elementwise with scalar broadcasting.
 func Div(a, b *Tensor) *Tensor {
-	return zipBroadcast(a, b, func(x, y float64) float64 { return x / y })
+	checkBinShapes("Div", a, b)
+	out := New(binShape(a, b)...)
+	switch {
+	case SameShape(a, b):
+		for i, x := range a.data {
+			out.data[i] = x / b.data[i]
+		}
+	case b.Rank() == 0:
+		y := b.data[0]
+		for i, x := range a.data {
+			out.data[i] = x / y
+		}
+	default:
+		x := a.data[0]
+		for i, y := range b.data {
+			out.data[i] = x / y
+		}
+	}
+	return out
 }
 
 // Maximum returns elementwise max(a, b) with scalar broadcasting.
 func Maximum(a, b *Tensor) *Tensor {
-	return zipBroadcast(a, b, math.Max)
-}
-
-func zipBroadcast(a, b *Tensor, f func(x, y float64) float64) *Tensor {
+	checkBinShapes("Maximum", a, b)
+	out := New(binShape(a, b)...)
 	switch {
 	case SameShape(a, b):
-		out := New(a.shape...)
-		for i := range a.data {
-			out.data[i] = f(a.data[i], b.data[i])
+		for i, x := range a.data {
+			out.data[i] = math.Max(x, b.data[i])
 		}
-		return out
 	case b.Rank() == 0:
-		out := New(a.shape...)
 		y := b.data[0]
-		for i := range a.data {
-			out.data[i] = f(a.data[i], y)
+		for i, x := range a.data {
+			out.data[i] = math.Max(x, y)
 		}
-		return out
-	case a.Rank() == 0:
-		out := New(b.shape...)
-		x := a.data[0]
-		for i := range b.data {
-			out.data[i] = f(x, b.data[i])
-		}
-		return out
 	default:
-		panic(fmt.Sprintf("tensor: shape mismatch %v vs %v", a.shape, b.shape))
+		x := a.data[0]
+		for i, y := range b.data {
+			out.data[i] = math.Max(x, y)
+		}
 	}
+	return out
 }
 
 // Scale returns a * s.
 func Scale(a *Tensor, s float64) *Tensor {
 	out := New(a.shape...)
-	for i := range a.data {
-		out.data[i] = a.data[i] * s
-	}
+	ScaleInto(out, a, s)
 	return out
+}
+
+// ScaleInto stores a * s into dst (dst may alias a).
+func ScaleInto(dst, a *Tensor, s float64) {
+	checkDst("ScaleInto", dst, a.shape)
+	for i, x := range a.data {
+		dst.data[i] = x * s
+	}
+}
+
+// AxpyInto accumulates dst += s * a (the BLAS axpy kernel; gradient
+// accumulation and optimizer updates are its callers).
+func AxpyInto(dst, a *Tensor, s float64) {
+	checkDst("AxpyInto", dst, a.shape)
+	for i, x := range a.data {
+		dst.data[i] += s * x
+	}
 }
 
 // Neg returns -a.
 func Neg(a *Tensor) *Tensor { return Scale(a, -1) }
 
-// Map applies f elementwise.
+// Map applies f elementwise. Specialized kernels below avoid this closure
+// dispatch on hot paths; Map remains for cold transcendental ops.
 func Map(a *Tensor, f func(float64) float64) *Tensor {
 	out := New(a.shape...)
 	for i := range a.data {
@@ -81,22 +210,40 @@ func Map(a *Tensor, f func(float64) float64) *Tensor {
 
 // ReLU returns max(a, 0).
 func ReLU(a *Tensor) *Tensor {
-	return Map(a, func(x float64) float64 {
+	out := New(a.shape...)
+	ReLUInto(out, a)
+	return out
+}
+
+// ReLUInto stores max(a, 0) into dst (dst may alias a).
+func ReLUInto(dst, a *Tensor) {
+	checkDst("ReLUInto", dst, a.shape)
+	for i, x := range a.data {
 		if x > 0 {
-			return x
+			dst.data[i] = x
+		} else {
+			dst.data[i] = 0
 		}
-		return 0
-	})
+	}
 }
 
 // ReLUMask returns 1 where a > 0 else 0 (the derivative mask of ReLU).
 func ReLUMask(a *Tensor) *Tensor {
-	return Map(a, func(x float64) float64 {
+	out := New(a.shape...)
+	ReLUMaskInto(out, a)
+	return out
+}
+
+// ReLUMaskInto stores the ReLU derivative mask of a into dst (dst may alias a).
+func ReLUMaskInto(dst, a *Tensor) {
+	checkDst("ReLUMaskInto", dst, a.shape)
+	for i, x := range a.data {
 		if x > 0 {
-			return 1
+			dst.data[i] = 1
+		} else {
+			dst.data[i] = 0
 		}
-		return 0
-	})
+	}
 }
 
 // Tanh applies tanh elementwise.
@@ -108,32 +255,120 @@ func Exp(a *Tensor) *Tensor { return Map(a, math.Exp) }
 // Log applies natural log elementwise.
 func Log(a *Tensor) *Tensor { return Map(a, math.Log) }
 
-// MatMul computes the matrix product of two rank-2 tensors (m,k)x(k,n)->(m,n).
-func MatMul(a, b *Tensor) *Tensor {
+// matMulShapes validates rank-2 operands and returns (m, k, n).
+func matMulShapes(a, b *Tensor) (m, k, n int) {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul wants rank-2 operands, got %v x %v", a.shape, b.shape))
 	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
+	if a.shape[1] != b.shape[0] {
 		panic(fmt.Sprintf("tensor: MatMul inner dims differ: %v x %v", a.shape, b.shape))
 	}
-	out := New(m, n)
-	// ikj loop order for cache friendliness.
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
+	return a.shape[0], a.shape[1], b.shape[1]
+}
+
+// matMulRows computes rows [lo, hi) of dst = a @ b (ikj loop order), zeroing
+// the destination rows first so dst may hold scratch garbage.
+func matMulRows(dst, a, b []float64, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a[i*k : (i+1)*k]
+		orow := dst[i*n : (i+1)*n]
+		for j := range orow {
+			orow[j] = 0
+		}
 		for p := 0; p < k; p++ {
 			av := arow[p]
 			if av == 0 {
 				continue
 			}
-			brow := b.data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
 			}
 		}
 	}
+}
+
+// matMulGrain returns the minimum row-block size worth shipping to a worker:
+// roughly 64k flops per block, so small matmuls stay on the calling
+// goroutine.
+func matMulGrain(k, n int) int {
+	g := 32768 / (k*n + 1)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// MatMul computes the matrix product of two rank-2 tensors (m,k)x(k,n)->(m,n),
+// parallelized over row blocks on the shared worker pool for large operands.
+func MatMul(a, b *Tensor) *Tensor {
+	m, _, n := matMulShapes(a, b)
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto stores a @ b into dst. dst must not alias a or b.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k, n := matMulShapes(a, b)
+	checkDst("MatMulInto", dst, []int{m, n})
+	parallelFor(m, matMulGrain(k, n), func(lo, hi int) {
+		matMulRows(dst.data, a.data, b.data, k, n, lo, hi)
+	})
+}
+
+// MatMulReLUInto stores relu(a @ b) into dst — the fused matmul+activation
+// kernel the interpreter emits when the IR permits. dst must not alias a or b.
+func MatMulReLUInto(dst, a, b *Tensor) {
+	m, k, n := matMulShapes(a, b)
+	checkDst("MatMulReLUInto", dst, []int{m, n})
+	parallelFor(m, matMulGrain(k, n), func(lo, hi int) {
+		matMulRows(dst.data, a.data, b.data, k, n, lo, hi)
+		for i := lo * n; i < hi*n; i++ {
+			if dst.data[i] < 0 {
+				dst.data[i] = 0
+			}
+		}
+	})
+}
+
+// MatMulAddReLUInto stores relu(a @ b + c) into dst, fusing the projection,
+// bias add, and activation in one pass over the output. c must either match
+// the (m,n) result shape or be a scalar. dst must not alias a, b, or c.
+func MatMulAddReLUInto(dst, a, b, c *Tensor) {
+	m, k, n := matMulShapes(a, b)
+	checkDst("MatMulAddReLUInto", dst, []int{m, n})
+	if !ShapeEq(c.shape, []int{m, n}) && c.Rank() != 0 {
+		panic(fmt.Sprintf("tensor: MatMulAddReLU addend shape %v, want %v or scalar", c.shape, []int{m, n}))
+	}
+	parallelFor(m, matMulGrain(k, n), func(lo, hi int) {
+		matMulRows(dst.data, a.data, b.data, k, n, lo, hi)
+		if c.Rank() == 0 {
+			cv := c.data[0]
+			for i := lo * n; i < hi*n; i++ {
+				v := dst.data[i] + cv
+				if v < 0 {
+					v = 0
+				}
+				dst.data[i] = v
+			}
+		} else {
+			for i := lo * n; i < hi*n; i++ {
+				v := dst.data[i] + c.data[i]
+				if v < 0 {
+					v = 0
+				}
+				dst.data[i] = v
+			}
+		}
+	})
+}
+
+// MatMulAddReLU returns relu(a @ b + c) — the pure form of the fused kernel.
+func MatMulAddReLU(a, b, c *Tensor) *Tensor {
+	m, _, n := matMulShapes(a, b)
+	out := New(m, n)
+	MatMulAddReLUInto(out, a, b, c)
 	return out
 }
 
@@ -144,16 +379,39 @@ func Transpose(a *Tensor) *Tensor {
 	}
 	m, n := a.shape[0], a.shape[1]
 	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.data[j*m+i] = a.data[i*n+j]
-		}
-	}
+	TransposeInto(out, a)
 	return out
 }
 
-// Reshape returns a view-copy of a with a new shape of equal element count.
+// TransposeInto stores the rank-2 transpose of a into dst. dst must not
+// alias a.
+func TransposeInto(dst, a *Tensor) {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose wants rank 2, got %v", a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	checkDst("TransposeInto", dst, []int{n, m})
+	for i := 0; i < m; i++ {
+		row := a.data[i*n : (i+1)*n]
+		for j, v := range row {
+			dst.data[j*m+i] = v
+		}
+	}
+}
+
+// Reshape returns a view of a with a new shape of equal element count. The
+// view shares a's backing storage (reshape is free on every microbatch
+// boundary); use ReshapeCopy when the result will be mutated.
 func Reshape(a *Tensor, shape ...int) *Tensor {
+	if NumElements(shape) != a.Size() {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", a.shape, shape))
+	}
+	return &Tensor{shape: cloneShape(shape), data: a.data}
+}
+
+// ReshapeCopy returns an independent copy of a with a new shape — the escape
+// hatch for callers that mutate the result.
+func ReshapeCopy(a *Tensor, shape ...int) *Tensor {
 	if NumElements(shape) != a.Size() {
 		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", a.shape, shape))
 	}
@@ -176,16 +434,27 @@ func SumAxis0(a *Tensor) *Tensor {
 	if a.Rank() == 0 {
 		return a.Clone()
 	}
+	out := New(a.shape[1:]...)
+	SumAxis0Into(out, a)
+	return out
+}
+
+// SumAxis0Into sums a over the leading axis into dst, overwriting it. dst
+// must not alias a.
+func SumAxis0Into(dst, a *Tensor) {
+	if a.Rank() == 0 {
+		panic("tensor: SumAxis0Into wants rank >= 1")
+	}
 	rest := a.shape[1:]
-	out := New(rest...)
+	checkDst("SumAxis0Into", dst, rest)
 	stride := NumElements(rest)
+	clear(dst.data)
 	for i := 0; i < a.shape[0]; i++ {
 		base := i * stride
 		for j := 0; j < stride; j++ {
-			out.data[j] += a.data[base+j]
+			dst.data[j] += a.data[base+j]
 		}
 	}
-	return out
 }
 
 // MeanAxis0 averages over the leading axis.
@@ -268,11 +537,21 @@ func Softmax(a *Tensor) *Tensor {
 	if a.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: Softmax wants rank 2, got %v", a.shape))
 	}
+	out := New(a.shape...)
+	SoftmaxInto(out, a)
+	return out
+}
+
+// SoftmaxInto stores the row-wise softmax of a into dst (dst may alias a).
+func SoftmaxInto(dst, a *Tensor) {
+	if a.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Softmax wants rank 2, got %v", a.shape))
+	}
+	checkDst("SoftmaxInto", dst, a.shape)
 	m, n := a.shape[0], a.shape[1]
-	out := New(m, n)
 	for i := 0; i < m; i++ {
 		row := a.data[i*n : (i+1)*n]
-		orow := out.data[i*n : (i+1)*n]
+		orow := dst.data[i*n : (i+1)*n]
 		mx := math.Inf(-1)
 		for _, v := range row {
 			if v > mx {
@@ -289,7 +568,6 @@ func Softmax(a *Tensor) *Tensor {
 			orow[j] /= s
 		}
 	}
-	return out
 }
 
 // CrossEntropy computes mean(-sum(targets * log softmax(logits), axis=1)) for
@@ -298,7 +576,8 @@ func CrossEntropy(logits, targets *Tensor) *Tensor {
 	if !SameShape(logits, targets) {
 		panic(fmt.Sprintf("tensor: CrossEntropy shape mismatch %v vs %v", logits.shape, targets.shape))
 	}
-	p := Softmax(logits)
+	p := GetScratchShaped(logits.shape...)
+	SoftmaxInto(p, logits)
 	m, n := logits.shape[0], logits.shape[1]
 	loss := 0.0
 	for i := 0; i < m; i++ {
@@ -309,12 +588,27 @@ func CrossEntropy(logits, targets *Tensor) *Tensor {
 			}
 		}
 	}
+	Recycle(p)
 	return Scalar(loss / float64(m))
 }
 
 // CrossEntropyGrad returns d(CrossEntropy)/d(logits) = (softmax - targets)/m.
 func CrossEntropyGrad(logits, targets *Tensor) *Tensor {
-	p := Softmax(logits)
-	m := float64(logits.shape[0])
-	return Scale(Sub(p, targets), 1/m)
+	out := New(logits.shape...)
+	CrossEntropyGradInto(out, logits, targets)
+	return out
+}
+
+// CrossEntropyGradInto stores d(CrossEntropy)/d(logits) into dst (dst may
+// alias logits, but not targets).
+func CrossEntropyGradInto(dst, logits, targets *Tensor) {
+	if !SameShape(logits, targets) {
+		panic(fmt.Sprintf("tensor: CrossEntropy shape mismatch %v vs %v", logits.shape, targets.shape))
+	}
+	checkDst("CrossEntropyGradInto", dst, logits.shape)
+	SoftmaxInto(dst, logits)
+	inv := 1 / float64(logits.shape[0])
+	for i, t := range targets.data {
+		dst.data[i] = (dst.data[i] - t) * inv
+	}
 }

@@ -1,0 +1,67 @@
+package tensor
+
+import (
+	goruntime "runtime"
+	"sync"
+)
+
+// Shared worker pool for data-parallel kernels. One pool of GOMAXPROCS
+// goroutines serves every parallel kernel in the process (the role a BLAS
+// thread pool plays): kernels split their iteration space into blocks,
+// submit all but one to the pool, and run the last block inline so progress
+// never depends on a free worker.
+
+var (
+	workerOnce sync.Once
+	workerCh   chan func()
+	numWorkers int
+)
+
+func startWorkers() {
+	// At least two workers even on a single-core machine: splitting costs
+	// almost nothing at the grain sizes kernels use, and it keeps the
+	// parallel path exercised (and race-checked) everywhere.
+	numWorkers = goruntime.GOMAXPROCS(0)
+	if numWorkers < 2 {
+		numWorkers = 2
+	}
+	workerCh = make(chan func(), 4*numWorkers)
+	for i := 0; i < numWorkers; i++ {
+		go func() {
+			for f := range workerCh {
+				f()
+			}
+		}()
+	}
+}
+
+// parallelFor runs body over [0, n) split into contiguous blocks of at least
+// minGrain iterations, using the shared worker pool. body must be safe to run
+// concurrently on disjoint ranges. Falls back to a single inline call when
+// the work is too small.
+func parallelFor(n, minGrain int, body func(lo, hi int)) {
+	workerOnce.Do(startWorkers)
+	if n < 2*minGrain {
+		body(0, n)
+		return
+	}
+	blocks := n / minGrain
+	if blocks > numWorkers {
+		blocks = numWorkers
+	}
+	per := (n + blocks - 1) / blocks
+	var wg sync.WaitGroup
+	lo := 0
+	for lo+per < n {
+		hi := lo + per
+		wg.Add(1)
+		l, h := lo, hi
+		workerCh <- func() {
+			defer wg.Done()
+			body(l, h)
+		}
+		lo = hi
+	}
+	body(lo, n) // caller runs the final block inline
+	wg.Wait()
+}

@@ -1,0 +1,99 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch-tensor pool. Hot paths (the IR interpreter's intermediates, the
+// collective engine's ring chunks) churn through short-lived tensors of a
+// small set of sizes; recycling them through size-bucketed sync.Pools makes
+// those paths allocation-free in steady state.
+//
+// Ownership rules:
+//   - GetScratch hands out a tensor with unspecified contents that the caller
+//     owns exclusively and may mutate (unlike ordinary tensors, which are
+//     immutable by convention).
+//   - Recycle returns a tensor to the pool. The caller must hold the only
+//     reference: recycling a tensor that is still aliased (a Reshape view, a
+//     stored buffer, an in-flight message) corrupts later computations.
+//   - A scratch tensor handed to another owner (sent over a transport, stored,
+//     returned to a caller) transfers ownership: the new owner recycles it, or
+//     simply drops it to the garbage collector.
+
+const (
+	// minPoolBits is the smallest bucket (64 elements): tinier tensors are
+	// cheaper to allocate than to pool.
+	minPoolBits = 6
+	// maxPoolBits is the largest bucket (2^24 elements, 128 MiB): beyond it
+	// tensors are allocated directly.
+	maxPoolBits = 24
+)
+
+var scratchPools [maxPoolBits + 1]sync.Pool
+
+// bucketFor returns the pool index whose buffers can hold n elements.
+func bucketFor(n int) int {
+	if n <= 1<<minPoolBits {
+		return minPoolBits
+	}
+	return bits.Len(uint(n - 1)) // ceil(log2 n)
+}
+
+// GetScratch returns a flat scratch tensor of shape [n] backed by pooled
+// storage. Contents are unspecified; the caller owns the tensor and may
+// mutate it until ownership is transferred (see the package ownership rules).
+func GetScratch(n int) *Tensor {
+	t := getScratchCap(n)
+	t.shape = append(t.shape[:0], n)
+	return t
+}
+
+// GetScratchShaped is GetScratch for an arbitrary shape.
+func GetScratchShaped(shape ...int) *Tensor {
+	t := getScratchCap(NumElements(shape))
+	t.shape = append(t.shape[:0], shape...)
+	return t
+}
+
+// GetScratchZero is GetScratchShaped with the storage cleared.
+func GetScratchZero(shape ...int) *Tensor {
+	t := GetScratchShaped(shape...)
+	clear(t.data)
+	return t
+}
+
+func getScratchCap(n int) *Tensor {
+	b := bucketFor(n)
+	if b > maxPoolBits {
+		return &Tensor{data: make([]float64, n)}
+	}
+	v := scratchPools[b].Get()
+	if v == nil {
+		return &Tensor{data: make([]float64, n, 1<<b)}
+	}
+	t := v.(*Tensor)
+	t.data = t.data[:cap(t.data)][:n]
+	return t
+}
+
+// Recycle returns t's storage to the scratch pool. The caller must own the
+// only reference to t and to its backing array (no live views). Any tensor
+// may be recycled, not just ones from GetScratch; undersized or oversized
+// storage is simply dropped.
+func Recycle(t *Tensor) {
+	if t == nil {
+		return
+	}
+	c := cap(t.data)
+	if c < 1<<minPoolBits {
+		return
+	}
+	// Floor bucket: the buffer can serve any request up to its capacity, and
+	// every request routed to bucket b needs at most 1<<b <= c elements.
+	b := bits.Len(uint(c)) - 1
+	if b > maxPoolBits {
+		return
+	}
+	scratchPools[b].Put(t)
+}

@@ -6,6 +6,10 @@
 //
 // Tensors are immutable by convention: operations return fresh tensors and
 // never alias their inputs' backing storage unless documented (Reshape).
+// Two documented exceptions relax the convention for hot paths: scratch
+// tensors from the buffer pool (pool.go) are exclusively owned and mutable
+// until ownership transfers, and the destination-passing *Into kernels
+// (ops.go) write into caller-owned storage.
 package tensor
 
 import (
@@ -99,6 +103,25 @@ func (t *Tensor) Clone() *Tensor {
 	d := make([]float64, len(t.data))
 	copy(d, t.data)
 	return &Tensor{shape: cloneShape(t.shape), data: d}
+}
+
+// View wraps data in a tensor of the given shape without copying. The tensor
+// aliases data: the caller is responsible for the resulting sharing (used by
+// zero-copy collective chunks and internal staging).
+func View(data []float64, shape ...int) *Tensor {
+	if NumElements(shape) != len(data) {
+		panic(fmt.Sprintf("tensor: View shape %v wants %d elements, got %d", shape, NumElements(shape), len(data)))
+	}
+	return &Tensor{shape: cloneShape(shape), data: data}
+}
+
+// CopyFrom copies src into the tensor's storage. Lengths must match. It is
+// the write half of Data() for owners of mutable (scratch) tensors.
+func (t *Tensor) CopyFrom(src []float64) {
+	if len(src) != len(t.data) {
+		panic(fmt.Sprintf("tensor: CopyFrom of %d elements into %d", len(src), len(t.data)))
+	}
+	copy(t.data, src)
 }
 
 // At returns the element at the given multi-index.

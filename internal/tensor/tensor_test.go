@@ -160,9 +160,22 @@ func TestReshape(t *testing.T) {
 	if b.At(2, 1) != 6 {
 		t.Fatalf("reshape data moved: %v", b)
 	}
+	// Reshape is a zero-copy view: it shares the input's storage.
+	b.Set(99, 0, 0)
+	if a.At(0, 0) != 99 {
+		t.Fatal("Reshape should alias its input")
+	}
+}
+
+func TestReshapeCopy(t *testing.T) {
+	a := MustFromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := ReshapeCopy(a, 3, 2)
+	if b.At(2, 1) != 6 {
+		t.Fatalf("reshape data moved: %v", b)
+	}
 	b.Set(99, 0, 0)
 	if a.At(0, 0) == 99 {
-		t.Fatal("Reshape aliases input")
+		t.Fatal("ReshapeCopy must not alias its input")
 	}
 }
 

@@ -267,9 +267,9 @@ func (t *TrainStep) installDPSync(tr runtime.Transport) error {
 			}
 			global := r*pp + a
 			bufs := bufs
+			ts := make([]*tensor.Tensor, len(bufs))
 			err = t.exe.SetStepEpilogue(global, func(store *runtime.Store) error {
 				start := time.Now()
-				ts := make([]*tensor.Tensor, len(bufs))
 				for i, b := range bufs {
 					g, err := store.Get(b)
 					if err != nil {
@@ -277,12 +277,12 @@ func (t *TrainStep) installDPSync(tr runtime.Transport) error {
 					}
 					ts[i] = g
 				}
-				reduced, err := comm.AllReduceBuckets(ts, collective.OpSum, bucketBytes)
-				if err != nil {
+				// Gradient accumulators are store-private (the runtime clones
+				// on first accumulation), so the bucketed all-reduce runs in
+				// place through the communicator's persistent scratch: no
+				// per-step result tensors, no store churn.
+				if err := comm.AllReduceBucketsInPlace(ts, collective.OpSum, bucketBytes); err != nil {
 					return fmt.Errorf("jaxpp: dp sync: %w", err)
-				}
-				for i, b := range bufs {
-					store.Put(b, reduced[i])
 				}
 				t.dpSyncNanos[global] = time.Since(start).Nanoseconds()
 				return nil
