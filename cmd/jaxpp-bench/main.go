@@ -10,8 +10,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
+	"runtime/debug"
 	"time"
 
+	jaxpp "repro"
 	"repro/internal/autodiff"
 	"repro/internal/collective"
 	"repro/internal/experiments"
@@ -125,12 +128,108 @@ func measureKernels() (*kernelStats, error) {
 	}, nil
 }
 
+// runtimeStepStats measures steady-state training steps on the real MPMD
+// runtime: wall time and heap allocations per Executable.Step, the driver
+// metric the dense-store/zero-copy-view work optimizes. Allocation counts
+// are deterministic enough to gate on (-max-step-allocs).
+type runtimeStepStats struct {
+	PipelineStepMs     float64 `json:"pipeline_step_ms"`
+	PipelineStepAllocs float64 `json:"pipeline_step_allocs"`
+	DPxPPStepMs        float64 `json:"dpxpp_step_ms"`
+	DPxPPStepAllocs    float64 `json:"dpxpp_step_allocs"`
+}
+
+// mlpTrainStep compiles the same S-stage MLP configuration the runtime step
+// benchmarks use.
+func mlpTrainStep(stages, mbRows, numMB, width, dp int) (*jaxpp.TrainStep, []*jaxpp.Tensor, []*jaxpp.Tensor, error) {
+	paramShapes := make([][]int, stages)
+	for i := range paramShapes {
+		paramShapes[i] = []int{width, width}
+	}
+	spec := jaxpp.CompileSpec{
+		Loss: func(b *jaxpp.Builder, params, mb []*jaxpp.Value) *jaxpp.Value {
+			h := mb[0]
+			for i, w := range params {
+				h = b.ReLU(b.MatMul(h, w))
+				if i+1 < len(params) {
+					h = b.PipelineYield(h)
+				}
+			}
+			return b.CrossEntropy(h, mb[1])
+		},
+		ParamShapes:  paramShapes,
+		BatchShapes:  [][]int{{mbRows, width}, {mbRows, width}},
+		Schedule:     jaxpp.OneFOneB(stages, numMB),
+		DataParallel: dp,
+	}
+	mesh := jaxpp.NewRemoteMesh(max(dp, 1) * stages)
+	step, err := mesh.Compile(spec)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rng := jaxpp.NewRNG(1)
+	var params []*jaxpp.Tensor
+	for i := 0; i < stages; i++ {
+		params = append(params, rng.Xavier(width, width))
+	}
+	rows := max(dp, 1) * numMB * mbRows
+	batch := []*jaxpp.Tensor{rng.Normal(1, rows, width), rng.OneHotBatch(rows, width)}
+	return step, params, batch, nil
+}
+
+// measureStep runs warm-up steps, then times and counts heap allocations over
+// iters steady-state steps with the GC paused (a collection mid-measurement
+// would drop the scratch pools and charge the refill to the step).
+func measureStep(step *jaxpp.TrainStep, params, batch []*jaxpp.Tensor) (ms, allocs float64, err error) {
+	const warm, iters = 5, 20
+	for i := 0; i < warm; i++ {
+		if _, _, err := step.Step(params, batch); err != nil {
+			return 0, 0, err
+		}
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	goruntime.GC()
+	var before, after goruntime.MemStats
+	goruntime.ReadMemStats(&before)
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, _, err := step.Step(params, batch); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(t0)
+	goruntime.ReadMemStats(&after)
+	return elapsed.Seconds() * 1e3 / iters, float64(after.Mallocs-before.Mallocs) / iters, nil
+}
+
+// measureRuntimeSteps reproduces BenchmarkRuntimePipelineStep and
+// BenchmarkRuntimeDPxPPStep outside the testing harness.
+func measureRuntimeSteps() (*runtimeStepStats, error) {
+	s := &runtimeStepStats{}
+	step, params, batch, err := mlpTrainStep(4, 8, 8, 32, 0)
+	if err != nil {
+		return nil, err
+	}
+	if s.PipelineStepMs, s.PipelineStepAllocs, err = measureStep(step, params, batch); err != nil {
+		return nil, err
+	}
+	dpStep, dpParams, dpBatch, err := mlpTrainStep(4, 8, 4, 32, 2)
+	if err != nil {
+		return nil, err
+	}
+	if s.DPxPPStepMs, s.DPxPPStepAllocs, err = measureStep(dpStep, dpParams, dpBatch); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
 // snapshot is the machine-readable perf baseline future PRs diff against.
 type snapshot struct {
 	Fig6BestTFLOPSPerDevice float64               `json:"fig6_best_tflops_per_device"`
 	Fig8WeakScalingEffPct   float64               `json:"fig8_weak_scaling_eff_pct"`
 	Table1MeanAbsStepErrPct float64               `json:"table1_mean_abs_step_err_pct"`
 	Kernels                 *kernelStats          `json:"kernels"`
+	RuntimeSteps            *runtimeStepStats     `json:"runtime_steps"`
 	Collective              *collectiveValidation `json:"collective_validation"`
 }
 
@@ -184,6 +283,10 @@ func buildSnapshot() (*snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.RuntimeSteps, err = measureRuntimeSteps()
+	if err != nil {
+		return nil, err
+	}
 	s.Collective, err = validateCollective()
 	if err != nil {
 		return nil, err
@@ -191,9 +294,23 @@ func buildSnapshot() (*snapshot, error) {
 	return s, nil
 }
 
+// checkStepAllocs enforces the allocs-per-step ceiling, the CI gate that
+// keeps the SliceRange0-copy/store-churn allocation regression class from
+// silently returning.
+func checkStepAllocs(rs *runtimeStepStats, maxAllocs float64) error {
+	if rs.PipelineStepAllocs > maxAllocs {
+		return fmt.Errorf("pipeline step allocates %.0f objects, ceiling %.0f", rs.PipelineStepAllocs, maxAllocs)
+	}
+	if rs.DPxPPStepAllocs > maxAllocs {
+		return fmt.Errorf("DPxPP step allocates %.0f objects, ceiling %.0f", rs.DPxPPStepAllocs, maxAllocs)
+	}
+	return nil
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, fig9, fig10, table1, ablations, validate")
 	jsonPath := flag.String("json", "", "write a machine-readable perf snapshot to this path and exit")
+	maxStepAllocs := flag.Float64("max-step-allocs", 0, "fail (exit 1) if a steady-state runtime step allocates more than this many objects; without -json only the step measurement runs")
 	flag.Parse()
 
 	if *jsonPath != "" {
@@ -212,6 +329,27 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+		if *maxStepAllocs > 0 {
+			if err := checkStepAllocs(s.RuntimeSteps, *maxStepAllocs); err != nil {
+				fmt.Fprintln(os.Stderr, "jaxpp-bench:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *maxStepAllocs > 0 {
+		rs, err := measureRuntimeSteps()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jaxpp-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pipeline step: %.3f ms, %.0f allocs; DPxPP step: %.3f ms, %.0f allocs (ceiling %.0f)\n",
+			rs.PipelineStepMs, rs.PipelineStepAllocs, rs.DPxPPStepMs, rs.DPxPPStepAllocs, *maxStepAllocs)
+		if err := checkStepAllocs(rs, *maxStepAllocs); err != nil {
+			fmt.Fprintln(os.Stderr, "jaxpp-bench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -118,6 +118,9 @@ func (c *Communicator) AllReduceInto(dst, src *tensor.Tensor, op Op) error {
 	if !tensor.SameShape(dst, src) {
 		return fmt.Errorf("collective: AllReduceInto shape mismatch %v vs %v", dst.Shape(), src.Shape())
 	}
+	if dst.Borrowed() {
+		return fmt.Errorf("collective: AllReduceInto destination is a borrowed view")
+	}
 	base := c.opWindow() // consumed even on the fast paths to keep ranks in lockstep
 	if dst != src {
 		dst.CopyFrom(src.Data())
@@ -191,6 +194,112 @@ func (c *Communicator) AllGather(shard *tensor.Tensor) (*tensor.Tensor, error) {
 		cur = in
 	}
 	return tensor.Concat0(parts), nil
+}
+
+// AllGatherInto gathers equal-shape shards from every rank into dst along
+// axis 0 in rank order: dst row block r holds rank r's shard. dst must have
+// leading dimension Size()×shard.Dim(0), identical trailing dimensions, and
+// be rank-private mutable storage. Unlike AllGather, shards are never relayed
+// as caller tensors: each rank copies its shard into a pooled chunk before
+// the first hop, chunks move around the ring with ownership (the final
+// receiver recycles them), and the caller's shard may be reused the moment
+// the call returns. Zero heap allocations at steady state.
+func (c *Communicator) AllGatherInto(dst, shard *tensor.Tensor) error {
+	n := c.Size()
+	base := c.opWindow() // consumed even on fast paths to keep ranks in lockstep
+	if shard.Rank() == 0 || dst.Rank() != shard.Rank() {
+		return fmt.Errorf("collective: AllGatherInto wants rank >= 1 shards and a matching destination, got shard %v dst %v", shard.Shape(), dst.Shape())
+	}
+	if dst.Borrowed() {
+		return fmt.Errorf("collective: AllGatherInto destination is a borrowed view")
+	}
+	if dst.Dim(0) != n*shard.Dim(0) {
+		return fmt.Errorf("collective: AllGatherInto destination leading dim %d, want %d×%d", dst.Dim(0), n, shard.Dim(0))
+	}
+	for i := 1; i < shard.Rank(); i++ {
+		if dst.Dim(i) != shard.Dim(i) {
+			return fmt.Errorf("collective: AllGatherInto trailing dims differ: shard %v dst %v", shard.Shape(), dst.Shape())
+		}
+	}
+	stride := shard.Size()
+	data := dst.Data()
+	copy(data[c.rank*stride:(c.rank+1)*stride], shard.Data())
+	if n == 1 || stride == 0 {
+		return nil
+	}
+	// Seed the ring with a pooled copy of the local shard, then circulate:
+	// at step s forward the chunk originally owned by rank-s and keep the
+	// incoming chunk (owned by rank-s-1) for the next hop.
+	cur := tensor.GetScratch(stride)
+	cur.CopyFrom(shard.Data())
+	for s := 0; s < n-1; s++ {
+		c.g.tr.Send(c.self(), c.next(), base+s, cur)
+		in, err := c.g.tr.Recv(c.self(), c.prev(), base+s)
+		if err != nil {
+			return err
+		}
+		if in.Size() != stride {
+			return fmt.Errorf("collective: rank %d received chunk of %d elements, expected %d", c.rank, in.Size(), stride)
+		}
+		owner := ((c.rank-s-1)%n + n) % n
+		copy(data[owner*stride:(owner+1)*stride], in.Data())
+		cur = in
+	}
+	tensor.Recycle(cur) // final hop: this rank is the chunk's last reader
+	return nil
+}
+
+// BroadcastInto distributes root's tensor in place: on the root, t is the
+// source; on every other rank, t is rank-private mutable storage of the same
+// shape that receives the payload. The transfer is the same chunked pipelined
+// ring as Broadcast, but with the destination preallocated there is no shape
+// prologue and no allocation: intermediate ranks copy each incoming pooled
+// chunk into t and forward the chunk object itself, and the last rank in the
+// chain recycles it.
+func (c *Communicator) BroadcastInto(t *tensor.Tensor, root int) error {
+	n := c.Size()
+	base := c.opWindow() // consumed even on fast paths to keep ranks in lockstep
+	if root < 0 || root >= n {
+		return fmt.Errorf("collective: broadcast root %d out of range for group of %d", root, n)
+	}
+	if t == nil {
+		return fmt.Errorf("collective: BroadcastInto needs a destination tensor on every rank")
+	}
+	if n == 1 {
+		return nil
+	}
+	L := t.Size()
+	data := t.Data()
+	dist := ((c.rank-root)%n + n) % n
+	if dist == 0 {
+		for k := 0; k < n; k++ {
+			lo, hi := chunkRange(L, n, k)
+			c.sendChunk(c.next(), base+k, data, lo, hi)
+		}
+		return nil
+	}
+	if t.Borrowed() {
+		return fmt.Errorf("collective: BroadcastInto destination is a borrowed view")
+	}
+	last := dist == n-1
+	for k := 0; k < n; k++ {
+		lo, hi := chunkRange(L, n, k)
+		in, err := c.g.tr.Recv(c.self(), c.prev(), base+k)
+		if err != nil {
+			return err
+		}
+		if in.Size() != hi-lo {
+			return fmt.Errorf("collective: rank %d received chunk of %d elements, expected %d", c.rank, in.Size(), hi-lo)
+		}
+		copy(data[lo:hi], in.Data())
+		if !last {
+			// Forward the chunk object itself; ownership moves on.
+			c.g.tr.Send(c.self(), c.next(), base+k, in)
+		} else {
+			tensor.Recycle(in)
+		}
+	}
+	return nil
 }
 
 // Broadcast distributes root's tensor to every rank (ranks other than root

@@ -191,6 +191,21 @@ func (c *compiler) emit(i int) int {
 		}, involved)
 		return i
 
+	case ir.OpYield:
+		// Identity marking a stage boundary: alias the operand instead of
+		// cloning it (the reference Apply clones). The output shares the
+		// operand's storage root, so liveness keeps the storage alive and
+		// copyOut preserves the caller-ownership contract for outputs.
+		a := args[0]
+		r := c.root[a]
+		c.root[out] = r
+		c.raiseRootLast(r, c.lastUse[out])
+		c.push(i, func(env []*tensor.Tensor) error {
+			env[out] = env[a]
+			return nil
+		}, involved)
+		return i
+
 	case ir.OpMatMul:
 		if j, fused := c.tryFuseMatMul(i, e, args, out); fused {
 			return j
@@ -411,17 +426,37 @@ func (c *compiler) tryFuseMatMul(i int, e *ir.Equation, args []int, out int) (in
 	return i, false
 }
 
+// NumOutputs returns the number of output tensors a run produces.
+func (p *Program) NumOutputs() int { return len(p.outSlots) }
+
 // Run executes the program on inputs (positionally matching the graph's
-// inputs) and returns the output tensors. Inputs are never mutated; outputs
-// are owned by the caller. Safe for concurrent use.
+// inputs) and returns the output tensors. Inputs are borrowed for the
+// duration of the call: they are never mutated, never recycled, and no
+// reference to them outlives the call except through outputs that copyOut
+// cloning already detached. Outputs are owned by the caller. Safe for
+// concurrent use.
 func (p *Program) Run(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	outs := make([]*tensor.Tensor, len(p.outSlots))
+	if err := p.RunInto(outs, inputs); err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// RunInto is Run writing the outputs into outs (len NumOutputs), for callers
+// that reuse a result buffer across steps to keep the dispatch path
+// allocation-free. The same borrowed-input contract as Run applies.
+func (p *Program) RunInto(outs []*tensor.Tensor, inputs []*tensor.Tensor) error {
 	g := p.g
 	if len(inputs) != len(g.Inputs) {
-		return nil, fmt.Errorf("interp: graph %q wants %d inputs, got %d", g.Name, len(g.Inputs), len(inputs))
+		return fmt.Errorf("interp: graph %q wants %d inputs, got %d", g.Name, len(g.Inputs), len(inputs))
+	}
+	if len(outs) != len(p.outSlots) {
+		return fmt.Errorf("interp: graph %q produces %d outputs, destination holds %d", g.Name, len(p.outSlots), len(outs))
 	}
 	for i, v := range g.Inputs {
-		if !tensor.ShapeEq(v.Shape, inputs[i].Shape()) {
-			return nil, fmt.Errorf("interp: input %d shape %v, value wants %v", i, inputs[i].Shape(), v.Shape)
+		if !inputs[i].HasShape(v.Shape) {
+			return fmt.Errorf("interp: input %d shape %v, value wants %v", i, inputs[i].Shape(), v.Shape)
 		}
 	}
 	envp := p.envPool.Get().(*[]*tensor.Tensor)
@@ -432,14 +467,13 @@ func (p *Program) Run(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 		if err := ins.eval(env); err != nil {
 			clear(env)
 			p.envPool.Put(envp)
-			return nil, fmt.Errorf("interp: eqn %d: %w", i, err)
+			return fmt.Errorf("interp: eqn %d: %w", i, err)
 		}
 		for _, s := range ins.free {
 			tensor.Recycle(env[s])
 			env[s] = nil
 		}
 	}
-	outs := make([]*tensor.Tensor, len(p.outSlots))
 	for i, s := range p.outSlots {
 		if p.copyOut[i] {
 			outs[i] = env[s].Clone()
@@ -449,5 +483,5 @@ func (p *Program) Run(inputs []*tensor.Tensor) ([]*tensor.Tensor, error) {
 	}
 	clear(env)
 	p.envPool.Put(envp)
-	return outs, nil
+	return nil
 }

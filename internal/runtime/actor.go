@@ -24,15 +24,25 @@ type Actor struct {
 	prog      []taskgraph.Instr
 	segs      []*segmentExecutable
 
+	// argBuf and outBuf are the reusable OpRun dispatch buffers, sized at
+	// Load to the widest instruction. The actor executes its program
+	// sequentially, so one pair serves every instruction without per-step
+	// slice allocation.
+	argBuf []*tensor.Tensor
+	outBuf []*tensor.Tensor
+
 	sendWG sync.WaitGroup
 }
 
 // segmentExecutable is a "compiled" pipeline segment: in this reproduction
 // compilation is graph verification plus closure capture; XLA's role as the
-// per-task executor is played by the IR interpreter (see Cluster.Load).
+// per-task executor is played by the compiled IR program (see Cluster.Load).
+// runInto writes the segment's outputs into a caller slice so steady-state
+// dispatch performs no allocation; inputs are borrowed (never mutated, never
+// retained).
 type segmentExecutable struct {
-	seg int
-	run func(inputs []*tensor.Tensor) ([]*tensor.Tensor, error)
+	seg     int
+	runInto func(outs, inputs []*tensor.Tensor) error
 }
 
 // NewActor builds an actor bound to a transport.
@@ -45,6 +55,17 @@ func NewActor(id int, tr Transport) *Actor {
 func (a *Actor) Load(prog []taskgraph.Instr, segs []*segmentExecutable) {
 	a.prog = prog
 	a.segs = segs
+	maxIns, maxOuts := 0, 0
+	for _, in := range prog {
+		if len(in.Ins) > maxIns {
+			maxIns = len(in.Ins)
+		}
+		if len(in.Outs) > maxOuts {
+			maxOuts = len(in.Outs)
+		}
+	}
+	a.argBuf = make([]*tensor.Tensor, maxIns)
+	a.outBuf = make([]*tensor.Tensor, maxOuts)
 }
 
 func (a *Actor) segment(idx int) (*segmentExecutable, error) {
@@ -78,7 +99,7 @@ func (a *Actor) exec(in taskgraph.Instr) error {
 		if err != nil {
 			return err
 		}
-		args := make([]*tensor.Tensor, len(in.Ins))
+		args := a.argBuf[:len(in.Ins)]
 		for i, b := range in.Ins {
 			t, err := a.Store.Get(b)
 			if err != nil {
@@ -86,16 +107,15 @@ func (a *Actor) exec(in taskgraph.Instr) error {
 			}
 			args[i] = t
 		}
-		outs, err := se.run(args)
-		if err != nil {
+		outs := a.outBuf[:len(in.Outs)]
+		if err := se.runInto(outs, args); err != nil {
 			return err
-		}
-		if len(outs) != len(in.Outs) {
-			return fmt.Errorf("segment %d returned %d outputs, program expects %d", in.Seg, len(outs), len(in.Outs))
 		}
 		for i, b := range in.Outs {
 			a.Store.Put(b, outs[i])
 		}
+		clear(args)
+		clear(outs)
 		return nil
 
 	case taskgraph.OpSend:

@@ -102,7 +102,7 @@ func (c *Cluster) Load(prog *taskgraph.Program, opts LoadOptions) (*Executable, 
 			if err != nil {
 				return nil, fmt.Errorf("runtime: compiling segment %d: %w", segIdx, err)
 			}
-			segsByActor[a] = append(segsByActor[a], &segmentExecutable{seg: segIdx, run: run})
+			segsByActor[a] = append(segsByActor[a], &segmentExecutable{seg: segIdx, runInto: run})
 		}
 	}
 	for r := 0; r < replicas; r++ {
@@ -119,6 +119,7 @@ func (c *Cluster) Load(prog *taskgraph.Program, opts LoadOptions) (*Executable, 
 				}
 			}
 			c.Actors[base+a].SyncSends = opts.SyncSends
+			c.Actors[base+a].Store.Reserve(prog.NumBufs)
 			c.Actors[base+a].Load(local, segsByActor[a])
 		}
 	}
@@ -149,12 +150,13 @@ func (e *Executable) SetStepEpilogue(actor int, fn func(*Store) error) error {
 	return nil
 }
 
-// makeRunner builds the per-segment executor: plain interpretation, or SPMD
-// execution over the actor's intra-actor device mesh. With SPMD enabled,
+// makeRunner builds the per-segment executor: compiled interpretation, or
+// SPMD execution over the actor's intra-actor device mesh. With SPMD enabled,
 // every input whose leading dimension divides evenly is sharded over the
 // intra-actor mesh; the partitioner inserts whatever collectives the sharding
-// choice requires, so numerics are preserved for any choice.
-func makeRunner(g *ir.Graph, opts LoadOptions) (func([]*tensor.Tensor) ([]*tensor.Tensor, error), error) {
+// choice requires, so numerics are preserved for any choice. Either way the
+// runner writes outputs into the caller's slice (allocation-free dispatch).
+func makeRunner(g *ir.Graph, opts LoadOptions) (func(outs, inputs []*tensor.Tensor) error, error) {
 	if opts.SPMDDevices <= 1 {
 		// Compile once to a closure program with liveness-driven buffer
 		// pooling; replicas share the immutable program.
@@ -162,7 +164,7 @@ func makeRunner(g *ir.Graph, opts LoadOptions) (func([]*tensor.Tensor) ([]*tenso
 		if err != nil {
 			return nil, err
 		}
-		return prog.Run, nil
+		return prog.RunInto, nil
 	}
 	m, err := mesh.New(mesh.Axis{Name: "intra", Size: opts.SPMDDevices})
 	if err != nil {
@@ -179,9 +181,16 @@ func makeRunner(g *ir.Graph, opts LoadOptions) (func([]*tensor.Tensor) ([]*tenso
 	if err != nil {
 		return nil, err
 	}
-	return func(ins []*tensor.Tensor) ([]*tensor.Tensor, error) {
-		outs, _, err := spmd.Run(plan, ins)
-		return outs, err
+	return func(outs, ins []*tensor.Tensor) error {
+		res, _, err := spmd.Run(plan, ins)
+		if err != nil {
+			return err
+		}
+		if len(res) != len(outs) {
+			return fmt.Errorf("runtime: SPMD segment returned %d outputs, program expects %d", len(res), len(outs))
+		}
+		copy(outs, res)
+		return nil
 	}, nil
 }
 
@@ -211,7 +220,7 @@ func (e *Executable) Step(inputs []*tensor.Tensor) (losses []*tensor.Tensor, gra
 		if p == nil {
 			continue
 		}
-		if !tensor.ShapeEq(inputs[i].Shape(), src.Inputs[i].Shape) {
+		if !inputs[i].HasShape(src.Inputs[i].Shape) {
 			return nil, nil, fmt.Errorf("runtime: input %d shape %v, expected %v", i, inputs[i].Shape(), src.Inputs[i].Shape)
 		}
 	}
@@ -243,8 +252,12 @@ func (e *Executable) Step(inputs []*tensor.Tensor) (losses []*tensor.Tensor, gra
 			}
 			for mb := 0; mb < numMB; mb++ {
 				row := (r*numMB + mb) * want[0]
-				slice := tensor.SliceRange0(full, row, row+want[0])
-				actors[base+placements[mb].Actor].Store.Put(placements[mb].Buf, slice)
+				// Zero-copy borrowed row view: the actor reads the caller's
+				// batch rows in place. The borrowed flag makes every mutating
+				// path (in-place kernels, scratch recycling) refuse the
+				// tensor, so caller batch data cannot be written through it.
+				view := tensor.ViewRange0(full, row, row+want[0])
+				actors[base+placements[mb].Actor].Store.Put(placements[mb].Buf, view)
 			}
 		}
 	}
@@ -274,11 +287,15 @@ func (e *Executable) Step(inputs []*tensor.Tensor) (losses []*tensor.Tensor, gra
 	}
 
 	// Fetch results: losses replica-major, gradients from replica 0.
+	// Ownership of each result buffer transfers to the caller (Store.Take),
+	// so the returned tensors no longer alias store state and nothing a later
+	// Step does — deletes, in-place accumulation, epilogue collectives — can
+	// mutate or reclaim them under the caller.
 	losses = make([]*tensor.Tensor, e.replicas*numMB)
 	for r := 0; r < e.replicas; r++ {
 		base := r * e.pp
 		for mb, l := range prog.Losses {
-			t, err := actors[base+l.Actor].Store.Get(l.Buf)
+			t, err := actors[base+l.Actor].Store.Take(l.Buf)
 			if err != nil {
 				return nil, nil, fmt.Errorf("runtime: replica %d loss mb %d: %w", r, mb, err)
 			}
@@ -287,7 +304,7 @@ func (e *Executable) Step(inputs []*tensor.Tensor) (losses []*tensor.Tensor, gra
 	}
 	grads = make([]*tensor.Tensor, len(prog.Grads))
 	for gi, g := range prog.Grads {
-		t, err := actors[g.Actor].Store.Get(g.Buf)
+		t, err := actors[g.Actor].Store.Take(g.Buf)
 		if err != nil {
 			return nil, nil, fmt.Errorf("runtime: grad %d: %w", gi, err)
 		}

@@ -14,28 +14,65 @@ import (
 	"repro/internal/tensor"
 )
 
-// Store is an actor's on-device object store (§4.1). Deletions of buffers
-// with in-flight sends are deferred to a pending queue and performed when the
-// send completes (§4.3).
-type Store struct {
-	mu       sync.Mutex
-	bufs     map[taskgraph.BufID]*tensor.Tensor
-	inflight map[taskgraph.BufID]int
-	pending  map[taskgraph.BufID]bool
+// slot is one dense store entry. BufIDs are allocated compactly per program
+// (taskgraph.Program.NumBufs), so a slice of slots indexed directly by BufID
+// replaces the three maps the store used to keep — no hashing, no bucket
+// churn, and the per-buffer bookkeeping bits live next to the buffer pointer.
+type slot struct {
+	t        *tensor.Tensor
+	inflight int32 // sends in progress reading this buffer
+	pending  bool  // deletion deferred until inflight drains (§4.3)
+}
 
-	liveBytes int64
-	peakBytes int64
-	peakBufs  int
-	deferred  int // deletions that had to wait on a send at least once
+// Store is an actor's on-device object store (§4.1). Deletions of buffers
+// with in-flight sends are deferred and performed when the send completes
+// (§4.3).
+type Store struct {
+	mu    sync.Mutex
+	slots []slot
+
+	liveBufs     int
+	pendingCount int
+	liveBytes    int64
+	peakBytes    int64
+	peakBufs     int
+	deferred     int // deletions that had to wait on a send at least once
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{
-		bufs:     map[taskgraph.BufID]*tensor.Tensor{},
-		inflight: map[taskgraph.BufID]int{},
-		pending:  map[taskgraph.BufID]bool{},
+	return &Store{}
+}
+
+// Reserve grows the dense slot table to hold BufIDs [0, n) without further
+// allocation. The driver calls it at program-load time with the program's
+// NumBufs; stores still grow on demand if an ID beyond the reservation
+// appears.
+func (s *Store) Reserve(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.grow(taskgraph.BufID(n - 1))
+}
+
+// grow ensures slots covers id. Callers hold s.mu.
+func (s *Store) grow(id taskgraph.BufID) {
+	if int(id) < len(s.slots) {
+		return
 	}
+	n := len(s.slots)*2 + 1
+	if n <= int(id) {
+		n = int(id) + 1
+	}
+	grown := make([]slot, n)
+	copy(grown, s.slots)
+	s.slots = grown
+}
+
+// slotFor returns the slot for id, growing the table as needed. Callers hold
+// s.mu.
+func (s *Store) slotFor(id taskgraph.BufID) *slot {
+	s.grow(id)
+	return &s.slots[id]
 }
 
 func bytesOf(t *tensor.Tensor) int64 { return int64(t.Size()) * 8 }
@@ -44,16 +81,19 @@ func bytesOf(t *tensor.Tensor) int64 { return int64(t.Size()) * 8 }
 func (s *Store) Put(id taskgraph.BufID, t *tensor.Tensor) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if old, ok := s.bufs[id]; ok {
-		s.liveBytes -= bytesOf(old)
+	sl := s.slotFor(id)
+	if sl.t != nil {
+		s.liveBytes -= bytesOf(sl.t)
+	} else {
+		s.liveBufs++
 	}
-	s.bufs[id] = t
+	sl.t = t
 	s.liveBytes += bytesOf(t)
 	if s.liveBytes > s.peakBytes {
 		s.peakBytes = s.liveBytes
 	}
-	if len(s.bufs) > s.peakBufs {
-		s.peakBufs = len(s.bufs)
+	if s.liveBufs > s.peakBufs {
+		s.peakBufs = s.liveBufs
 	}
 }
 
@@ -61,10 +101,32 @@ func (s *Store) Put(id taskgraph.BufID, t *tensor.Tensor) {
 func (s *Store) Get(id taskgraph.BufID) (*tensor.Tensor, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t, ok := s.bufs[id]
-	if !ok {
+	if int(id) >= len(s.slots) || s.slots[id].t == nil {
 		return nil, fmt.Errorf("runtime: buffer %d not in store", id)
 	}
+	return s.slots[id].t, nil
+}
+
+// Take removes the buffer from the store and transfers ownership of it to the
+// caller: the runtime holds no further reference, so nothing the next step
+// does (deletes, accumulations, in-place collectives) can touch the returned
+// tensor. A buffer with sends still in flight is cloned instead — the
+// transport may still be reading the original — and the original stays in the
+// store under its deferred-deletion discipline.
+func (s *Store) Take(id taskgraph.BufID) (*tensor.Tensor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(id) >= len(s.slots) || s.slots[id].t == nil {
+		return nil, fmt.Errorf("runtime: buffer %d not in store", id)
+	}
+	sl := &s.slots[id]
+	if sl.inflight > 0 {
+		return sl.t.Clone(), nil
+	}
+	t := sl.t
+	sl.t = nil
+	s.liveBufs--
+	s.liveBytes -= bytesOf(t)
 	return t, nil
 }
 
@@ -72,21 +134,26 @@ func (s *Store) Get(id taskgraph.BufID) (*tensor.Tensor, error) {
 func (s *Store) SendStarted(id taskgraph.BufID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.inflight[id]++
+	s.slotFor(id).inflight++
 }
 
 // SendDone marks completion of one send; if a deletion was pending and no
-// sends remain, the buffer is reclaimed now.
+// sends remain, the buffer is reclaimed now. An unmatched SendDone panics:
+// letting the count go negative would silently corrupt the deferred-deletion
+// accounting (a later SendStarted/Delete pair would reclaim the buffer while
+// the transport still reads it).
 func (s *Store) SendDone(id taskgraph.BufID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.inflight[id]--
-	if s.inflight[id] <= 0 {
-		delete(s.inflight, id)
-		if s.pending[id] {
-			delete(s.pending, id)
-			s.reclaim(id)
-		}
+	if int(id) >= len(s.slots) || s.slots[id].inflight <= 0 {
+		panic(fmt.Sprintf("runtime: SendDone(%d) without matching SendStarted", id))
+	}
+	sl := &s.slots[id]
+	sl.inflight--
+	if sl.inflight == 0 && sl.pending {
+		sl.pending = false
+		s.pendingCount--
+		s.reclaim(sl)
 	}
 }
 
@@ -94,48 +161,60 @@ func (s *Store) SendDone(id taskgraph.BufID) {
 func (s *Store) Delete(id taskgraph.BufID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.inflight[id] > 0 {
-		s.pending[id] = true
+	if int(id) >= len(s.slots) {
+		return
+	}
+	sl := &s.slots[id]
+	if sl.inflight > 0 {
+		if !sl.pending {
+			sl.pending = true
+			s.pendingCount++
+		}
 		s.deferred++
 		return
 	}
-	s.reclaim(id)
+	s.reclaim(sl)
 }
 
 // Accumulate adds src into the buffer, in place when the store owns the
 // accumulator exclusively: a buffer with in-flight sends may be concurrently
-// read by the transport, so those fall back to an out-of-place add (the same
+// read by the transport, and a borrowed view (a zero-copy batch row) is
+// caller-owned storage — both fall back to an out-of-place add (the same
 // reason deletions defer, §4.3). A missing buffer is initialized to a copy of
 // src, which is what makes every later accumulation exclusively store-owned.
 func (s *Store) Accumulate(id taskgraph.BufID, src *tensor.Tensor) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	dst, ok := s.bufs[id]
-	if ok && s.inflight[id] == 0 && tensor.SameShape(dst, src) {
+	sl := s.slotFor(id)
+	dst := sl.t
+	if dst != nil && sl.inflight == 0 && !dst.Borrowed() && tensor.SameShape(dst, src) {
 		tensor.AddInto(dst, dst, src)
 		return
 	}
 	var out *tensor.Tensor
-	if ok {
+	if dst != nil {
 		out = tensor.Add(dst, src)
 		s.liveBytes -= bytesOf(dst)
 	} else {
 		out = src.Clone()
+		s.liveBufs++
 	}
-	s.bufs[id] = out
+	sl.t = out
 	s.liveBytes += bytesOf(out)
 	if s.liveBytes > s.peakBytes {
 		s.peakBytes = s.liveBytes
 	}
-	if len(s.bufs) > s.peakBufs {
-		s.peakBufs = len(s.bufs)
+	if s.liveBufs > s.peakBufs {
+		s.peakBufs = s.liveBufs
 	}
 }
 
-func (s *Store) reclaim(id taskgraph.BufID) {
-	if t, ok := s.bufs[id]; ok {
-		s.liveBytes -= bytesOf(t)
-		delete(s.bufs, id)
+// reclaim drops the slot's buffer. Callers hold s.mu.
+func (s *Store) reclaim(sl *slot) {
+	if sl.t != nil {
+		s.liveBytes -= bytesOf(sl.t)
+		s.liveBufs--
+		sl.t = nil
 	}
 }
 
@@ -154,12 +233,12 @@ func (s *Store) Stats() StoreStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return StoreStats{
-		LiveBufs:         len(s.bufs),
+		LiveBufs:         s.liveBufs,
 		LiveBytes:        s.liveBytes,
 		PeakBufs:         s.peakBufs,
 		PeakBytes:        s.peakBytes,
 		DeferredDeletes:  s.deferred,
-		PendingDeletions: len(s.pending),
+		PendingDeletions: s.pendingCount,
 	}
 }
 
@@ -168,5 +247,5 @@ func (s *Store) ResetPeaks() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.peakBytes = s.liveBytes
-	s.peakBufs = len(s.bufs)
+	s.peakBufs = s.liveBufs
 }

@@ -1,0 +1,264 @@
+package runtime
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/taskgraph"
+	"repro/internal/tensor"
+)
+
+// modelStore is a reference implementation of the store contract with the
+// original three-map layout, used to property-test the dense slice store: any
+// divergence in Get results, Take results, or Stats under a random operation
+// sequence is a regression in the dense rewrite.
+type modelStore struct {
+	bufs     map[taskgraph.BufID]*tensor.Tensor
+	inflight map[taskgraph.BufID]int
+	pending  map[taskgraph.BufID]bool
+
+	liveBytes int64
+	peakBytes int64
+	peakBufs  int
+	deferred  int
+}
+
+func newModelStore() *modelStore {
+	return &modelStore{
+		bufs:     map[taskgraph.BufID]*tensor.Tensor{},
+		inflight: map[taskgraph.BufID]int{},
+		pending:  map[taskgraph.BufID]bool{},
+	}
+}
+
+func (m *modelStore) bump() {
+	if m.liveBytes > m.peakBytes {
+		m.peakBytes = m.liveBytes
+	}
+	if len(m.bufs) > m.peakBufs {
+		m.peakBufs = len(m.bufs)
+	}
+}
+
+func (m *modelStore) put(id taskgraph.BufID, t *tensor.Tensor) {
+	if old, ok := m.bufs[id]; ok {
+		m.liveBytes -= bytesOf(old)
+	}
+	m.bufs[id] = t
+	m.liveBytes += bytesOf(t)
+	m.bump()
+}
+
+func (m *modelStore) reclaim(id taskgraph.BufID) {
+	if t, ok := m.bufs[id]; ok {
+		m.liveBytes -= bytesOf(t)
+		delete(m.bufs, id)
+	}
+}
+
+func (m *modelStore) del(id taskgraph.BufID) {
+	if m.inflight[id] > 0 {
+		m.pending[id] = true
+		m.deferred++
+		return
+	}
+	m.reclaim(id)
+}
+
+func (m *modelStore) sendStarted(id taskgraph.BufID) { m.inflight[id]++ }
+
+func (m *modelStore) sendDone(id taskgraph.BufID) {
+	m.inflight[id]--
+	if m.inflight[id] <= 0 {
+		delete(m.inflight, id)
+		if m.pending[id] {
+			delete(m.pending, id)
+			m.reclaim(id)
+		}
+	}
+}
+
+func (m *modelStore) accumulate(id taskgraph.BufID, src *tensor.Tensor) {
+	dst, ok := m.bufs[id]
+	var out *tensor.Tensor
+	if ok {
+		out = tensor.Add(dst, src)
+		m.liveBytes -= bytesOf(dst)
+	} else {
+		out = src.Clone()
+	}
+	m.bufs[id] = out
+	m.liveBytes += bytesOf(out)
+	m.bump()
+}
+
+func (m *modelStore) take(id taskgraph.BufID) (*tensor.Tensor, bool) {
+	t, ok := m.bufs[id]
+	if !ok {
+		return nil, false
+	}
+	if m.inflight[id] > 0 {
+		return t.Clone(), true
+	}
+	m.liveBytes -= bytesOf(t)
+	delete(m.bufs, id)
+	return t, true
+}
+
+func (m *modelStore) stats() StoreStats {
+	return StoreStats{
+		LiveBufs:         len(m.bufs),
+		LiveBytes:        m.liveBytes,
+		PeakBufs:         m.peakBufs,
+		PeakBytes:        m.peakBytes,
+		DeferredDeletes:  m.deferred,
+		PendingDeletions: len(m.pending),
+	}
+}
+
+// TestDenseStoreMatchesMapSemantics drives the dense store and the map model
+// through the same random operation sequence and demands identical observable
+// behaviour after every operation.
+func TestDenseStoreMatchesMapSemantics(t *testing.T) {
+	const ids = 12
+	const ops = 20000
+	rng := rand.New(rand.NewSource(7))
+	s := NewStore()
+	m := newModelStore()
+
+	// Buffer shapes are fixed per ID, as the task-graph compiler guarantees:
+	// accumulation only ever meets matching shapes.
+	val := func(id taskgraph.BufID) *tensor.Tensor {
+		t := tensor.New(1 + int(id)%3)
+		for i := range t.Data() {
+			t.Data()[i] = rng.Float64()
+		}
+		return t
+	}
+
+	for op := 0; op < ops; op++ {
+		id := taskgraph.BufID(rng.Intn(ids))
+		switch rng.Intn(7) {
+		case 0: // Put
+			v := val(id)
+			s.Put(id, v)
+			m.put(id, v.Clone())
+		case 1: // Delete
+			s.Delete(id)
+			m.del(id)
+		case 2: // SendStarted (only on present buffers, as the actor does)
+			if _, err := s.Get(id); err == nil {
+				s.SendStarted(id)
+				m.sendStarted(id)
+			}
+		case 3: // SendDone, matched — unmatched ones are a panic, tested below
+			if m.inflight[id] > 0 {
+				s.SendDone(id)
+				m.sendDone(id)
+			}
+		case 4: // Accumulate
+			v := val(id)
+			// The in-place/out-of-place split is an implementation detail;
+			// values must match either way. Clone into the model so the two
+			// stores never share storage.
+			s.Accumulate(id, v)
+			m.accumulate(id, v.Clone())
+		case 5: // Get
+			got, err := s.Get(id)
+			want, ok := m.bufs[id]
+			if ok != (err == nil) {
+				t.Fatalf("op %d: Get(%d) err=%v, model present=%v", op, id, err, ok)
+			}
+			if ok && !tensor.AllClose(got, want, 0, 0) {
+				t.Fatalf("op %d: Get(%d) = %v, model %v", op, id, got, want)
+			}
+		case 6: // Take
+			got, err := s.Take(id)
+			want, ok := m.take(id)
+			if ok != (err == nil) {
+				t.Fatalf("op %d: Take(%d) err=%v, model present=%v", op, id, err, ok)
+			}
+			if ok && !tensor.AllClose(got, want, 0, 0) {
+				t.Fatalf("op %d: Take(%d) = %v, model %v", op, id, got, want)
+			}
+		}
+		gs, ms := s.Stats(), m.stats()
+		if gs != ms {
+			t.Fatalf("op %d: stats diverged: dense %+v, model %+v", op, gs, ms)
+		}
+	}
+}
+
+// TestSendDoneUnderflowPanics is the regression test for the silent
+// inflight-count corruption: an unmatched SendDone must fail loudly instead
+// of writing a negative count that poisons deferred-deletion accounting.
+func TestSendDoneUnderflowPanics(t *testing.T) {
+	check := func(name string, f func(s *Store)) {
+		t.Run(name, func(t *testing.T) {
+			s := NewStore()
+			s.Put(3, tensor.Scalar(1))
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("unmatched SendDone did not panic")
+				}
+			}()
+			f(s)
+		})
+	}
+	check("never-started", func(s *Store) {
+		s.SendDone(3)
+	})
+	check("double-done", func(s *Store) {
+		s.SendStarted(3)
+		s.SendDone(3)
+		s.SendDone(3)
+	})
+	check("unknown-buffer", func(s *Store) {
+		s.SendDone(99)
+	})
+}
+
+// TestStoreTakeTransfersOwnership pins the fetch contract Executable.Step
+// relies on: after Take, the buffer is gone from the store and later deletes
+// or accumulations build fresh storage instead of touching the taken tensor.
+func TestStoreTakeTransfersOwnership(t *testing.T) {
+	s := NewStore()
+	v := tensor.MustFromSlice([]float64{1, 2, 3}, 3)
+	s.Put(0, v)
+	got, err := s.Take(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Fatalf("Take without in-flight sends should return the stored tensor itself")
+	}
+	if _, err := s.Get(0); err == nil {
+		t.Fatalf("buffer still present after Take")
+	}
+	s.Delete(0) // must be a no-op, not a panic
+	s.Accumulate(0, tensor.MustFromSlice([]float64{10, 10, 10}, 3))
+	if got.Data()[0] != 1 {
+		t.Fatalf("accumulate after Take mutated the taken tensor: %v", got)
+	}
+
+	// With a send in flight the transport may still read the buffer, so Take
+	// must return an independent clone and leave the original stored.
+	s2 := NewStore()
+	w := tensor.MustFromSlice([]float64{5, 6}, 2)
+	s2.Put(1, w)
+	s2.SendStarted(1)
+	got2, err := s2.Take(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 == w {
+		t.Fatalf("Take during an in-flight send must clone, not transfer")
+	}
+	if !tensor.AllClose(got2, w, 0, 0) {
+		t.Fatalf("clone mismatch: %v vs %v", got2, w)
+	}
+	if _, err := s2.Get(1); err != nil {
+		t.Fatalf("original must remain stored while the send drains: %v", err)
+	}
+	s2.SendDone(1)
+}

@@ -1,0 +1,175 @@
+package spmd
+
+import (
+	"fmt"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+	"repro/internal/mesh"
+)
+
+// Compiled SPMD execution. A plan's equation list is split into maximal runs
+// that need no resharding and no post collectives; each run is lowered once
+// into a *local* ir.Graph (global shapes divided by the mesh axis sizes their
+// sharding names) and compiled with interp.NewProgram. Run then executes the
+// compiled program per device instead of interpreting equation by equation —
+// the same fused kernels, liveness-driven scratch pooling, and in-place
+// rewrites the MPMD pipeline segments get. Equations that reshard operands or
+// end in collectives stay on the reference per-equation path, which is where
+// the shard/gather bookkeeping lives.
+//
+// Compilation is cached on the Plan (sync.Once): repeated Run calls — the
+// steady state for an SPMD-loaded pipeline segment — reuse the programs.
+
+// execStep is one unit of compiled execution: either a compiled local
+// program over the half-open equation range [lo, hi), or a single reference
+// equation at index lo (prog == nil) that needs reshard/collective handling.
+type execStep struct {
+	lo, hi int
+	prog   *interp.Program
+	inIDs  []int // global value IDs feeding the program, in input order
+	outIDs []int // global value IDs the program defines for later steps
+}
+
+// compile lowers the plan into execSteps once.
+func (p *Plan) compile() error {
+	p.compileOnce.Do(func() { p.compileErr = p.buildSteps() })
+	return p.compileErr
+}
+
+// breaker reports whether eqn i must run on the reference path: it reshards
+// an operand or applies post collectives (including the scalar mean fixups).
+func (p *Plan) breaker(i int) bool {
+	ep := p.Eqns[i]
+	return len(ep.PreGathers) > 0 || len(ep.Post) > 0
+}
+
+func (p *Plan) buildSteps() error {
+	g := p.Graph
+	// lastOutside[id] = true when value id is consumed by the gather of graph
+	// outputs or any equation outside the segment being built; computed per
+	// segment below from consumer indices.
+	consumers := make(map[int][]int, len(g.Eqns)) // value ID -> eqn indices
+	for i, e := range g.Eqns {
+		for _, v := range e.Inputs {
+			consumers[v.ID] = append(consumers[v.ID], i)
+		}
+	}
+	isOutput := make(map[int]bool, len(g.Outputs))
+	for _, o := range g.Outputs {
+		isOutput[o.ID] = true
+	}
+
+	for lo := 0; lo < len(g.Eqns); {
+		if p.breaker(lo) {
+			p.steps = append(p.steps, execStep{lo: lo, hi: lo + 1})
+			lo++
+			continue
+		}
+		hi := lo + 1
+		for hi < len(g.Eqns) && !p.breaker(hi) {
+			hi++
+		}
+		st, err := p.compileSegment(lo, hi, consumers, isOutput)
+		if err != nil {
+			return err
+		}
+		p.steps = append(p.steps, st)
+		lo = hi
+	}
+	return nil
+}
+
+// specAt returns the canonical spec a value carries when consumed: its input
+// spec or the OutSpec of its defining equation.
+func (p *Plan) specAt(id int) (mesh.Spec, error) {
+	s, ok := p.specs[id]
+	if !ok {
+		return nil, fmt.Errorf("spmd: no spec for value %d", id)
+	}
+	return s, nil
+}
+
+// localShape divides the sharded dims of shape by their mesh axis sizes.
+func localShape(shape []int, spec mesh.Spec, m *mesh.Mesh) []int {
+	out := append([]int(nil), shape...)
+	for i, name := range spec {
+		if name == "" {
+			continue
+		}
+		sz, err := m.AxisSize(name)
+		if err != nil {
+			panic(err)
+		}
+		out[i] /= sz
+	}
+	return out
+}
+
+// compileSegment lowers eqns [lo, hi) to a compiled local program.
+func (p *Plan) compileSegment(lo, hi int, consumers map[int][]int, isOutput map[int]bool) (execStep, error) {
+	g := p.Graph
+	local := ir.NewGraph(fmt.Sprintf("%s.spmd[%d:%d)", g.Name, lo, hi))
+	valueOf := make(map[int]*ir.Value) // global value ID -> local value
+	st := execStep{lo: lo, hi: hi}
+
+	for i := lo; i < hi; i++ {
+		e := g.Eqns[i]
+		ep := p.Eqns[i]
+		ins := make([]*ir.Value, len(e.Inputs))
+		for j, v := range e.Inputs {
+			lv, ok := valueOf[v.ID]
+			if !ok {
+				// Defined outside the segment: becomes a program input with
+				// the operand's local (sharded) shape. No pre-gathers inside
+				// a segment, so the operand spec is the canonical spec.
+				spec, err := p.specAt(v.ID)
+				if err != nil {
+					return st, err
+				}
+				lv = local.AddInput(localShape(v.Shape, spec, p.Mesh), v.Name)
+				valueOf[v.ID] = lv
+				st.inIDs = append(st.inIDs, v.ID)
+			}
+			ins[j] = lv
+		}
+		out, err := local.Emit(e.Op, e.Attrs, ins...)
+		if err != nil {
+			return st, fmt.Errorf("spmd: lowering eqn %d (%s): %w", i, e.Op, err)
+		}
+		if ep.ScaleCorrection != 1 {
+			// Fold the mean-loss sharding fixup into the local program.
+			out, err = local.Emit(ir.OpScale, ir.Attrs{Factor: ep.ScaleCorrection}, out)
+			if err != nil {
+				return st, fmt.Errorf("spmd: lowering scale fixup for eqn %d: %w", i, err)
+			}
+		}
+		valueOf[e.Outputs[0].ID] = out
+	}
+
+	// Program outputs: values the rest of the execution still needs — graph
+	// outputs and operands of equations at or beyond hi.
+	var outs []*ir.Value
+	for i := lo; i < hi; i++ {
+		id := g.Eqns[i].Outputs[0].ID
+		needed := isOutput[id]
+		for _, c := range consumers[id] {
+			if c >= hi {
+				needed = true
+				break
+			}
+		}
+		if needed {
+			outs = append(outs, valueOf[id])
+			st.outIDs = append(st.outIDs, id)
+		}
+	}
+	local.SetOutputs(outs...)
+
+	prog, err := interp.NewProgram(local)
+	if err != nil {
+		return st, fmt.Errorf("spmd: compiling segment [%d,%d): %w", lo, hi, err)
+	}
+	st.prog = prog
+	return st, nil
+}

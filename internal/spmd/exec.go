@@ -25,11 +25,17 @@ func newStats() *Stats {
 }
 
 // Run executes a partitioned graph with real per-device shards and returns
-// the gathered global outputs.
+// the gathered global outputs. Collective-free equation runs execute through
+// compiled interp.Programs cached on the plan (see compile.go); equations
+// that reshard operands or end in collectives run on the reference
+// per-equation path below.
 func Run(p *Plan, inputs []*tensor.Tensor) ([]*tensor.Tensor, *Stats, error) {
 	n := p.Mesh.NumDevices()
 	if len(inputs) != len(p.Graph.Inputs) {
 		return nil, nil, fmt.Errorf("spmd: %d inputs for %d graph inputs", len(inputs), len(p.Graph.Inputs))
+	}
+	if err := p.compile(); err != nil {
+		return nil, nil, err
 	}
 	envs := make([]map[int]*tensor.Tensor, n)
 	for d := range envs {
@@ -49,7 +55,30 @@ func Run(p *Plan, inputs []*tensor.Tensor) ([]*tensor.Tensor, *Stats, error) {
 		}
 	}
 
-	for i, e := range p.Graph.Eqns {
+	for _, st := range p.steps {
+		if st.prog != nil {
+			// Compiled segment: run the local program on every device slot.
+			args := make([]*tensor.Tensor, len(st.inIDs))
+			for d := 0; d < n; d++ {
+				for j, id := range st.inIDs {
+					args[j] = envs[d][id]
+				}
+				outs, err := st.prog.Run(args)
+				if err != nil {
+					return nil, nil, fmt.Errorf("spmd: eqns [%d,%d) device %d: %w", st.lo, st.hi, d, err)
+				}
+				for j, id := range st.outIDs {
+					envs[d][id] = outs[j]
+				}
+			}
+			for i := st.lo; i < st.hi; i++ {
+				stats.LocalFLOPs += p.Eqns[i].DeviceFLOPs
+				specs[p.Graph.Eqns[i].Outputs[0].ID] = p.Eqns[i].OutSpec
+			}
+			continue
+		}
+		i := st.lo
+		e := p.Graph.Eqns[i]
 		ep := p.Eqns[i]
 		// Pre-gathers: materialize resharded operand copies for this
 		// equation only. The canonical shards in envs keep the propagated

@@ -10,6 +10,7 @@ package spmd
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/ir"
 	"repro/internal/mesh"
@@ -59,6 +60,12 @@ type Plan struct {
 	Eqns  []EqnPlan
 
 	specs map[int]mesh.Spec // value ID -> spec
+
+	// Cached compiled execution (see compile.go): collective-free equation
+	// runs lowered to interp.Programs over local shapes, built on first Run.
+	compileOnce sync.Once
+	compileErr  error
+	steps       []execStep
 }
 
 // TotalCollectives aggregates collective element counts by kind.

@@ -19,10 +19,27 @@ func checkBinShapes(name string, a, b *Tensor) {
 	}
 }
 
-// checkDst panics unless dst has exactly the given shape.
+// checkDst panics unless dst has exactly the given shape and is writable
+// (not a borrowed view of caller-owned storage).
 func checkDst(name string, dst *Tensor, shape []int) {
 	if !ShapeEq(dst.shape, shape) {
 		panic(fmt.Sprintf("tensor: %s destination shape %v, want %v", name, dst.shape, shape))
+	}
+	if dst.borrowed {
+		panic("tensor: " + name + " destination is a borrowed view")
+	}
+}
+
+// checkDst2 is checkDst for rank-2 destinations. Taking the dims as ints
+// keeps the expected shape off the heap (a []int{m, n} literal escapes via
+// the panic path), which matters in kernels called hundreds of times per
+// step.
+func checkDst2(name string, dst *Tensor, m, n int) {
+	if len(dst.shape) != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s destination shape %v, want %v", name, dst.shape, []int{m, n}))
+	}
+	if dst.borrowed {
+		panic("tensor: " + name + " destination is a borrowed view")
 	}
 }
 
@@ -311,7 +328,13 @@ func MatMul(a, b *Tensor) *Tensor {
 // MatMulInto stores a @ b into dst. dst must not alias a or b.
 func MatMulInto(dst, a, b *Tensor) {
 	m, k, n := matMulShapes(a, b)
-	checkDst("MatMulInto", dst, []int{m, n})
+	checkDst2("MatMulInto", dst, m, n)
+	if m < 2*matMulGrain(k, n) {
+		// Small operands run inline; returning before the closure below is
+		// built keeps the single-block case allocation-free.
+		matMulRows(dst.data, a.data, b.data, k, n, 0, m)
+		return
+	}
 	parallelFor(m, matMulGrain(k, n), func(lo, hi int) {
 		matMulRows(dst.data, a.data, b.data, k, n, lo, hi)
 	})
@@ -321,15 +344,25 @@ func MatMulInto(dst, a, b *Tensor) {
 // kernel the interpreter emits when the IR permits. dst must not alias a or b.
 func MatMulReLUInto(dst, a, b *Tensor) {
 	m, k, n := matMulShapes(a, b)
-	checkDst("MatMulReLUInto", dst, []int{m, n})
+	checkDst2("MatMulReLUInto", dst, m, n)
+	if m < 2*matMulGrain(k, n) {
+		matMulRows(dst.data, a.data, b.data, k, n, 0, m)
+		reluSpan(dst.data, 0, m*n)
+		return
+	}
 	parallelFor(m, matMulGrain(k, n), func(lo, hi int) {
 		matMulRows(dst.data, a.data, b.data, k, n, lo, hi)
-		for i := lo * n; i < hi*n; i++ {
-			if dst.data[i] < 0 {
-				dst.data[i] = 0
-			}
-		}
+		reluSpan(dst.data, lo*n, hi*n)
 	})
+}
+
+// reluSpan clamps data[lo:hi] at zero in place.
+func reluSpan(data []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		if data[i] < 0 {
+			data[i] = 0
+		}
+	}
 }
 
 // MatMulAddReLUInto stores relu(a @ b + c) into dst, fusing the projection,
@@ -337,31 +370,42 @@ func MatMulReLUInto(dst, a, b *Tensor) {
 // the (m,n) result shape or be a scalar. dst must not alias a, b, or c.
 func MatMulAddReLUInto(dst, a, b, c *Tensor) {
 	m, k, n := matMulShapes(a, b)
-	checkDst("MatMulAddReLUInto", dst, []int{m, n})
-	if !ShapeEq(c.shape, []int{m, n}) && c.Rank() != 0 {
+	checkDst2("MatMulAddReLUInto", dst, m, n)
+	if c.Rank() != 0 && (len(c.shape) != 2 || c.shape[0] != m || c.shape[1] != n) {
 		panic(fmt.Sprintf("tensor: MatMulAddReLU addend shape %v, want %v or scalar", c.shape, []int{m, n}))
+	}
+	if m < 2*matMulGrain(k, n) {
+		matMulRows(dst.data, a.data, b.data, k, n, 0, m)
+		addReluSpan(dst.data, c, 0, m*n)
+		return
 	}
 	parallelFor(m, matMulGrain(k, n), func(lo, hi int) {
 		matMulRows(dst.data, a.data, b.data, k, n, lo, hi)
-		if c.Rank() == 0 {
-			cv := c.data[0]
-			for i := lo * n; i < hi*n; i++ {
-				v := dst.data[i] + cv
-				if v < 0 {
-					v = 0
-				}
-				dst.data[i] = v
-			}
-		} else {
-			for i := lo * n; i < hi*n; i++ {
-				v := dst.data[i] + c.data[i]
-				if v < 0 {
-					v = 0
-				}
-				dst.data[i] = v
-			}
-		}
+		addReluSpan(dst.data, c, lo*n, hi*n)
 	})
+}
+
+// addReluSpan stores relu(data+c) over data[lo:hi] in place, with c either
+// matching data's full extent or a scalar.
+func addReluSpan(data []float64, c *Tensor, lo, hi int) {
+	if c.Rank() == 0 {
+		cv := c.data[0]
+		for i := lo; i < hi; i++ {
+			v := data[i] + cv
+			if v < 0 {
+				v = 0
+			}
+			data[i] = v
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		v := data[i] + c.data[i]
+		if v < 0 {
+			v = 0
+		}
+		data[i] = v
+	}
 }
 
 // MatMulAddReLU returns relu(a @ b + c) — the pure form of the fused kernel.
@@ -390,7 +434,7 @@ func TransposeInto(dst, a *Tensor) {
 		panic(fmt.Sprintf("tensor: Transpose wants rank 2, got %v", a.shape))
 	}
 	m, n := a.shape[0], a.shape[1]
-	checkDst("TransposeInto", dst, []int{n, m})
+	checkDst2("TransposeInto", dst, n, m)
 	for i := 0; i < m; i++ {
 		row := a.data[i*n : (i+1)*n]
 		for j, v := range row {
@@ -406,7 +450,8 @@ func Reshape(a *Tensor, shape ...int) *Tensor {
 	if NumElements(shape) != a.Size() {
 		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", a.shape, shape))
 	}
-	return &Tensor{shape: cloneShape(shape), data: a.data}
+	// A view of a borrowed view borrows the same storage.
+	return &Tensor{shape: cloneShape(shape), data: a.data, borrowed: a.borrowed}
 }
 
 // ReshapeCopy returns an independent copy of a with a new shape — the escape
@@ -488,6 +533,22 @@ func SliceRange0(a *Tensor, lo, hi int) *Tensor {
 	out := New(shape...)
 	copy(out.data, a.data[lo*stride:hi*stride])
 	return out
+}
+
+// ViewRange0 returns rows [lo, hi) along axis 0 as a zero-copy borrowed view
+// of a's storage. The view is marked borrowed: destination-passing kernels
+// refuse to write through it and Recycle refuses to pool it, so handing a
+// view to the runtime can never mutate or reclaim the caller's batch data.
+// The caller must keep a alive and unmutated while views of it circulate.
+func ViewRange0(a *Tensor, lo, hi int) *Tensor {
+	if a.Rank() == 0 || lo < 0 || hi > a.shape[0] || lo > hi {
+		panic(fmt.Sprintf("tensor: ViewRange0 [%d,%d) invalid for shape %v", lo, hi, a.shape))
+	}
+	rest := a.shape[1:]
+	stride := NumElements(rest)
+	shape := make([]int, 0, len(a.shape))
+	shape = append(append(shape, hi-lo), rest...)
+	return &Tensor{shape: shape, data: a.data[lo*stride : hi*stride : hi*stride], borrowed: true}
 }
 
 // Stack0 concatenates tensors of identical shape along a new leading axis.

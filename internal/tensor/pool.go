@@ -82,7 +82,10 @@ func getScratchCap(n int) *Tensor {
 // may be recycled, not just ones from GetScratch; undersized or oversized
 // storage is simply dropped.
 func Recycle(t *Tensor) {
-	if t == nil {
+	if t == nil || t.borrowed {
+		// Borrowed views never own their storage; pooling it would hand the
+		// owner's live data out as scratch. Silently dropping the view is the
+		// correct recycle for it.
 		return
 	}
 	c := cap(t.data)

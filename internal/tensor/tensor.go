@@ -22,6 +22,12 @@ import (
 type Tensor struct {
 	shape []int
 	data  []float64
+	// borrowed marks a tensor whose storage belongs to someone else (a batch
+	// row view handed to the runtime, for example). Borrowed tensors are
+	// readable like any other, but destination-passing kernels refuse to write
+	// through them and Recycle refuses to pool their storage — the two paths
+	// that could otherwise corrupt the owner's data.
+	borrowed bool
 }
 
 // New returns a zero-filled tensor of the given shape.
@@ -98,12 +104,22 @@ func (t *Tensor) Dim(i int) int { return t.shape[i] }
 // for efficient read-only access (serialization, comparison).
 func (t *Tensor) Data() []float64 { return t.data }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The copy is independently owned: cloning a
+// borrowed view yields an ordinary mutable tensor.
 func (t *Tensor) Clone() *Tensor {
 	d := make([]float64, len(t.data))
 	copy(d, t.data)
 	return &Tensor{shape: cloneShape(t.shape), data: d}
 }
+
+// Borrowed reports whether the tensor is a borrowed view of caller-owned
+// storage (see ViewRange0).
+func (t *Tensor) Borrowed() bool { return t.borrowed }
+
+// HasShape reports whether the tensor's shape equals shape. Unlike
+// ShapeEq(t.Shape(), shape) it performs no allocation, so hot-path
+// validation can use it freely.
+func (t *Tensor) HasShape(shape []int) bool { return ShapeEq(t.shape, shape) }
 
 // View wraps data in a tensor of the given shape without copying. The tensor
 // aliases data: the caller is responsible for the resulting sharing (used by
@@ -120,6 +136,9 @@ func View(data []float64, shape ...int) *Tensor {
 func (t *Tensor) CopyFrom(src []float64) {
 	if len(src) != len(t.data) {
 		panic(fmt.Sprintf("tensor: CopyFrom of %d elements into %d", len(src), len(t.data)))
+	}
+	if t.borrowed {
+		panic("tensor: CopyFrom into a borrowed view")
 	}
 	copy(t.data, src)
 }

@@ -1,0 +1,139 @@
+package jaxpp
+
+import (
+	goruntime "runtime"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// cloneAll deep-copies a tensor slice.
+func cloneAll(ts []*Tensor) []*Tensor {
+	out := make([]*Tensor, len(ts))
+	for i, t := range ts {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+func sameAll(t *testing.T, what string, got, want []*Tensor) {
+	t.Helper()
+	for i := range want {
+		if !tensor.AllClose(got[i], want[i], 0, 0) {
+			t.Fatalf("%s[%d] changed: got %v want %v", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestStepResultsSurviveNextStep pins the ownership-transfer contract on
+// fetched results: losses and gradients returned by Step must not alias store
+// buffers that the next step deletes, re-accumulates in place, or all-reduces
+// — using last step's results after stepping again has to be safe.
+func TestStepResultsSurviveNextStep(t *testing.T) {
+	const stages, mbRows, numMB, width = 3, 4, 6, 8
+	mesh := NewRemoteMesh(stages)
+	step, err := mesh.Compile(mlpSpec(stages, mbRows, width, OneFOneB(stages, numMB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, x, y := mlpData(stages, mbRows, numMB, width, 1)
+	losses1, grads1, err := step.Step(params, []*Tensor{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	savedLosses, savedGrads := cloneAll(losses1), cloneAll(grads1)
+
+	// A second step with different data would overwrite any aliased storage.
+	_, x2, y2 := mlpData(stages, mbRows, numMB, width, 99)
+	if _, _, err := step.Step(params, []*Tensor{x2, y2}); err != nil {
+		t.Fatal(err)
+	}
+	sameAll(t, "losses", losses1, savedLosses)
+	sameAll(t, "grads", grads1, savedGrads)
+}
+
+// TestStepResultsSurviveNextStepDP repeats the pin with data parallelism on:
+// the DP gradient all-reduce epilogue mutates grad accumulators in place, the
+// exact recycling the fetch must be immune to.
+func TestStepResultsSurviveNextStepDP(t *testing.T) {
+	const stages, mbRows, numMB, width, dpN = 2, 4, 4, 8, 2
+	mesh := NewRemoteMesh(dpN * stages)
+	spec := mlpSpec(stages, mbRows, width, OneFOneB(stages, numMB))
+	spec.DataParallel = dpN
+	step, err := mesh.Compile(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, x, y := mlpData(stages, mbRows, dpN*numMB, width, 2)
+	losses1, grads1, err := step.Step(params, []*Tensor{x, y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	savedLosses, savedGrads := cloneAll(losses1), cloneAll(grads1)
+	_, x2, y2 := mlpData(stages, mbRows, dpN*numMB, width, 77)
+	if _, _, err := step.Step(params, []*Tensor{x2, y2}); err != nil {
+		t.Fatal(err)
+	}
+	sameAll(t, "losses", losses1, savedLosses)
+	sameAll(t, "grads", grads1, savedGrads)
+}
+
+// TestStepNeverMutatesCallerBatch proves the zero-copy microbatch row views
+// are read-only in practice: two full training steps (forward, backward,
+// gradient accumulation, deletes) leave the caller's batch and parameter
+// tensors bit-identical. Combined with the tensor-level borrowed-view panics
+// this pins the in-place-mutation safety of the view path.
+func TestStepNeverMutatesCallerBatch(t *testing.T) {
+	const stages, mbRows, numMB, width = 3, 4, 6, 8
+	mesh := NewRemoteMesh(stages)
+	step, err := mesh.Compile(mlpSpec(stages, mbRows, width, OneFOneB(stages, numMB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, x, y := mlpData(stages, mbRows, numMB, width, 5)
+	savedParams := cloneAll(params)
+	savedX, savedY := x.Clone(), y.Clone()
+	for i := 0; i < 2; i++ {
+		if _, _, err := step.Step(params, []*Tensor{x, y}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sameAll(t, "params", params, savedParams)
+	sameAll(t, "batch x", []*Tensor{x}, []*Tensor{savedX})
+	sameAll(t, "batch y", []*Tensor{y}, []*Tensor{savedY})
+}
+
+// TestStepAllocsBounded is the driver-side allocation gate: a steady-state
+// pipeline step must stay well under the pre-dense-store baseline (~1.1k
+// allocations), so the SliceRange0-copy/map-churn regression class cannot
+// silently return. The bound is loose enough for scheduler noise (measured
+// ~510 on the reference machine) and tight enough to catch the old behaviour.
+func TestStepAllocsBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; count is only meaningful without -race")
+	}
+	const maxAllocs = 800
+	const stages, mbRows, numMB, width = 4, 8, 8, 32
+	mesh := NewRemoteMesh(stages)
+	step, err := mesh.Compile(mlpSpec(stages, mbRows, width, OneFOneB(stages, numMB)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, x, y := mlpData(stages, mbRows, numMB, width, 3)
+	for i := 0; i < 3; i++ { // warm mailboxes, scratch pools, store tables
+		if _, _, err := step.Step(params, []*Tensor{x, y}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	goruntime.GC()
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, _, err := step.Step(params, []*Tensor{x, y}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > maxAllocs {
+		t.Fatalf("steady-state Step allocates %.0f objects, want <= %d", allocs, maxAllocs)
+	}
+}
