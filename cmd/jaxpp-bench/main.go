@@ -179,11 +179,15 @@ func mlpTrainStep(stages, mbRows, numMB, width, dp int) (*jaxpp.TrainStep, []*ja
 
 // measureStep runs warm-up steps, then times and counts heap allocations over
 // iters steady-state steps with the GC paused (a collection mid-measurement
-// would drop the scratch pools and charge the refill to the step).
+// would drop the scratch pools and charge the refill to the step). Results
+// land in reused StepInto buffers, so the driver-side result slices of Step
+// no longer appear in the per-step allocation count.
 func measureStep(step *jaxpp.TrainStep, params, batch []*jaxpp.Tensor) (ms, allocs float64, err error) {
 	const warm, iters = 5, 20
+	losses := make([]*jaxpp.Tensor, step.NumReplicas()*step.NumMicrobatches())
+	grads := make([]*jaxpp.Tensor, len(params))
 	for i := 0; i < warm; i++ {
-		if _, _, err := step.Step(params, batch); err != nil {
+		if err := step.StepInto(params, batch, losses, grads); err != nil {
 			return 0, 0, err
 		}
 	}
@@ -193,7 +197,7 @@ func measureStep(step *jaxpp.TrainStep, params, batch []*jaxpp.Tensor) (ms, allo
 	goruntime.ReadMemStats(&before)
 	t0 := time.Now()
 	for i := 0; i < iters; i++ {
-		if _, _, err := step.Step(params, batch); err != nil {
+		if err := step.StepInto(params, batch, losses, grads); err != nil {
 			return 0, 0, err
 		}
 	}
@@ -210,6 +214,7 @@ func measureRuntimeSteps() (*runtimeStepStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer step.Close()
 	if s.PipelineStepMs, s.PipelineStepAllocs, err = measureStep(step, params, batch); err != nil {
 		return nil, err
 	}
@@ -217,6 +222,7 @@ func measureRuntimeSteps() (*runtimeStepStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer dpStep.Close()
 	if s.DPxPPStepMs, s.DPxPPStepAllocs, err = measureStep(dpStep, dpParams, dpBatch); err != nil {
 		return nil, err
 	}
@@ -231,6 +237,7 @@ type snapshot struct {
 	Kernels                 *kernelStats          `json:"kernels"`
 	RuntimeSteps            *runtimeStepStats     `json:"runtime_steps"`
 	Collective              *collectiveValidation `json:"collective_validation"`
+	Wire                    *wireStats            `json:"wire"`
 }
 
 func buildSnapshot() (*snapshot, error) {
@@ -291,6 +298,10 @@ func buildSnapshot() (*snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.Wire, err = measureWire()
+	if err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -308,10 +319,16 @@ func checkStepAllocs(rs *runtimeStepStats, maxAllocs float64) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, fig9, fig10, table1, ablations, validate")
+	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, fig9, fig10, table1, ablations, validate, wire")
 	jsonPath := flag.String("json", "", "write a machine-readable perf snapshot to this path and exit")
 	maxStepAllocs := flag.Float64("max-step-allocs", 0, "fail (exit 1) if a steady-state runtime step allocates more than this many objects; without -json only the step measurement runs")
+	wirePeer := flag.String("wire-peer", "", "internal: act as the multi-process wire-bench echo peer (coordinator address)")
 	flag.Parse()
+
+	if *wirePeer != "" {
+		wirePeerMain(*wirePeer)
+		return
+	}
 
 	if *jsonPath != "" {
 		s, err := buildSnapshot()
@@ -403,6 +420,19 @@ func main() {
 			fmt.Printf("Collective validation: executed bucketed ring AllReduce vs analytic dpSync\n")
 			fmt.Printf("  %d ranks × %d elems, calibrated link %.2f GB/s %.1fµs/hop\n", v.Ranks, v.Elems, v.LinkGBs, v.LinkLatencyUs)
 			fmt.Printf("  executed %.3fms, analytic %.3fms, ratio %.2f\n", v.ExecutedMs, v.AnalyticMs, v.Ratio)
+		case "wire":
+			w, err := measureWire()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Wire throughput: 4 MiB tensor ping-pongs, payload GB/s both directions\n")
+			fmt.Printf("  in-process chan transport: %6.2f GB/s\n", w.ChanTransportGBs)
+			fmt.Printf("  TCP local mesh (1 proc):   %6.2f GB/s\n", w.TCPLocalGBs)
+			if w.MultiProcErr != "" {
+				fmt.Printf("  TCP across 2 processes:    unavailable (%s)\n", w.MultiProcErr)
+			} else {
+				fmt.Printf("  TCP across 2 processes:    %6.2f GB/s\n", w.TCPMultiProcGBs)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -412,7 +442,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1", "ablations", "validate"}
+		names = []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1", "ablations", "validate", "wire"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+// Wire throughput benchmark: tagged tensor ping-pongs between two actors on
+// each transport tier — in-process channels, localhost TCP inside one
+// process (LocalMesh), and real multi-process TCP (a re-exec'd child joins
+// over the coordinator rendezvous) — so the binary wire protocol's cost
+// shows up next to the in-process numbers it replaces gob for.
+
+const (
+	wireElems = 1 << 19 // 4 MiB payloads
+	wireIters = 24
+	wireWarm  = 4
+)
+
+type wireStats struct {
+	// GB/s of payload moved (both directions counted) per transport tier.
+	ChanTransportGBs float64 `json:"chan_transport_gbs"`
+	TCPLocalGBs      float64 `json:"tcp_local_gbs"`
+	TCPMultiProcGBs  float64 `json:"tcp_multiprocess_gbs,omitempty"`
+	MultiProcErr     string  `json:"multiprocess_error,omitempty"`
+}
+
+const wireTagOut, wireTagBack = 1 << 16, 1<<16 + 1
+
+// pingPongSender runs the timing half of a ping-pong against actor 1 on any
+// transport: send wireElems-float64 tensors under tagOut, receive the echo
+// under tagBack, report payload GB/s both directions. senderOwns selects
+// the transport's Send ownership contract: false for ChanTransport (the
+// tensor reference moves to the receiver), true for the dist wire tiers
+// (Send serializes; the caller keeps the pool-owned tensor and must Recycle
+// it — skipping that would flood the timed loop with 4 MiB garbage and
+// measure GC pressure instead of the wire). The echo peer runs elsewhere: a
+// goroutine for the in-process tiers, a child process for the cross-process
+// tier.
+func pingPongSender(tr runtime.Transport, iters int, senderOwns bool) (float64, error) {
+	payload := make([]float64, wireElems)
+	for i := range payload {
+		payload[i] = float64(i)
+	}
+	var t0 time.Time
+	for i := 0; i < iters; i++ {
+		if i == wireWarm {
+			t0 = time.Now()
+		}
+		out := tensor.GetScratch(wireElems)
+		out.CopyFrom(payload)
+		tr.Send(0, 1, wireTagOut, out)
+		if senderOwns {
+			tensor.Recycle(out)
+		}
+		back, err := tr.Recv(0, 1, wireTagBack)
+		if err != nil {
+			return 0, err
+		}
+		tensor.Recycle(back)
+	}
+	elapsed := time.Since(t0).Seconds()
+	bytes := float64(2*(iters-wireWarm)) * float64(wireElems*8)
+	return bytes / elapsed / 1e9, nil
+}
+
+// pingPong is pingPongSender with an in-process echo peer on actor 1.
+func pingPong(tr runtime.Transport, iters int, senderOwns bool) (float64, error) {
+	errCh := make(chan error, 1)
+	go func() {
+		for i := 0; i < iters; i++ {
+			t, err := tr.Recv(1, 0, wireTagOut)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			tr.Send(1, 0, wireTagBack, t)
+			if senderOwns {
+				tensor.Recycle(t)
+			}
+		}
+		errCh <- nil
+	}()
+	gbs, err := pingPongSender(tr, iters, senderOwns)
+	if err != nil {
+		return 0, err
+	}
+	if err := <-errCh; err != nil {
+		return 0, err
+	}
+	return gbs, nil
+}
+
+// wirePeerMain is the child-process role: join the coordinator and echo.
+// Entered via the hidden -wire-peer flag.
+func wirePeerMain(coordinator string) {
+	sess, err := dist.Join(coordinator, dist.SessionOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jaxpp-bench -wire-peer:", err)
+		os.Exit(1)
+	}
+	defer sess.Close()
+	var iters int
+	if err := json.Unmarshal(sess.Job, &iters); err != nil {
+		fmt.Fprintln(os.Stderr, "jaxpp-bench -wire-peer:", err)
+		os.Exit(1)
+	}
+	tr := sess.Transport
+	for i := 0; i < iters; i++ {
+		t, err := tr.Recv(1, 0, wireTagOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jaxpp-bench -wire-peer:", err)
+			os.Exit(1)
+		}
+		tr.Send(1, 0, wireTagBack, t)
+		tensor.Recycle(t)
+	}
+	if err := sess.Barrier(); err != nil {
+		fmt.Fprintln(os.Stderr, "jaxpp-bench -wire-peer:", err)
+		os.Exit(1)
+	}
+}
+
+// measureMultiProc re-execs this binary as the echo peer and measures the
+// cross-process wire path. Picking a coordinator port by probing :0 and
+// closing the probe is inherently racy (another process can bind it before
+// Coordinate does), so a failed rendezvous retries on a fresh port instead
+// of flaking the snapshot.
+func measureMultiProc() (float64, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return 0, err
+	}
+	job, _ := json.Marshal(wireIters)
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+
+		child := exec.Command(self, "-wire-peer", addr)
+		child.Stderr = os.Stderr
+		if err := child.Start(); err != nil {
+			return 0, err
+		}
+		sess, err := dist.Coordinate(addr, 2, job, dist.SessionOptions{RendezvousTimeout: 30 * time.Second})
+		if err != nil {
+			child.Process.Kill()
+			child.Wait()
+			lastErr = err
+			continue
+		}
+		gbs, err := pingPongSender(sess.Transport, wireIters, true)
+		if err == nil {
+			err = sess.Barrier()
+		}
+		sess.Close()
+		child.Wait()
+		if err != nil {
+			return 0, err
+		}
+		return gbs, nil
+	}
+	return 0, lastErr
+}
+
+// measureWire runs all three tiers. The multi-process tier degrades to an
+// error note instead of failing the snapshot (sandboxes may forbid exec).
+func measureWire() (*wireStats, error) {
+	s := &wireStats{}
+	var err error
+	if s.ChanTransportGBs, err = pingPong(runtime.NewChanTransport(), wireIters, false); err != nil {
+		return nil, fmt.Errorf("chan transport: %w", err)
+	}
+	mesh, err := dist.NewLocalMesh(2, dist.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s.TCPLocalGBs, err = pingPong(mesh, wireIters, true)
+	mesh.Close()
+	if err != nil {
+		return nil, fmt.Errorf("tcp local mesh: %w", err)
+	}
+	if gbs, err := measureMultiProc(); err != nil {
+		s.MultiProcErr = err.Error()
+	} else {
+		s.TCPMultiProcGBs = gbs
+	}
+	return s, nil
+}

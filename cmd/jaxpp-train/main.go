@@ -1,112 +1,136 @@
 // Command jaxpp-train runs a real (numeric) MPMD pipeline training job on
 // the functional runtime: an S-stage MLP under a chosen schedule, with
-// actors communicating in-process or over localhost TCP sockets (-tcp).
+// actors communicating in-process, over localhost TCP sockets (-tcp), or
+// across OS processes (-distributed).
+//
+// Single process:
 //
 //	jaxpp-train -stages 4 -mb 8 -schedule 1f1b -steps 20 -tcp
+//
+// Multi-process (one coordinator + world-1 jaxpp-worker daemons; world =
+// dp×stages actors, one per process):
+//
+//	jaxpp-train -distributed -coordinator 127.0.0.1:29400 -stages 4 -steps 20 &
+//	jaxpp-worker -coordinator 127.0.0.1:29400 &   # × 3
+//
+// The coordinator distributes the job spec at rendezvous, so workers need
+// no model flags; per-step losses are bit-identical to the in-process run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
-	jaxpp "repro"
-	"repro/internal/rpcx"
+	"repro/internal/dist"
+	"repro/internal/distrun"
 )
 
 func main() {
-	stages := flag.Int("stages", 3, "pipeline stages (= actors)")
+	stages := flag.Int("stages", 3, "pipeline stages (= actors per replica)")
 	mb := flag.Int("mb", 6, "microbatches per step (gradient accumulation)")
 	mbRows := flag.Int("mbrows", 8, "rows per microbatch")
 	width := flag.Int("width", 32, "hidden width")
 	steps := flag.Int("steps", 20, "training steps")
 	lr := flag.Float64("lr", 0.5, "learning rate")
 	schedName := flag.String("schedule", "1f1b", "gpipe or 1f1b")
-	tcp := flag.Bool("tcp", false, "communicate over localhost TCP sockets")
+	dp := flag.Int("dp", 0, "data-parallel pipeline replicas (0/1 disables)")
 	spmd := flag.Int("spmd", 1, "virtual SPMD devices per actor")
+	seed := flag.Uint64("seed", 1, "deterministic init seed")
+	tcp := flag.Bool("tcp", false, "communicate over localhost TCP sockets (binary wire protocol, single process)")
+	distributed := flag.Bool("distributed", false, "run across OS processes over the dist transport")
+	rank := flag.Int("rank", 0, "this process's rank in -distributed mode (0 = coordinator)")
+	coordinator := flag.String("coordinator", "127.0.0.1:29400", "coordinator control address in -distributed mode")
+	crc := flag.Bool("crc", false, "append CRC32 trailers to wire frames")
+	lossesOut := flag.String("losses-out", "", "write per-step losses as JSON to this path (rank 0 / local only)")
+	stepSleep := flag.Int("step-sleep-ms", 0, "sleep after every step (failure-injection test hook)")
 	flag.Parse()
 
-	var sched *jaxpp.Schedule
-	switch *schedName {
-	case "gpipe":
-		sched = jaxpp.GPipe(*stages, *mb)
-	case "1f1b":
-		sched = jaxpp.OneFOneB(*stages, *mb)
-	default:
-		log.Fatalf("unknown schedule %q", *schedName)
+	spec := distrun.JobSpec{
+		Stages: *stages, NumMB: *mb, MBRows: *mbRows, Width: *width,
+		Steps: *steps, LR: *lr, Schedule: *schedName,
+		DataParallel: *dp, SPMD: *spmd, Seed: *seed, StepSleepMs: *stepSleep,
 	}
 
-	var mesh *jaxpp.RemoteMesh
-	if *tcp {
-		tr, err := rpcx.NewTCPTransport(*stages)
+	var rep *distrun.Report
+	var err error
+	switch {
+	case *distributed:
+		rep, err = runDistributed(spec, *rank, *coordinator, *crc)
+	case *tcp:
+		var mesh *dist.LocalMesh
+		mesh, err = dist.NewLocalMesh(spec.World(), dist.Options{CRC: *crc})
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer tr.Close()
-		mesh = jaxpp.NewRemoteMeshWithTransport(*stages, tr)
+		defer mesh.Close()
 		fmt.Printf("actors on TCP: ")
-		for a := 0; a < *stages; a++ {
-			fmt.Printf("%s ", tr.Addr(a))
+		for a := 0; a < spec.World(); a++ {
+			fmt.Printf("%s ", mesh.Addr(a))
 		}
 		fmt.Println()
-	} else {
-		mesh = jaxpp.NewRemoteMesh(*stages)
+		rep, err = distrun.RunLocalOn(spec, mesh)
+	default:
+		rep, err = distrun.RunLocal(spec)
 	}
-
-	paramShapes := make([][]int, *stages)
-	for i := range paramShapes {
-		paramShapes[i] = []int{*width, *width}
-	}
-	step, err := mesh.Compile(jaxpp.CompileSpec{
-		Loss: func(b *jaxpp.Builder, params, mbv []*jaxpp.Value) *jaxpp.Value {
-			h := mbv[0]
-			for i, w := range params {
-				h = b.ReLU(b.MatMul(h, w))
-				if i+1 < len(params) {
-					h = b.PipelineYield(h)
-				}
-			}
-			return b.CrossEntropy(h, mbv[1])
-		},
-		ParamShapes:         paramShapes,
-		BatchShapes:         [][]int{{*mbRows, *width}, {*mbRows, *width}},
-		Schedule:            sched,
-		SPMDDevicesPerActor: *spmd,
-	})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	rng := jaxpp.NewRNG(1)
-	params := make([]*jaxpp.Tensor, *stages)
-	for i := range params {
-		params[i] = rng.Xavier(*width, *width)
+	if rep.Rank != 0 {
+		return // non-coordinator rank: losses live on rank 0
 	}
-	x := rng.Normal(1, *mb**mbRows, *width)
-	y := rng.OneHotBatch(*mb**mbRows, *width)
-
-	for s := 0; s < *steps; s++ {
-		losses, grads, err := step.Step(params, []*jaxpp.Tensor{x, y})
-		if err != nil {
+	for s, loss := range rep.StepLosses {
+		if s%5 == 0 || s == len(rep.StepLosses)-1 {
+			fmt.Printf("step %3d  loss %.4f\n", s, loss)
+		}
+	}
+	if *lossesOut != "" {
+		if err := writeLosses(*lossesOut, rep); err != nil {
 			log.Fatal(err)
 		}
-		total := 0.0
-		for _, l := range losses {
-			total += l.Data()[0]
-		}
-		if s%5 == 0 || s == *steps-1 {
-			fmt.Printf("step %3d  loss %.4f\n", s, total/float64(*mb))
-		}
-		for i := range params {
-			d := make([]float64, grads[i].Size())
-			for j, g := range grads[i].Data() {
-				d[j] = params[i].Data()[j] - *lr*g
-			}
-			p, err := jaxpp.TensorFromSlice(d, *width, *width)
-			if err != nil {
-				log.Fatal(err)
-			}
-			params[i] = p
-		}
 	}
+}
+
+// runDistributed bootstraps this process's rank: rank 0 coordinates (and
+// hosts actor 0), other ranks join exactly like a jaxpp-worker would.
+func runDistributed(spec distrun.JobSpec, rank int, coordinator string, crc bool) (*distrun.Report, error) {
+	opts := dist.SessionOptions{Transport: dist.Options{CRC: crc}, WantRank: rank}
+	if rank == 0 {
+		sess, err := dist.Coordinate(coordinator, spec.World(), spec.Marshal(), opts)
+		if err != nil {
+			return nil, err
+		}
+		defer sess.Close()
+		fmt.Printf("coordinator up: world %d (%d replicas × %d stages) at %s\n",
+			spec.World(), spec.Replicas(), spec.Stages, coordinator)
+		return distrun.Run(sess, spec)
+	}
+	sess, err := dist.Join(coordinator, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	got, err := distrun.UnmarshalJobSpec(sess.Job)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("joined as rank %d of %d\n", sess.Rank, sess.World)
+	return distrun.Run(sess, got)
+}
+
+// lossesFile is the -losses-out JSON schema (shared with the CI smoke and
+// the multi-process equivalence test).
+type lossesFile struct {
+	StepLosses []float64   `json:"step_losses"`
+	MBLosses   [][]float64 `json:"mb_losses"`
+}
+
+func writeLosses(path string, rep *distrun.Report) error {
+	data, err := json.MarshalIndent(lossesFile{StepLosses: rep.StepLosses, MBLosses: rep.MBLosses}, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

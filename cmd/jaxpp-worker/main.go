@@ -1,0 +1,50 @@
+// Command jaxpp-worker is the long-lived worker daemon of the multi-process
+// runtime: it dials the coordinator's control address, completes the
+// rendezvous (reporting its data-plane listen address, receiving its rank,
+// the address book, and the job spec), then runs its actor's share of every
+// training step over the dist wire transport. It needs no model flags — the
+// coordinator's job spec is the single source of truth.
+//
+//	jaxpp-worker -coordinator 127.0.0.1:29400
+//
+// The process exits 0 on job completion, 1 on any error — including a
+// poisoned transport after a peer dies, which surfaces here as an error
+// instead of a hang.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/dist"
+	"repro/internal/distrun"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "127.0.0.1:29400", "coordinator control address")
+	rank := flag.Int("rank", 0, "requested rank (0 = let the coordinator assign)")
+	crc := flag.Bool("crc", false, "append CRC32 trailers to wire frames")
+	flag.Parse()
+
+	sess, err := dist.Join(*coordinator, dist.SessionOptions{
+		Transport: dist.Options{CRC: *crc},
+		WantRank:  *rank,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	spec, err := distrun.UnmarshalJobSpec(sess.Job)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("jaxpp-worker: rank %d of %d (job: %d stages × %d replicas, %d steps)\n",
+		sess.Rank, sess.World, spec.Stages, spec.Replicas(), spec.Steps)
+	if _, err := distrun.Run(sess, spec); err != nil {
+		fmt.Fprintln(os.Stderr, "jaxpp-worker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("jaxpp-worker: rank %d done\n", sess.Rank)
+}

@@ -17,9 +17,14 @@ const calibTagBase = TagSpaceBase / 2
 // Calibrate measures the effective per-hop link of a transport as the ring
 // collectives experience it, between actor IDs a and b: per-hop latency from
 // small-message ping-pongs, and bandwidth from bulk transfers that perform
-// the same per-hop work a reduce-scatter step does in steady state — a
-// sender-side copy into a pooled chunk and a receiver-side elementwise
-// reduce followed by a recycle, exactly the sendChunk/combineChunk profile.
+// the same per-hop work the executed ring performs in steady state. A ring
+// all-reduce spends half its hops in the reduce-scatter phase (receiver
+// folds the chunk in: combineChunk) and half in the all-gather phase
+// (receiver copies the chunk over: copyChunk), with a sender-side copy into
+// a pooled chunk on every hop — so the calibration alternates combine and
+// copy on the receiving side hop for hop. (Modeling every hop as a combine,
+// as the pre-PR4 profile did, overstates per-hop cost and drove the
+// executed-vs-analytic ratio to ~0.91 once the PR 3 chunk path landed.)
 // The returned perf.Link feeds the same analytic formulas the simulator's
 // dpSync cost model uses, which is what makes executed-vs-analytic
 // validation apples-to-apples.
@@ -60,9 +65,16 @@ func Calibrate(tr Transport, a, b int) perf.Link {
 			if err != nil {
 				return
 			}
-			OpSum.combine(acc, t.Data())
+			// Alternate the two receive-side hop profiles of a ring
+			// all-reduce: reduce-scatter hops fold the chunk in, all-gather
+			// hops copy it over.
+			if i%2 == 0 {
+				OpSum.combine(acc, t.Data())
+			} else {
+				copy(acc, t.Data())
+			}
 			tensor.Recycle(t)
-			// Echo with the same per-hop work profile (pooled copy + send).
+			// Echo with the sender-side work profile (pooled copy + send).
 			back := tensor.GetScratch(bwElems)
 			back.CopyFrom(acc)
 			tr.Send(b, a, tagEcho, back)
@@ -100,7 +112,11 @@ func Calibrate(tr Transport, a, b int) perf.Link {
 		if err != nil {
 			return perf.Link{BwGBs: 1, Latency: latency}
 		}
-		OpSum.combine(acc, back.Data())
+		if i%2 == 0 {
+			OpSum.combine(acc, back.Data())
+		} else {
+			copy(acc, back.Data())
+		}
 		tensor.Recycle(back)
 	}
 	elapsed := time.Since(t1).Seconds()
@@ -162,8 +178,9 @@ func PredictBucketedAllReduce(l perf.Link, sizes []int, n, bucketBytes int) floa
 // pools — plus the reduced tensor from rank 0 for correctness checks.
 func MeasureAllReduce(tr Transport, n, elems, bucketBytes int) (time.Duration, *tensor.Tensor, error) {
 	// Each iteration consumes two op tag windows (barrier + all-reduce);
-	// enough warmups walk the group's tag window all the way around, so the
-	// timed iterations run entirely on warm mailboxes and pooled chunks.
+	// opReuseWindows/2 iterations walk the whole tag-reuse cycle, so these
+	// warmups cover it almost three times over — the timed iterations run
+	// entirely on warm mailboxes and pooled chunks.
 	const warmups, iters = 24, 5
 	ranks := make([]int, n)
 	for i := range ranks {

@@ -84,20 +84,31 @@ const (
 	// never reach this region.
 	TagSpaceBase = 1 << 20
 
-	// GroupTagWindow is the tag window owned by one group. Operation tag
-	// windows wrap modulo this quickly — by design: the transport keeps one
-	// persistent mailbox per (sender, receiver, tag), so a small window means
-	// steady-state collectives rebind warm mailboxes instead of allocating
-	// fresh ones every operation. Wrapping is safe regardless of rank skew:
-	// a mailbox delivers its messages in FIFO order and has capacity one, so
-	// a send that reuses a tag whose previous message is still unconsumed
-	// simply backpressures until the receiver — which consumes tags in the
-	// same per-pair order every rank issues them (the collective contract) —
-	// drains it. The tradeoff is group size: operation windows of 2n+2 tags
-	// must fit the group window at least twice, capping groups at 63 ranks —
-	// far beyond any in-process goroutine ring worth running, but raise this
-	// constant if an external transport ever hosts larger executable groups.
-	GroupTagWindow = 1 << 8
+	// GroupTagWindow is the tag window owned by one group. Its size caps
+	// group membership: every operation's tag window (2n+2 tags) must fit at
+	// least twice, so 1<<12 admits groups of up to 1023 ranks — sized for
+	// the multi-process dist transport, whose process groups can outgrow the
+	// 63-rank ceiling the previous 1<<8 window imposed.
+	//
+	// Tag reuse within the window is governed separately by opReuseWindows:
+	// operation windows wrap quickly regardless of how wide the group window
+	// is, so steady-state collectives rebind warm persistent mailboxes
+	// instead of walking thousands of cold tags between reuses. Wrapping is
+	// safe regardless of rank skew: a mailbox delivers its messages in FIFO
+	// order and has capacity one, so a send that reuses a tag whose previous
+	// message is still unconsumed simply backpressures until the receiver —
+	// which consumes tags in the same per-pair order every rank issues them
+	// (the collective contract) — drains it.
+	GroupTagWindow = 1 << 12
+
+	// opReuseWindows is how many distinct operation tag windows a
+	// communicator cycles through before reuse. Two is the safety minimum
+	// (back-to-back reuse of a single window could match a laggard's send
+	// from operation k to a peer's receive in operation k+1 under extreme
+	// skew); sixteen keeps a healthy margin while bounding the number of
+	// persistent mailboxes a steady-state ring touches — the mailbox-reuse
+	// warmup horizon tests and calibration must cover.
+	opReuseWindows = 16
 )
 
 // Group is a process group: an ordered set of transport actor IDs that
@@ -106,6 +117,11 @@ type Group struct {
 	tr      Transport
 	ranks   []int // actor IDs; position in the slice is the rank
 	tagBase int
+	// senderOwns caches the transport's Send ownership contract: true for
+	// serializing transports (dist), where the sender keeps its pooled chunk
+	// after Send and must recycle it, false for reference-passing transports
+	// (runtime.ChanTransport), where the receiver recycles.
+	senderOwns bool
 }
 
 // NewGroup builds a process group over the given actor IDs. groupID selects
@@ -132,10 +148,15 @@ func NewGroup(tr Transport, ranks []int, groupID int) (*Group, error) {
 		}
 		seen[r] = true
 	}
+	senderOwns := false
+	if so, ok := tr.(interface{ SenderOwnsSent() bool }); ok {
+		senderOwns = so.SenderOwnsSent()
+	}
 	return &Group{
-		tr:      tr,
-		ranks:   append([]int(nil), ranks...),
-		tagBase: TagSpaceBase + groupID*GroupTagWindow,
+		tr:         tr,
+		ranks:      append([]int(nil), ranks...),
+		tagBase:    TagSpaceBase + groupID*GroupTagWindow,
+		senderOwns: senderOwns,
 	}, nil
 }
 
@@ -230,10 +251,16 @@ func (c *Communicator) Size() int { return c.g.Size() }
 // opWindow reserves the next deterministic tag window for one collective
 // operation and returns its base tag. The window must cover every distinct
 // (ring step) tag the operation uses: 2(n-1) for all-reduce, n for broadcast,
-// ceil(log2 n)+1 for barrier — opTagStride bounds them all.
+// ceil(log2 n)+1 for barrier — opTagStride bounds them all. Windows cycle
+// after min(opReuseWindows, GroupTagWindow/stride) operations, so warm
+// mailbox reuse kicks in after a bounded warmup even under the wide group
+// window large dist process groups need.
 func (c *Communicator) opWindow() int {
 	stride := c.opTagStride()
 	opsPerWindow := GroupTagWindow / stride
+	if opsPerWindow > opReuseWindows {
+		opsPerWindow = opReuseWindows
+	}
 	base := c.g.tagBase + (c.seq%opsPerWindow)*stride
 	c.seq++
 	return base

@@ -205,7 +205,11 @@ func TestIntoCollectivesZeroAllocSteadyState(t *testing.T) {
 	const n, rows, width = 4, 16, 64
 	h := newIntoHarness(t, n, rows, width)
 	defer h.stop()
-	warmRounds := GroupTagWindow/(2*n+2) + 2
+	// Each round issues two operations (AllGatherInto + BroadcastInto), so
+	// opReuseWindows/2 rounds walk the whole reuse cycle and warm every
+	// persistent mailbox the steady state touches; +2 rounds of slack also
+	// fill the chunk pools.
+	warmRounds := opReuseWindows/2 + 2
 	for i := 0; i < warmRounds; i++ {
 		if err := h.round(); err != nil {
 			t.Fatal(err)
@@ -226,10 +230,15 @@ func TestIntoCollectivesZeroAllocSteadyState(t *testing.T) {
 // TestNewGroupRejectsOversizedGroups is the regression test for the tag
 // window cap: a group whose rank count the GroupTagWindow cannot address must
 // fail loudly at construction instead of silently wrapping operation tag
-// windows into collisions.
+// windows into collisions. The 1<<12 window pins the cap at 1023 ranks —
+// wide enough for external-transport process groups far beyond the 63-rank
+// ceiling the original 1<<8 window imposed.
 func TestNewGroupRejectsOversizedGroups(t *testing.T) {
 	tr := runtime.NewChanTransport()
 	maxRanks := (GroupTagWindow/2 - 2) / 2 // every op window (2n+2 tags) must fit twice
+	if maxRanks != 1023 {
+		t.Fatalf("tag-window rank cap = %d, want 1023 (GroupTagWindow = 1<<12)", maxRanks)
+	}
 	mk := func(n int) []int {
 		ranks := make([]int, n)
 		for i := range ranks {
@@ -237,8 +246,11 @@ func TestNewGroupRejectsOversizedGroups(t *testing.T) {
 		}
 		return ranks
 	}
-	if _, err := NewGroup(tr, mk(maxRanks), 0); err != nil {
-		t.Fatalf("NewGroup(%d ranks): %v, want success at the cap", maxRanks, err)
+	// Groups beyond the old 63-rank ceiling must now construct.
+	for _, n := range []int{64, 257, maxRanks} {
+		if _, err := NewGroup(tr, mk(n), 0); err != nil {
+			t.Fatalf("NewGroup(%d ranks): %v, want success under the %d-rank cap", n, err, maxRanks)
+		}
 	}
 	if _, err := NewGroup(tr, mk(maxRanks+1), 0); err == nil {
 		t.Fatalf("NewGroup(%d ranks) succeeded; tags would alias within the %d-tag group window", maxRanks+1, GroupTagWindow)

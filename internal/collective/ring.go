@@ -28,11 +28,18 @@ func chunkRange(n, parts, i int) (lo, hi int) {
 	return lo, hi
 }
 
-// sendChunk ships data[lo:hi] as a flat pooled tensor owned by the receiver.
+// sendChunk ships data[lo:hi] as a flat pooled tensor. Over a
+// reference-passing transport the receiver owns (and recycles) the chunk;
+// over a serializing transport (dist) the sender keeps it and recycles it
+// here — otherwise every ring hop would orphan a pooled chunk to GC and the
+// scratch pool could never warm on the distributed gradient-sync path.
 func (c *Communicator) sendChunk(to, tag int, data []float64, lo, hi int) {
 	chunk := tensor.GetScratch(hi - lo)
 	chunk.CopyFrom(data[lo:hi])
 	c.g.tr.Send(c.self(), to, tag, chunk)
+	if c.g.senderOwns {
+		tensor.Recycle(chunk)
+	}
 }
 
 // combineChunk receives a chunk, reduces it into dst with op, and recycles
@@ -193,7 +200,19 @@ func (c *Communicator) AllGather(shard *tensor.Tensor) (*tensor.Tensor, error) {
 		parts[owner] = in
 		cur = in
 	}
-	return tensor.Concat0(parts), nil
+	out := tensor.Concat0(parts)
+	if c.g.senderOwns {
+		// Serializing transport: received parts are rank-private pooled
+		// decodes, not shared relay objects — return them after the concat
+		// copies them out. (Over a reference-passing transport the same
+		// objects live on other ranks; recycling would corrupt them.)
+		for i, p := range parts {
+			if i != c.rank {
+				tensor.Recycle(p)
+			}
+		}
+	}
+	return out, nil
 }
 
 // AllGatherInto gathers equal-shape shards from every rank into dst along
@@ -234,6 +253,9 @@ func (c *Communicator) AllGatherInto(dst, shard *tensor.Tensor) error {
 	cur.CopyFrom(shard.Data())
 	for s := 0; s < n-1; s++ {
 		c.g.tr.Send(c.self(), c.next(), base+s, cur)
+		if c.g.senderOwns {
+			tensor.Recycle(cur) // serialized; the relayed chunk stays ours
+		}
 		in, err := c.g.tr.Recv(c.self(), c.prev(), base+s)
 		if err != nil {
 			return err
@@ -293,8 +315,13 @@ func (c *Communicator) BroadcastInto(t *tensor.Tensor, root int) error {
 		}
 		copy(data[lo:hi], in.Data())
 		if !last {
-			// Forward the chunk object itself; ownership moves on.
+			// Forward the chunk object itself; over a reference-passing
+			// transport ownership moves on, over a serializing one we keep
+			// (and recycle) it.
 			c.g.tr.Send(c.self(), c.next(), base+k, in)
+			if c.g.senderOwns {
+				tensor.Recycle(in)
+			}
 		} else {
 			tensor.Recycle(in)
 		}
@@ -330,6 +357,9 @@ func (c *Communicator) Broadcast(t *tensor.Tensor, root int) (*tensor.Tensor, er
 			st.Data()[i] = float64(d)
 		}
 		c.g.tr.Send(c.self(), c.next(), base+n, st)
+		if c.g.senderOwns {
+			tensor.Recycle(st)
+		}
 		for k := 0; k < n; k++ {
 			lo, hi := chunkRange(L, n, k)
 			c.sendChunk(c.next(), base+k, data, lo, hi)
@@ -346,8 +376,12 @@ func (c *Communicator) Broadcast(t *tensor.Tensor, root int) (*tensor.Tensor, er
 	}
 	last := dist == n-1
 	if !last {
-		// Forward the shape prologue tensor itself; ownership moves on.
+		// Forward the shape prologue tensor itself (see BroadcastInto's
+		// relay ownership note).
 		c.g.tr.Send(c.self(), c.next(), base+n, st)
+		if c.g.senderOwns {
+			tensor.Recycle(st)
+		}
 	} else {
 		tensor.Recycle(st)
 	}
@@ -383,8 +417,14 @@ func (c *Communicator) Barrier() error {
 		to := c.g.ranks[(c.rank+d)%n]
 		from := c.g.ranks[((c.rank-d)%n+n)%n]
 		c.g.tr.Send(c.self(), to, base+round, barrierToken)
-		if _, err := c.g.tr.Recv(c.self(), from, base+round); err != nil {
+		tok, err := c.g.tr.Recv(c.self(), from, base+round)
+		if err != nil {
 			return err
+		}
+		if c.g.senderOwns {
+			// Serializing transport: the received token is a pooled decode,
+			// not the shared barrierToken object.
+			tensor.Recycle(tok)
 		}
 		round++
 	}

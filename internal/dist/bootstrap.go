@@ -1,0 +1,582 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Rendezvous: one process is elected coordinator (by convention the rank-0
+// training process); every worker dials its control address, reports its
+// data-plane listen address, and receives back a rank, the world size, the
+// full address book, and the job payload. A start barrier follows, so no
+// rank begins its program before every data-plane listener is reachable.
+// After bootstrap the control connections stay open carrying heartbeats:
+// a vanished or wedged process is detected within HeartbeatTimeout and the
+// data transport is poisoned on every surviving rank — pending receives
+// surface an error instead of hanging the training job.
+
+// Control-plane message. One JSON object per line.
+type ctrlMsg struct {
+	Type string `json:"type"` // hello, welcome, ready, start, ping, pong, barrier, barrier_ok, bye, fail
+	Addr string `json:"addr,omitempty"`
+	Rank int    `json:"rank,omitempty"`
+	// WantRank is the worker's requested rank in a hello; -1 lets the
+	// coordinator assign arrival order.
+	WantRank int             `json:"want_rank,omitempty"`
+	World    int             `json:"world,omitempty"`
+	Book     map[int]string  `json:"book,omitempty"`
+	Job      json.RawMessage `json:"job,omitempty"`
+	Err      string          `json:"err,omitempty"`
+}
+
+const (
+	// HeartbeatInterval is how often liveness pings travel each control conn.
+	HeartbeatInterval = 1 * time.Second
+	// HeartbeatTimeout is how long a silent peer stays trusted. Three missed
+	// intervals plus slack: slow CI machines jitter, dead processes don't.
+	HeartbeatTimeout = 5 * time.Second
+)
+
+// SessionOptions configures bootstrap.
+type SessionOptions struct {
+	// Transport options for the data plane.
+	Transport Options
+	// RendezvousTimeout bounds the whole bootstrap (default 60s).
+	RendezvousTimeout time.Duration
+	// HeartbeatInterval / HeartbeatTimeout override the defaults (tests use
+	// short ones). Zero keeps the package defaults.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// WantRank requests a specific rank when joining (-1 or 0-value accepts
+	// coordinator assignment; Join treats 0 as "any" since rank 0 is the
+	// coordinator itself).
+	WantRank int
+}
+
+func (o *SessionOptions) fill() {
+	if o.RendezvousTimeout == 0 {
+		o.RendezvousTimeout = 60 * time.Second
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = HeartbeatInterval
+	}
+	if o.HeartbeatTimeout == 0 {
+		o.HeartbeatTimeout = HeartbeatTimeout
+	}
+}
+
+// Session is one process's membership in a bootstrapped world: its rank, the
+// data-plane transport, and the control-plane machinery (heartbeats,
+// barrier, shutdown).
+type Session struct {
+	Rank      int
+	World     int
+	Transport *Transport
+	// Job is the coordinator-provided job payload (nil on the coordinator,
+	// which already has it).
+	Job json.RawMessage
+
+	opts SessionOptions
+
+	// Coordinator side.
+	ctrlLn  net.Listener
+	workers []*ctrlConn // indexed by rank-1
+
+	// Worker side.
+	coord *ctrlConn
+
+	// closing marks a locally initiated teardown, so the serve loops can
+	// tell "we closed our own sockets" from "the peer's process died".
+	closing   atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// ctrlConn is one control connection with line-JSON framing and a demux
+// between heartbeat traffic and protocol replies.
+type ctrlConn struct {
+	c    net.Conn
+	r    *bufio.Reader
+	wmu  sync.Mutex
+	rank int // peer's rank
+
+	// departed is set when the peer says goodbye: a graceful departure must
+	// not be misdiagnosed as death once its heartbeats stop.
+	departed atomic.Bool
+
+	// replies receives non-ping protocol messages (barrier_ok, bye, ...).
+	replies chan ctrlMsg
+	// lastHeard is guarded by hmu; the heartbeat monitor reads it.
+	hmu       sync.Mutex
+	lastHeard time.Time
+}
+
+func newCtrlConn(c net.Conn) *ctrlConn {
+	return &ctrlConn{c: c, r: bufio.NewReader(c), replies: make(chan ctrlMsg, 8), lastHeard: time.Now()}
+}
+
+func (cc *ctrlConn) send(m ctrlMsg) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	_, err = cc.c.Write(append(data, '\n'))
+	return err
+}
+
+func (cc *ctrlConn) read() (ctrlMsg, error) {
+	line, err := cc.r.ReadBytes('\n')
+	if err != nil {
+		return ctrlMsg{}, err
+	}
+	var m ctrlMsg
+	if err := json.Unmarshal(line, &m); err != nil {
+		return ctrlMsg{}, fmt.Errorf("dist: malformed control message %q: %w", line, err)
+	}
+	// Every successful read proves liveness — including the rendezvous
+	// exchanges that happen before the serve loops (and their touch() calls)
+	// take over. Without this, a rendezvous slower than HeartbeatTimeout
+	// (workers launched by hand, seconds apart) leaves lastHeard at
+	// conn-creation time and the monitors spuriously fail the world right
+	// after start.
+	cc.touch()
+	return m, nil
+}
+
+func (cc *ctrlConn) touch() {
+	cc.hmu.Lock()
+	cc.lastHeard = time.Now()
+	cc.hmu.Unlock()
+}
+
+func (cc *ctrlConn) silentFor() time.Duration {
+	cc.hmu.Lock()
+	defer cc.hmu.Unlock()
+	return time.Since(cc.lastHeard)
+}
+
+// Coordinate elects this process coordinator (rank 0) of a world-process
+// group: it listens on ctrlAddr, admits world-1 workers, assigns ranks,
+// distributes the address book and job payload, and runs the start barrier.
+// The returned session's transport is connected and ready for traffic.
+func Coordinate(ctrlAddr string, world int, job []byte, opts SessionOptions) (*Session, error) {
+	opts.fill()
+	if world < 1 {
+		return nil, fmt.Errorf("dist: world size %d", world)
+	}
+	tr, err := NewTransport(0, opts.Transport)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", ctrlAddr)
+	if err != nil {
+		tr.Close()
+		return nil, fmt.Errorf("dist: coordinator listen %s: %w", ctrlAddr, err)
+	}
+	s := &Session{Rank: 0, World: world, Transport: tr, opts: opts, ctrlLn: ln}
+	deadline := time.Now().Add(opts.RendezvousTimeout)
+
+	book := map[int]string{0: tr.Addr()}
+	pinned := map[int]bool{0: true}
+	var pending []*ctrlConn
+	addrs := map[*ctrlConn]string{}
+	// failPending tears down an aborted rendezvous: every already-admitted
+	// worker gets a fail message and a closed conn, so it errors out promptly
+	// instead of sitting blocked on welcome/start until its own timeout.
+	// (s.close only covers s.workers, which is not set until bootstrap
+	// succeeds.)
+	failPending := func(reason string) {
+		for _, cc := range pending {
+			cc.send(ctrlMsg{Type: "fail", Err: reason})
+			cc.c.Close()
+		}
+		s.close(nil)
+	}
+	for len(pending) < world-1 {
+		if tcpLn, ok := ln.(*net.TCPListener); ok {
+			tcpLn.SetDeadline(deadline)
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			failPending(fmt.Sprintf("rendezvous aborted: %d of %d workers joined before timeout", len(pending), world-1))
+			return nil, fmt.Errorf("dist: rendezvous accept: %w (joined %d of %d workers)", err, len(pending), world-1)
+		}
+		cc := newCtrlConn(conn)
+		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		m, err := cc.read()
+		if err != nil || m.Type != "hello" || m.Addr == "" {
+			conn.Close()
+			continue // not a worker hello; ignore strays
+		}
+		conn.SetReadDeadline(time.Time{})
+		if m.WantRank > 0 && (m.WantRank >= world || pinned[m.WantRank]) {
+			// An explicitly requested rank that conflicts with another pin or
+			// lies outside the world is an operator error (two processes
+			// pinned to the same rank) — reject loudly rather than silently
+			// reassigning and running a topology the operator did not ask
+			// for.
+			cc.send(ctrlMsg{Type: "fail", Err: fmt.Sprintf("requested rank %d unavailable (world %d)", m.WantRank, world)})
+			conn.Close()
+			continue
+		}
+		// Pinned ranks claim their slot now; auto workers (WantRank <= 0) are
+		// assigned only after every hello has arrived, so an early auto
+		// arrival can never steal a later worker's pinned rank.
+		cc.rank = -1
+		if m.WantRank > 0 {
+			cc.rank = m.WantRank
+			pinned[m.WantRank] = true
+		}
+		addrs[cc] = m.Addr
+		pending = append(pending, cc)
+	}
+	next := 1
+	for _, cc := range pending {
+		if cc.rank < 0 {
+			for pinned[next] {
+				next++
+			}
+			cc.rank = next
+			pinned[next] = true
+		}
+		book[cc.rank] = addrs[cc]
+	}
+	// Welcome every worker with the complete book, collect readiness, start.
+	for _, cc := range pending {
+		if err := cc.send(ctrlMsg{Type: "welcome", Rank: cc.rank, World: world, Book: book, Job: job}); err != nil {
+			failPending(fmt.Sprintf("rendezvous aborted: welcome to rank %d failed", cc.rank))
+			return nil, fmt.Errorf("dist: welcome rank %d: %w", cc.rank, err)
+		}
+	}
+	for _, cc := range pending {
+		cc.c.SetReadDeadline(time.Now().Add(opts.RendezvousTimeout))
+		m, err := cc.read()
+		if err != nil || m.Type != "ready" {
+			failPending(fmt.Sprintf("rendezvous aborted: rank %d never reported ready", cc.rank))
+			return nil, fmt.Errorf("dist: rank %d never reported ready: %v", cc.rank, err)
+		}
+		cc.c.SetReadDeadline(time.Time{})
+	}
+	for _, cc := range pending {
+		if err := cc.send(ctrlMsg{Type: "start"}); err != nil {
+			failPending(fmt.Sprintf("rendezvous aborted: start to rank %d failed", cc.rank))
+			return nil, fmt.Errorf("dist: start rank %d: %w", cc.rank, err)
+		}
+	}
+	s.workers = pending
+	tr.Connect(book)
+	for _, cc := range pending {
+		go s.coordinatorServe(cc)
+	}
+	go s.coordinatorMonitor()
+	return s, nil
+}
+
+// Join connects to a coordinator, completes the rendezvous, and returns the
+// worker's session once the start barrier releases. Workers may start before
+// the coordinator: the dial retries until RendezvousTimeout, so arrival
+// order never matters.
+func Join(ctrlAddr string, opts SessionOptions) (*Session, error) {
+	opts.fill()
+	deadline := time.Now().Add(opts.RendezvousTimeout)
+	var conn net.Conn
+	var err error
+	for {
+		conn, err = net.DialTimeout("tcp", ctrlAddr, opts.RendezvousTimeout)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dist: join %s: %w", ctrlAddr, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	cc := newCtrlConn(conn)
+	// Listen before hello so the reported address is live.
+	tr, err := NewTransport(-1, opts.Transport)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := cc.send(ctrlMsg{Type: "hello", Addr: tr.Addr(), WantRank: opts.WantRank}); err != nil {
+		conn.Close()
+		tr.Close()
+		return nil, fmt.Errorf("dist: hello: %w", err)
+	}
+	conn.SetReadDeadline(time.Now().Add(opts.RendezvousTimeout))
+	m, err := cc.read()
+	if err != nil {
+		conn.Close()
+		tr.Close()
+		return nil, fmt.Errorf("dist: awaiting welcome: %w", err)
+	}
+	if m.Type == "fail" {
+		conn.Close()
+		tr.Close()
+		return nil, fmt.Errorf("dist: coordinator rejected join: %s", m.Err)
+	}
+	if m.Type != "welcome" {
+		conn.Close()
+		tr.Close()
+		return nil, fmt.Errorf("dist: expected welcome, got %q", m.Type)
+	}
+	tr.setRank(m.Rank)
+	tr.Connect(m.Book)
+	if err := cc.send(ctrlMsg{Type: "ready"}); err != nil {
+		conn.Close()
+		tr.Close()
+		return nil, fmt.Errorf("dist: ready: %w", err)
+	}
+	start, err := cc.read()
+	if err != nil || start.Type != "start" {
+		conn.Close()
+		tr.Close()
+		return nil, fmt.Errorf("dist: awaiting start: %v (got %q)", err, start.Type)
+	}
+	conn.SetReadDeadline(time.Time{})
+	s := &Session{Rank: m.Rank, World: m.World, Transport: tr, Job: m.Job, opts: opts, coord: cc}
+	go s.workerServe()
+	go s.workerMonitor()
+	return s, nil
+}
+
+// setRank rebinds a transport created before its rank was known (Join
+// listens before the coordinator assigns ranks).
+func (t *Transport) setRank(rank int) {
+	t.rank.Store(int32(rank))
+}
+
+// coordinatorServe pumps one worker's control conn: heartbeats refresh
+// liveness, everything else lands in the reply channel. A broken conn (the
+// worker process died) poisons the data plane immediately.
+func (s *Session) coordinatorServe(cc *ctrlConn) {
+	cc.touch() // heartbeat accounting starts now, not at conn creation
+	stopPing := startPinger(cc, s.opts.HeartbeatInterval)
+	defer stopPing()
+	for {
+		m, err := cc.read()
+		if err != nil {
+			if !s.closing.Load() && !s.Transport.isClosed() {
+				s.fail(fmt.Errorf("dist: worker rank %d control connection broke: %v", cc.rank, err))
+			}
+			return
+		}
+		cc.touch()
+		switch m.Type {
+		case "ping":
+			cc.send(ctrlMsg{Type: "pong"})
+		case "pong":
+		case "bye":
+			cc.departed.Store(true)
+			return
+		default:
+			select {
+			case cc.replies <- m:
+			default: // protocol violation; drop rather than wedge heartbeats
+			}
+		}
+	}
+}
+
+// fail poisons the local data plane and, on the coordinator, fans the
+// failure out to every worker's control conn — a rank that has no data-plane
+// stream from the dead process would otherwise block until its receive
+// timeout instead of learning promptly.
+func (s *Session) fail(cause error) {
+	s.Transport.Poison(cause)
+	for _, cc := range s.workers {
+		cc.send(ctrlMsg{Type: "fail", Err: cause.Error()})
+	}
+}
+
+// coordinatorMonitor fails the world when any worker goes silent for longer
+// than the heartbeat timeout (a wedged-but-connected process).
+func (s *Session) coordinatorMonitor() {
+	tick := time.NewTicker(s.opts.HeartbeatInterval)
+	defer tick.Stop()
+	for range tick.C {
+		if s.Transport.isClosed() || s.Transport.Err() != nil {
+			return
+		}
+		for _, cc := range s.workers {
+			if !cc.departed.Load() && cc.silentFor() > s.opts.HeartbeatTimeout {
+				s.fail(fmt.Errorf("dist: worker rank %d missed heartbeats for %v", cc.rank, s.opts.HeartbeatTimeout))
+				return
+			}
+		}
+	}
+}
+
+// workerServe pumps the coordinator conn on a worker.
+func (s *Session) workerServe() {
+	cc := s.coord
+	cc.touch() // heartbeat accounting starts now, not at conn creation
+	stopPing := startPinger(cc, s.opts.HeartbeatInterval)
+	defer stopPing()
+	for {
+		m, err := cc.read()
+		if err != nil {
+			if !s.closing.Load() && !s.Transport.isClosed() {
+				s.Transport.Poison(fmt.Errorf("dist: coordinator connection broke: %v", err))
+			}
+			return
+		}
+		cc.touch()
+		switch m.Type {
+		case "ping":
+			cc.send(ctrlMsg{Type: "pong"})
+		case "pong":
+		case "fail":
+			// Coordinator-relayed death of another rank: poison locally so
+			// receives waiting on the dead rank error out promptly even
+			// without a direct data-plane stream from it.
+			s.Transport.Poison(fmt.Errorf("dist: coordinator reported failure: %s", m.Err))
+		case "bye":
+			cc.departed.Store(true)
+			return
+		default:
+			select {
+			case cc.replies <- m:
+			default:
+			}
+		}
+	}
+}
+
+// startPinger sends liveness pings on cc until the returned stop function
+// runs (when the serve loop exits, on conn error or shutdown).
+func startPinger(cc *ctrlConn, interval time.Duration) func() {
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				if cc.send(ctrlMsg{Type: "ping"}) != nil {
+					return
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// workerMonitor poisons the data plane when the coordinator goes silent.
+func (s *Session) workerMonitor() {
+	tick := time.NewTicker(s.opts.HeartbeatInterval)
+	defer tick.Stop()
+	for range tick.C {
+		if s.Transport.isClosed() || s.Transport.Err() != nil {
+			return
+		}
+		if s.coord.departed.Load() {
+			return // graceful coordinator goodbye is not a death
+		}
+		if s.coord.silentFor() > s.opts.HeartbeatTimeout {
+			s.Transport.Poison(fmt.Errorf("dist: coordinator missed heartbeats for %v", s.opts.HeartbeatTimeout))
+			return
+		}
+	}
+}
+
+// Barrier blocks until every rank of the session reaches it: workers send a
+// barrier message and wait for the coordinator's release; the coordinator
+// waits for all workers, then releases them. Errors surface transport
+// poisoning (a dead rank fails the barrier everywhere instead of hanging).
+func (s *Session) Barrier() error {
+	timeout := s.opts.HeartbeatTimeout * 4
+	if s.Rank == 0 {
+		for _, cc := range s.workers {
+			select {
+			case m := <-cc.replies:
+				if m.Type != "barrier" {
+					return fmt.Errorf("dist: barrier: rank %d sent %q", cc.rank, m.Type)
+				}
+			case <-s.Transport.dead:
+				return s.Transport.Err()
+			case <-time.After(timeout):
+				return fmt.Errorf("dist: barrier: rank %d silent for %v", cc.rank, timeout)
+			}
+		}
+		for _, cc := range s.workers {
+			if err := cc.send(ctrlMsg{Type: "barrier_ok"}); err != nil {
+				return fmt.Errorf("dist: barrier release rank %d: %w", cc.rank, err)
+			}
+		}
+		return nil
+	}
+	if err := s.coord.send(ctrlMsg{Type: "barrier"}); err != nil {
+		return fmt.Errorf("dist: barrier: %w", err)
+	}
+	select {
+	case m := <-s.coord.replies:
+		if m.Type != "barrier_ok" {
+			return fmt.Errorf("dist: barrier: coordinator sent %q", m.Type)
+		}
+		return nil
+	case <-s.Transport.dead:
+		return s.Transport.Err()
+	case <-time.After(timeout):
+		return fmt.Errorf("dist: barrier: coordinator silent for %v", timeout)
+	}
+}
+
+// Close tears the session down gracefully: a bye on every control conn, then
+// transport shutdown. Safe to call more than once.
+func (s *Session) Close() error {
+	s.closeOnce.Do(func() {
+		s.closing.Store(true)
+		s.closeErr = s.close(nil)
+	})
+	return s.closeErr
+}
+
+// Abort tears the session down the way a process crash would: control conns
+// and the data plane slam shut with no goodbye, so every surviving rank
+// detects the death (stream break or heartbeat loss) and poisons itself.
+// Failure-injection counterpart of Close.
+func (s *Session) Abort() {
+	s.closeOnce.Do(func() {
+		s.closing.Store(true)
+		if s.coord != nil {
+			s.coord.c.Close()
+		}
+		for _, cc := range s.workers {
+			cc.c.Close()
+		}
+		if s.ctrlLn != nil {
+			s.ctrlLn.Close()
+		}
+		s.Transport.Abort()
+		s.closeErr = nil
+	})
+}
+
+func (s *Session) close(cause error) error {
+	if s.coord != nil {
+		s.coord.send(ctrlMsg{Type: "bye"})
+		s.coord.c.Close()
+	}
+	for _, cc := range s.workers {
+		cc.send(ctrlMsg{Type: "bye"})
+		cc.c.Close()
+	}
+	if s.ctrlLn != nil {
+		s.ctrlLn.Close()
+	}
+	err := s.Transport.Close()
+	if cause != nil && err == nil {
+		err = cause
+	}
+	return err
+}

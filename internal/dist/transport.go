@@ -1,0 +1,472 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// DefaultRecvTimeout mirrors runtime.DefaultRecvTimeout: a receive whose tag
+// no peer ever matches errors out instead of hanging the process.
+const DefaultRecvTimeout = 30 * time.Second
+
+// closeWriteGrace bounds how long a graceful Close waits for queued frames
+// to drain to each peer. A wedged-but-alive peer (stopped reading, TCP
+// buffers full) would otherwise block the sender worker inside a socket
+// write forever — poisoning cannot interrupt a blocked syscall — and hang
+// Close behind the worker drain.
+const closeWriteGrace = 10 * time.Second
+
+// Options configures a Transport.
+type Options struct {
+	// Listen is the data-plane listen address ("127.0.0.1:0" when empty, so
+	// the kernel picks a free port; the chosen address is Addr()).
+	Listen string
+	// RecvTimeout bounds every Recv; zero uses DefaultRecvTimeout, negative
+	// waits forever.
+	RecvTimeout time.Duration
+	// CRC appends a CRC32 trailer to every outgoing data frame; incoming
+	// frames are verified whenever the sender set the flag regardless.
+	CRC bool
+	// DType selects the payload encoding (default DTF64, lossless).
+	DType DType
+}
+
+// Transport is one process's endpoint of the multi-process data plane: a
+// runtime.Transport whose peers live in other OS processes. Each endpoint
+// owns a TCP listener; outgoing links dial lazily and are serviced by one
+// persistent sender worker per destination (a Mailbox of encoded frames), so
+// asynchronous sends never block the caller and never head-of-line block
+// traffic to other peers. Incoming frames decode into pooled tensors
+// (receivers Recycle after use).
+//
+// Send serializes the payload before returning: the moment Send returns, the
+// caller may recycle or mutate the tensor — the same completion semantics as
+// the in-process ChanTransport, which is what lets the runtime's
+// store-deletion protocol (§4.3) work unchanged across processes.
+type Transport struct {
+	// rank is atomic because Join listens (starting reader goroutines)
+	// before the coordinator assigns the final rank.
+	rank atomic.Int32
+	opts Options
+
+	ln     net.Listener
+	mu     sync.Mutex
+	book   map[int]string
+	peers  map[int]*peerLink
+	conns  []net.Conn
+	closed bool
+
+	shards [numInboxShards]inboxShard
+
+	// err is the poison state: the first transport-level failure (peer died,
+	// corrupt stream, coordinator-reported death). Every pending and future
+	// Recv fails with it, because after a lost or dropped message, tag reuse
+	// could silently match a later payload to an earlier receive.
+	err  atomic.Pointer[error]
+	dead chan struct{} // closed when poisoned
+
+	sent      atomic.Int64
+	sentBytes atomic.Int64
+	recvd     atomic.Int64
+}
+
+// peerLink is one outgoing connection: a lazily dialed conn plus the sender
+// worker that owns all writes to it.
+type peerLink struct {
+	mb *Mailbox[[]byte]
+	w  *bufio.Writer
+	c  net.Conn
+}
+
+type inboxKey struct {
+	from, tag int
+}
+
+const numInboxShards = 32
+
+// zeroShape is the payload-free shape control frames carry (a rank-0 shape
+// would denote a scalar, which has one element).
+var zeroShape = []int{0}
+
+type inboxShard struct {
+	mu  sync.Mutex
+	chs map[inboxKey]chan *tensor.Tensor
+	_   [48]byte // pad to a cache line; see runtime.ChanTransport
+}
+
+func (k inboxKey) shard() int {
+	h := uint64(k.from)*0x9e3779b97f4a7c15 ^ uint64(k.tag)*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	return int(h & (numInboxShards - 1))
+}
+
+// NewTransport opens the data-plane listener for one rank. Peers are
+// unreachable until Connect installs the address book (rendezvous provides
+// it).
+func NewTransport(rank int, opts Options) (*Transport, error) {
+	if opts.Listen == "" {
+		opts.Listen = "127.0.0.1:0"
+	}
+	if opts.RecvTimeout == 0 {
+		opts.RecvTimeout = DefaultRecvTimeout
+	}
+	if opts.DType == 0 {
+		opts.DType = DTF64
+	}
+	ln, err := net.Listen("tcp", opts.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("dist: rank %d listen %s: %w", rank, opts.Listen, err)
+	}
+	t := &Transport{
+		opts:  opts,
+		ln:    ln,
+		peers: map[int]*peerLink{},
+		dead:  make(chan struct{}),
+	}
+	t.rank.Store(int32(rank))
+	for i := range t.shards {
+		t.shards[i].chs = map[inboxKey]chan *tensor.Tensor{}
+	}
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Rank returns this endpoint's transport actor ID.
+func (t *Transport) Rank() int { return int(t.rank.Load()) }
+
+// Addr returns the data-plane listen address (for the rendezvous address
+// book).
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// Connect installs the rank → address book. Links dial lazily on first send.
+func (t *Transport) Connect(book map[int]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.book = make(map[int]string, len(book))
+	for r, a := range book {
+		t.book[r] = a
+	}
+}
+
+func (t *Transport) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns = append(t.conns, conn)
+		t.mu.Unlock()
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames off one accepted connection into the inbox. The
+// first frame must be a hello identifying the sending rank; any decode error
+// after that poisons the transport (a broken stream means messages may have
+// been lost, and tag matching can no longer be trusted).
+func (t *Transport) readLoop(conn net.Conn) {
+	dec := NewDecoder(bufio.NewReaderSize(conn, 1<<16))
+	h, _, err := dec.ReadFrame()
+	if err != nil || h.Kind != frameHello {
+		conn.Close()
+		return // never identified itself; nothing can have been lost
+	}
+	peer := h.From
+	for {
+		h, ten, err := dec.ReadFrame()
+		if err != nil {
+			if t.isClosed() {
+				return
+			}
+			t.Poison(fmt.Errorf("dist: rank %d: stream from peer %d broke: %w", t.Rank(), peer, err))
+			return
+		}
+		switch h.Kind {
+		case frameGoodbye:
+			return
+		case frameData:
+			if h.To != t.Rank() {
+				t.Poison(fmt.Errorf("dist: rank %d received frame addressed to %d (corrupt routing)", t.Rank(), h.To))
+				return
+			}
+			if !t.deliver(inboxKey{h.From, h.Tag}, ten) {
+				tensor.Recycle(ten) // poisoned while delivering; undelivered payload goes back to the pool
+				return
+			}
+			t.recvd.Add(1)
+		}
+	}
+}
+
+// deliver places a decoded tensor into its tag mailbox, blocking (bounded by
+// RecvTimeout) if the previous message under the same tag is unconsumed —
+// the same cap-1 backpressure discipline as the in-process transport. A
+// delivery that cannot drain within the timeout poisons the transport.
+func (t *Transport) deliver(k inboxKey, ten *tensor.Tensor) bool {
+	ch := t.ch(k)
+	select {
+	case ch <- ten:
+		return true
+	default:
+	}
+	timeout := t.opts.RecvTimeout
+	if timeout <= 0 {
+		select {
+		case ch <- ten:
+			return true
+		case <-t.dead:
+			return false
+		}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case ch <- ten:
+		return true
+	case <-t.dead:
+		return false
+	case <-timer.C:
+		t.Poison(fmt.Errorf("dist: rank %d: mailbox (from %d, tag %d) full for %v: receiver stalled or tag aliased", t.Rank(), k.from, k.tag, timeout))
+		return false
+	}
+}
+
+func (t *Transport) ch(k inboxKey) chan *tensor.Tensor {
+	s := &t.shards[k.shard()]
+	s.mu.Lock()
+	ch, ok := s.chs[k]
+	if !ok {
+		ch = make(chan *tensor.Tensor, 1)
+		s.chs[k] = ch
+	}
+	s.mu.Unlock()
+	return ch
+}
+
+// link returns the sender worker for a destination, dialing on first use.
+func (t *Transport) link(to int) (*peerLink, error) {
+	t.mu.Lock()
+	if pl, ok := t.peers[to]; ok {
+		t.mu.Unlock()
+		return pl, nil
+	}
+	addr, ok := t.book[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dist: rank %d has no address for peer %d (rendezvous incomplete?)", t.Rank(), to)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: rank %d dial peer %d at %s: %w", t.Rank(), to, addr, err)
+	}
+	t.mu.Lock()
+	if existing, raced := t.peers[to]; raced {
+		t.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	w := bufio.NewWriterSize(conn, 1<<16)
+	pl := &peerLink{w: w, c: conn}
+	// The sender worker owns all writes to this conn: frames arrive encoded,
+	// the worker writes them and recycles the buffers, and the drain hook
+	// flushes once per burst (after the last queued frame) — one syscall per
+	// burst, not one per frame.
+	pl.mb = NewMailboxDrain(0, func(frame []byte) {
+		if _, err := w.Write(frame); err != nil && !t.isClosed() {
+			t.Poison(fmt.Errorf("dist: rank %d write to peer %d: %w", t.Rank(), to, err))
+		}
+		recycleFrameBuf(frame)
+	}, func() {
+		if err := w.Flush(); err != nil && !t.isClosed() {
+			t.Poison(fmt.Errorf("dist: rank %d flush to peer %d: %w", t.Rank(), to, err))
+		}
+	})
+	// Identify ourselves so the peer's readLoop can attribute the stream. The
+	// hello must be queued before the link is published: a concurrent Send
+	// that finds the link in t.peers could otherwise enqueue a data frame
+	// ahead of the hello, and the peer drops un-attributed streams.
+	hello := EncodeFrame(&Header{Kind: frameHello, From: t.Rank(), To: to, DType: DTF64, Shape: zeroShape}, nil, false)
+	pl.mb.Put(hello)
+	t.peers[to] = pl
+	t.conns = append(t.conns, conn)
+	t.mu.Unlock()
+	return pl, nil
+}
+
+// Send implements runtime.Transport. from must be this endpoint's rank
+// (every caller is an actor hosted by this process); a send to self
+// short-circuits through the local inbox. The payload is fully serialized
+// before Send returns, so ownership transfer follows the in-process rules.
+func (t *Transport) Send(from, to, tag int, ten *tensor.Tensor) {
+	self := t.Rank()
+	if from != self {
+		panic(fmt.Sprintf("dist: rank %d asked to send as rank %d (one actor per process)", self, from))
+	}
+	t.sent.Add(1)
+	t.sentBytes.Add(int64(ten.Size() * t.opts.DType.size()))
+	if to == self {
+		// Loopback: match in-process semantics — the receiver owns a pooled
+		// copy, the caller keeps the original.
+		cp := tensor.GetScratchShaped(ten.Shape()...)
+		cp.CopyFrom(ten.Data())
+		if !t.deliver(inboxKey{from, tag}, cp) {
+			tensor.Recycle(cp)
+		}
+		return
+	}
+	pl, err := t.link(to)
+	if err != nil {
+		t.Poison(err)
+		return
+	}
+	h := Header{Kind: frameData, From: from, To: to, Tag: tag, DType: t.opts.DType, Shape: ten.Shape()}
+	frame := EncodeFrame(&h, ten.Data(), t.opts.CRC)
+	pl.mb.Put(frame)
+}
+
+// Recv implements runtime.Transport. to must be this endpoint's rank. The
+// returned tensor is pool-owned: Recycle it (or hand ownership onward) after
+// consuming, per the serialized-tensor ownership rule.
+func (t *Transport) Recv(to, from, tag int) (*tensor.Tensor, error) {
+	if to != t.Rank() {
+		panic(fmt.Sprintf("dist: rank %d asked to receive as rank %d (one actor per process)", t.Rank(), to))
+	}
+	if err := t.Err(); err != nil {
+		return nil, err
+	}
+	ch := t.ch(inboxKey{from, tag})
+	select {
+	case ten := <-ch:
+		return ten, nil
+	default:
+	}
+	timeout := t.opts.RecvTimeout
+	if timeout <= 0 {
+		select {
+		case ten := <-ch:
+			return ten, nil
+		case <-t.dead:
+			return nil, t.Err()
+		}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case ten := <-ch:
+		return ten, nil
+	case <-t.dead:
+		return nil, t.Err()
+	case <-timer.C:
+		return nil, fmt.Errorf("dist: recv on rank %d from %d tag %d timed out after %v: no matching send (mismatched tag, peer stall, or communication deadlock)", to, from, tag, timeout)
+	}
+}
+
+// Poison records the first transport-level failure and fails every pending
+// and future Recv with it. Idempotent; later errors are dropped.
+func (t *Transport) Poison(err error) {
+	if err == nil {
+		return
+	}
+	if t.err.CompareAndSwap(nil, &err) {
+		close(t.dead)
+	}
+}
+
+// Err returns the poison error, or nil while the transport is healthy.
+func (t *Transport) Err() error {
+	if p := t.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (t *Transport) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// SendCount reports messages sent and total payload bytes moved.
+func (t *Transport) SendCount() (int, int64) {
+	return int(t.sent.Load()), t.sentBytes.Load()
+}
+
+// SenderOwnsSent reports the Send ownership contract: this transport
+// serializes the payload before returning, so the caller keeps the tensor
+// and may recycle it immediately — unlike ChanTransport, whose Send hands
+// the reference itself to the receiver. Pooled-buffer producers (collective
+// ring chunks, calibration echoes) probe for this capability to recycle
+// sender-side scratch that would otherwise be orphaned to GC.
+func (t *Transport) SenderOwnsSent() bool { return true }
+
+// Close stops the listener, drains sender workers (goodbye frames flush
+// behind any queued data), and closes every connection. Peers treat a
+// goodbye as a clean stream end, so a graceful Close does not poison them.
+// Safe to call more than once.
+func (t *Transport) Close() error {
+	t.shutdown(true)
+	return nil
+}
+
+// Abort tears the endpoint down the way a crash would: listener and
+// connections slam shut with no goodbye, so every peer's reader sees the
+// stream break and poisons its transport. Failure-injection counterpart of
+// Close (a SIGKILLed process aborts, it never closes).
+func (t *Transport) Abort() {
+	t.shutdown(false)
+}
+
+func (t *Transport) shutdown(graceful bool) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	peers := make([]*peerLink, 0, len(t.peers))
+	for _, pl := range t.peers {
+		peers = append(peers, pl)
+	}
+	conns := t.conns
+	ln := t.ln
+	t.mu.Unlock()
+
+	if graceful {
+		// Bound the drain: past the deadline, writes to a wedged peer fail
+		// instead of blocking Stop (and therefore Close) forever.
+		deadline := time.Now().Add(closeWriteGrace)
+		for _, pl := range peers {
+			pl.c.SetWriteDeadline(deadline)
+			bye := EncodeFrame(&Header{Kind: frameGoodbye, From: t.Rank(), DType: DTF64, Shape: zeroShape}, nil, false)
+			pl.mb.Put(bye)
+		}
+		for _, pl := range peers {
+			pl.mb.Stop()
+		}
+	}
+	ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	if !graceful {
+		// The conns are already slammed shut, so queued writes fail fast;
+		// Stop still drains each worker (recycling queued frame buffers) and
+		// retires its goroutine — an aborted endpoint must not leak workers
+		// to a process that rebuilds a session and carries on.
+		for _, pl := range peers {
+			pl.mb.Stop()
+		}
+	}
+}

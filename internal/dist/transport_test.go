@@ -1,0 +1,374 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// testWorld bootstraps a world of n sessions inside the test process (real
+// TCP control and data planes, goroutine "processes").
+func testWorld(t *testing.T, n int, job []byte) []*Session {
+	t.Helper()
+	opts := SessionOptions{
+		RendezvousTimeout: 20 * time.Second,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+		Transport:         Options{RecvTimeout: 10 * time.Second},
+	}
+	sessions := make([]*Session, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+
+	// The coordinator must be listening before workers dial: start it first
+	// with a known port by grabbing a free one.
+	addrCh := make(chan string, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Bind on :0 via a probe listener is racy; instead let Coordinate
+		// bind :0 directly and report its control address... Coordinate takes
+		// the address literally, so pre-pick one.
+		s, err := Coordinate(<-addrCh, n, job, opts)
+		sessions[0], errs[0] = s, err
+	}()
+	addr := freeAddr(t)
+	addrCh <- addr
+	for r := 1; r < n; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Retry while the coordinator's listener comes up.
+			var s *Session
+			var err error
+			for i := 0; i < 100; i++ {
+				s, err = Join(addr, opts)
+				if err == nil || !strings.Contains(err.Error(), "connect") {
+					break
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			idx := -1
+			if s != nil {
+				idx = s.Rank
+			}
+			if idx < 0 {
+				t.Errorf("join: %v", err)
+				return
+			}
+			sessions[idx], errs[idx] = s, err
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d bootstrap: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, s := range sessions {
+			if s != nil {
+				s.Close()
+			}
+		}
+	})
+	return sessions
+}
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestBootstrapAndEcho brings up a 4-rank world, checks rank/book/job
+// distribution, and round-trips tagged tensors across every pair.
+func TestBootstrapAndEcho(t *testing.T) {
+	job, _ := json.Marshal(map[string]int{"width": 32})
+	sessions := testWorld(t, 4, job)
+	for r, s := range sessions {
+		if s.Rank != r || s.World != 4 {
+			t.Fatalf("session %d: rank %d world %d", r, s.Rank, s.World)
+		}
+		if r > 0 && string(s.Job) != string(job) {
+			t.Fatalf("rank %d job %q, want %q", r, s.Job, job)
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for r, s := range sessions {
+		wg.Add(1)
+		go func(r int, s *Session) {
+			defer wg.Done()
+			tr := s.Transport
+			// Send a distinctive tensor to every other rank.
+			for to := 0; to < 4; to++ {
+				if to == r {
+					continue
+				}
+				payload := tensor.MustFromSlice([]float64{float64(r*100 + to), 2, 3}, 3)
+				tr.Send(r, to, 1000+r, payload)
+			}
+			for from := 0; from < 4; from++ {
+				if from == r {
+					continue
+				}
+				got, err := tr.Recv(r, from, 1000+from)
+				if err != nil {
+					errCh <- fmt.Errorf("rank %d recv from %d: %w", r, from, err)
+					return
+				}
+				if got.At(0) != float64(from*100+r) {
+					errCh <- fmt.Errorf("rank %d got %v from %d", r, got.Data(), from)
+					return
+				}
+				tensor.Recycle(got)
+			}
+		}(r, s)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionBarrier checks the control-plane barrier across all ranks.
+func TestSessionBarrier(t *testing.T) {
+	sessions := testWorld(t, 3, nil)
+	var wg sync.WaitGroup
+	errs := make([]error, len(sessions))
+	for i, s := range sessions {
+		wg.Add(1)
+		go func(i int, s *Session) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				if errs[i] = s.Barrier(); errs[i] != nil {
+					return
+				}
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d barrier: %v", i, err)
+		}
+	}
+}
+
+// TestWorkerDeathPoisonsTransport is the worker-kill regression: when a
+// worker vanishes abruptly (no goodbye — its control conn just dies), the
+// coordinator's pending Recv must surface a transport-poisoned error instead
+// of hanging forever.
+func TestWorkerDeathPoisonsTransport(t *testing.T) {
+	sessions := testWorld(t, 3, nil)
+	coord := sessions[0]
+
+	// "Kill" rank 2: slam its sockets shut without any goodbye, exactly what
+	// a SIGKILL does to the process's descriptors.
+	victim := sessions[2]
+	victim.coord.c.Close()
+	victim.Transport.Close()
+
+	// The coordinator is blocked in a receive that rank 2 will never serve.
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Transport.Recv(0, 2, 42)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("recv from a dead worker succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("recv from a dead worker hung; transport was not poisoned")
+	}
+	if coord.Transport.Err() == nil {
+		t.Fatal("coordinator transport not poisoned after worker death")
+	}
+}
+
+// TestPeerConnBreakPoisons pins the data-plane half of failure detection:
+// an established stream that breaks mid-conversation poisons the receiving
+// transport.
+func TestPeerConnBreakPoisons(t *testing.T) {
+	a, err := NewTransport(0, Options{RecvTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTransport(1, Options{RecvTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	book := map[int]string{0: a.Addr(), 1: b.Addr()}
+	a.Connect(book)
+	b.Connect(book)
+
+	// Establish the b→a stream, then kill b without a goodbye.
+	b.Send(1, 0, 7, tensor.Scalar(3))
+	got, err := a.Recv(0, 1, 7)
+	if err != nil || got.At() != 3 {
+		t.Fatalf("recv: %v %v", got, err)
+	}
+	tensor.Recycle(got)
+
+	pending := make(chan error, 1)
+	go func() {
+		_, err := a.Recv(0, 1, 8)
+		pending <- err
+	}()
+	// Abrupt close: the reader on a's side sees the stream break.
+	b.mu.Lock()
+	for _, c := range b.conns {
+		c.Close()
+	}
+	b.mu.Unlock()
+	select {
+	case err := <-pending:
+		if err == nil {
+			t.Fatal("recv over a broken stream succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("recv hung after the peer stream broke")
+	}
+	b.Close()
+}
+
+// TestLocalMeshRoundTrip exercises the in-process multi-endpoint topology
+// (the rpcx successor) including CRC frames.
+func TestLocalMeshRoundTrip(t *testing.T) {
+	m, err := NewLocalMesh(3, Options{CRC: true, RecvTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	want := tensor.MustFromSlice([]float64{1.5, -2.5, 3.25, 0}, 2, 2)
+	m.Send(0, 2, 5, want)
+	got, err := m.Recv(2, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(got, want, 0, 0) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	tensor.Recycle(got)
+	n, bytes := m.SendCount()
+	if n != 1 || bytes != 32 {
+		t.Fatalf("SendCount = %d, %d; want 1, 32", n, bytes)
+	}
+}
+
+// TestLocalMeshTrainsLikeChanTransport is wired in the runtime-facing test
+// (see internal/distrun); here we only pin self-sends.
+func TestTransportSelfSend(t *testing.T) {
+	a, err := NewTransport(0, Options{RecvTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	orig := tensor.MustFromSlice([]float64{9, 8}, 2)
+	a.Send(0, 0, 3, orig)
+	// Loopback must copy: mutating the original after Send cannot affect the
+	// delivered payload.
+	orig.Data()[0] = -1
+	got, err := a.Recv(0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0) != 9 || got.At(1) != 8 {
+		t.Fatalf("self-send delivered %v", got.Data())
+	}
+	tensor.Recycle(got)
+}
+
+// TestJoinRejectsUnavailableRank pins the explicit-rank contract: a worker
+// that requests a rank already taken (two processes pinned to the same rank)
+// or outside the world is rejected at rendezvous instead of silently
+// reassigned to an arrival-order rank the operator did not ask for.
+func TestJoinRejectsUnavailableRank(t *testing.T) {
+	opts := SessionOptions{
+		RendezvousTimeout: 20 * time.Second,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+	}
+	addr := freeAddr(t)
+	var coordSess *Session
+	var coordErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		coordSess, coordErr = Coordinate(addr, 3, nil, opts)
+	}()
+
+	joinRetry := func(o SessionOptions) (*Session, error) {
+		var s *Session
+		var err error
+		for i := 0; i < 100; i++ {
+			s, err = Join(addr, o)
+			if err == nil || !strings.Contains(err.Error(), "connect") {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		return s, err
+	}
+
+	// First claimant of rank 1 wins.
+	firstDone := make(chan *Session, 1)
+	go func() {
+		o := opts
+		o.WantRank = 1
+		s, err := joinRetry(o)
+		if err != nil {
+			t.Errorf("first rank-1 join: %v", err)
+		}
+		firstDone <- s
+	}()
+	time.Sleep(300 * time.Millisecond) // let the first hello land
+
+	// Duplicate explicit rank: rejected, not reassigned.
+	o := opts
+	o.WantRank = 1
+	if _, err := Join(addr, o); err == nil || !strings.Contains(err.Error(), "rank 1 unavailable") {
+		t.Fatalf("duplicate rank-1 join: err = %v, want rejection", err)
+	}
+	// Out-of-world explicit rank: rejected.
+	o.WantRank = 7
+	if _, err := Join(addr, o); err == nil || !strings.Contains(err.Error(), "rank 7 unavailable") {
+		t.Fatalf("rank-7 join in world of 3: err = %v, want rejection", err)
+	}
+
+	// A coordinator-assigned join completes the world.
+	last, err := joinRetry(opts)
+	if err != nil {
+		t.Fatalf("final join: %v", err)
+	}
+	<-done
+	if coordErr != nil {
+		t.Fatalf("coordinate: %v", coordErr)
+	}
+	first := <-firstDone
+	if first == nil || first.Rank != 1 {
+		t.Fatalf("first claimant got rank %v, want 1", first)
+	}
+	if last.Rank != 2 {
+		t.Fatalf("assigned join got rank %d, want 2", last.Rank)
+	}
+	for _, s := range []*Session{coordSess, first, last} {
+		s.Close()
+	}
+}

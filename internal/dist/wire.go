@@ -1,0 +1,319 @@
+// Package dist is the multi-process distributed runtime: a binary wire
+// protocol for tagged tensor frames, persistent per-destination sender
+// workers, a TCP point-to-point transport implementing the runtime's
+// Transport contract across OS processes, and a coordinator/worker
+// rendezvous service with heartbeats and failure detection. It plays the
+// role Ray RPC + NCCL P2P play in the paper: long-lived remote actors driven
+// by a single controller over real sockets.
+package dist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Wire format. Every frame is length-prefixed so a reader can skip or reject
+// it without understanding the body:
+//
+//	u32  frameLen           length of everything after this field
+//	u8   magic (0xA7)
+//	u8   version (1)
+//	u8   flags              bit0: payload CRC32 trailer present
+//	u8   kind               frameData | frameHello | frameGoodbye
+//	i32  from, i32 to       transport actor IDs
+//	i64  tag
+//	u8   dtype              DTF64 | DTF32
+//	u8   rank               number of dims (<= maxWireRank)
+//	i32  × rank             dims
+//	...  payload            elems × dtype-size bytes, little-endian
+//	u32  crc (optional)     CRC32-IEEE of everything after the length prefix
+//	                        (header + dims + payload — a flipped tag, shape,
+//	                        or routing byte must fail the check, not just a
+//	                        flipped payload bit)
+//
+// Payloads are raw little-endian tensor bytes — no reflection, no gob type
+// streams — so a frame's cost is one memcpy per side plus the header.
+const (
+	wireMagic   = 0xA7
+	wireVersion = 1
+
+	flagCRC = 1 << 0
+
+	frameData    = 0
+	frameHello   = 1
+	frameGoodbye = 2
+
+	// maxWireRank bounds the shape a frame may carry; a corrupt header cannot
+	// make the reader allocate an absurd dims slice.
+	maxWireRank = 16
+
+	// maxFrameElems bounds a single frame's payload (2^28 float64s = 2 GiB);
+	// a corrupt length field fails fast instead of OOMing the process.
+	maxFrameElems = 1 << 28
+
+	headerFixed = 4 + 1 + 1 + 1 + 1 + 4 + 4 + 8 + 1 + 1 // through rank byte
+)
+
+// DType identifies the element encoding of a frame payload.
+type DType uint8
+
+const (
+	// DTF64 ships float64 elements verbatim — the lossless default, and the
+	// only encoding the training runtime uses (bit-for-bit loss equality
+	// across process counts depends on it).
+	DTF64 DType = 0
+	// DTF32 ships float32-truncated elements, halving wire bytes at the cost
+	// of precision. Opt-in for bandwidth-bound workloads.
+	DTF32 DType = 1
+)
+
+func (d DType) size() int {
+	if d == DTF32 {
+		return 4
+	}
+	return 8
+}
+
+func (d DType) valid() bool { return d == DTF64 || d == DTF32 }
+
+// Header describes one frame.
+type Header struct {
+	Kind  uint8
+	From  int
+	To    int
+	Tag   int
+	DType DType
+	Shape []int
+}
+
+// frameBufs pools encode/decode staging buffers: steady-state frame traffic
+// reuses a small set of []byte backing arrays instead of allocating per
+// message.
+var frameBufs sync.Pool
+
+func getFrameBuf(n int) []byte {
+	if v := frameBufs.Get(); v != nil {
+		b := *(v.(*[]byte))
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func putFrameBuf(b []byte) {
+	frameBufs.Put(&b)
+}
+
+// EncodeFrame serializes header + data into a pooled buffer ready for one
+// Write call. The returned slice belongs to the wire layer: hand it to
+// putFrameBuf (via a conn writer) after the write completes. data may be nil
+// for control frames. withCRC appends a CRC32-IEEE trailer over the payload.
+func EncodeFrame(h *Header, data []float64, withCRC bool) []byte {
+	if !h.DType.valid() {
+		panic(fmt.Sprintf("dist: encode with invalid dtype %d", h.DType))
+	}
+	if len(h.Shape) > maxWireRank {
+		panic(fmt.Sprintf("dist: encode rank %d exceeds wire limit %d", len(h.Shape), maxWireRank))
+	}
+	esz := h.DType.size()
+	payload := len(data) * esz
+	total := headerFixed + 4*len(h.Shape) + payload
+	if withCRC {
+		total += 4
+	}
+	buf := getFrameBuf(total)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(total-4))
+	buf[4] = wireMagic
+	buf[5] = wireVersion
+	var flags uint8
+	if withCRC {
+		flags |= flagCRC
+	}
+	buf[6] = flags
+	buf[7] = h.Kind
+	binary.LittleEndian.PutUint32(buf[8:], uint32(int32(h.From)))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(int32(h.To)))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(int64(h.Tag)))
+	buf[24] = byte(h.DType)
+	buf[25] = byte(len(h.Shape))
+	off := headerFixed
+	for _, d := range h.Shape {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(int32(d)))
+		off += 4
+	}
+	switch h.DType {
+	case DTF64:
+		for _, v := range data {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+	case DTF32:
+		for _, v := range data {
+			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(v)))
+			off += 4
+		}
+	}
+	if withCRC {
+		crc := crc32.ChecksumIEEE(buf[4:off]) // header + dims + payload
+		binary.LittleEndian.PutUint32(buf[off:], crc)
+	}
+	return buf
+}
+
+// recycleFrameBuf returns an encoded frame's storage to the pool. Exposed to
+// the conn writer; callers must hold the only reference.
+func recycleFrameBuf(b []byte) { putFrameBuf(b) }
+
+// Decoder reads frames from a stream, reusing one staging buffer across
+// calls. Not safe for concurrent use (one Decoder per connection).
+type Decoder struct {
+	r   io.Reader
+	buf []byte
+	// dims is the reusable shape scratch handed out via Header.Shape; callers
+	// must not retain it across ReadFrame calls.
+	dims [maxWireRank]int
+}
+
+// NewDecoder wraps r (typically a bufio.Reader over a conn).
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// ErrCorruptFrame wraps all header-validation failures so transports can
+// distinguish "the stream is broken" from a clean EOF.
+type ErrCorruptFrame struct{ Reason string }
+
+func (e *ErrCorruptFrame) Error() string { return "dist: corrupt frame: " + e.Reason }
+
+func corrupt(format string, args ...any) error {
+	return &ErrCorruptFrame{Reason: fmt.Sprintf(format, args...)}
+}
+
+// ReadFrame reads the next frame. For data frames it returns a pooled tensor
+// decoded from the payload — the receive buffer is pool-owned: the consumer
+// must tensor.Recycle it (or transfer ownership onward) after use, per the
+// serialized-tensor ownership rule. For control frames the tensor is nil.
+// The returned Header (including its Shape slice) is only valid until the
+// next ReadFrame call. A clean EOF at a frame boundary returns io.EOF;
+// mid-frame truncation returns io.ErrUnexpectedEOF.
+//
+// The fixed header and dims are read and validated before the payload buffer
+// is sized, so a corrupt or desynced length prefix fails on its garbage
+// header bytes instead of driving a giant allocation.
+func (d *Decoder) ReadFrame() (Header, *tensor.Tensor, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(d.r, lenBuf[:]); err != nil {
+		return Header{}, nil, err // io.EOF at a frame boundary is clean
+	}
+	frameLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	const fixed = headerFixed - 4 // header bytes after the length prefix
+	if frameLen < fixed {
+		return Header{}, nil, corrupt("frame length %d shorter than header", frameLen)
+	}
+	if frameLen > maxFrameElems*8+headerFixed+4*maxWireRank {
+		return Header{}, nil, corrupt("frame length %d exceeds limit", frameLen)
+	}
+	var hdr [fixed + 4*maxWireRank]byte
+	if _, err := io.ReadFull(d.r, hdr[:fixed]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Header{}, nil, fmt.Errorf("dist: truncated frame: %w", err)
+	}
+	if hdr[0] != wireMagic {
+		return Header{}, nil, corrupt("bad magic 0x%02x", hdr[0])
+	}
+	if hdr[1] != wireVersion {
+		return Header{}, nil, corrupt("unsupported wire version %d", hdr[1])
+	}
+	flags := hdr[2]
+	h := Header{
+		Kind:  hdr[3],
+		From:  int(int32(binary.LittleEndian.Uint32(hdr[4:]))),
+		To:    int(int32(binary.LittleEndian.Uint32(hdr[8:]))),
+		Tag:   int(int64(binary.LittleEndian.Uint64(hdr[12:]))),
+		DType: DType(hdr[20]),
+	}
+	rank := int(hdr[21])
+	if !h.DType.valid() {
+		return Header{}, nil, corrupt("unknown dtype %d", h.DType)
+	}
+	if rank > maxWireRank {
+		return Header{}, nil, corrupt("rank %d exceeds wire limit %d", rank, maxWireRank)
+	}
+	if frameLen < fixed+4*rank {
+		return Header{}, nil, corrupt("frame too short for %d dims", rank)
+	}
+	if _, err := io.ReadFull(d.r, hdr[fixed:fixed+4*rank]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Header{}, nil, fmt.Errorf("dist: truncated frame: %w", err)
+	}
+	elems := 1
+	dims := d.dims[:rank]
+	for i := range dims {
+		dim := int(int32(binary.LittleEndian.Uint32(hdr[fixed+4*i:])))
+		if dim < 0 {
+			return Header{}, nil, corrupt("negative dim %d", dim)
+		}
+		dims[i] = dim
+		elems *= dim
+		// Checked per dim: the running product stays ≤ maxFrameElems×2^31, so
+		// it can never wrap an int64 and sneak a huge shape past the cap.
+		if elems > maxFrameElems {
+			return Header{}, nil, corrupt("payload of %d+ elements exceeds limit", elems)
+		}
+	}
+	h.Shape = dims
+	esz := h.DType.size()
+	rest := elems * esz // payload (+ CRC trailer) still on the stream
+	if flags&flagCRC != 0 {
+		rest += 4
+	}
+	if frameLen != fixed+4*rank+rest {
+		return Header{}, nil, corrupt("frame length %d does not match header (want %d)", frameLen, fixed+4*rank+rest)
+	}
+	if cap(d.buf) < rest {
+		d.buf = make([]byte, rest)
+	}
+	buf := d.buf[:rest]
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Header{}, nil, fmt.Errorf("dist: truncated frame: %w", err)
+	}
+	payload := buf[:elems*esz]
+	if flags&flagCRC != 0 {
+		got := binary.LittleEndian.Uint32(buf[elems*esz:])
+		crc := crc32.ChecksumIEEE(hdr[:fixed+4*rank])
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		if crc != got {
+			return Header{}, nil, corrupt("frame CRC mismatch: computed %08x, frame carries %08x", crc, got)
+		}
+	}
+	if h.Kind != frameData {
+		return h, nil, nil
+	}
+	// Zero-copy into the scratch pool: the payload lands directly in a pooled
+	// tensor's storage, which the consumer recycles after use.
+	t := tensor.GetScratchShaped(dims...)
+	dst := t.Data()
+	switch h.DType {
+	case DTF64:
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+	case DTF32:
+		for i := range dst {
+			dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:])))
+		}
+	}
+	return h, t, nil
+}

@@ -1,0 +1,232 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// encodeToStream is the test-side sender: encode one data frame and write it.
+func encodeToStream(t *testing.T, w io.Writer, h *Header, data []float64, crc bool) {
+	t.Helper()
+	buf := EncodeFrame(h, data, crc)
+	if _, err := w.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	recycleFrameBuf(buf)
+}
+
+// TestFrameRoundTripProperty drives random shapes (including empty and
+// scalar), both dtypes, and both CRC settings through encode→decode and
+// checks header fields and payload equality.
+func TestFrameRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][]int{
+		{},           // scalar
+		{0},          // empty
+		{1},          // single element
+		{4, 0, 3},    // empty with nonzero dims
+		{7},          // odd flat
+		{3, 5},       // matrix
+		{2, 3, 4, 5}, // rank 4
+	}
+	for i := 0; i < 64; i++ {
+		shapes = append(shapes, []int{rng.Intn(9), rng.Intn(9)})
+	}
+	for _, dt := range []DType{DTF64, DTF32} {
+		for _, crc := range []bool{false, true} {
+			var stream bytes.Buffer
+			var want []struct {
+				h    Header
+				data []float64
+			}
+			for i, shape := range shapes {
+				n := tensor.NumElements(shape)
+				data := make([]float64, n)
+				for j := range data {
+					data[j] = rng.NormFloat64() * 1e3
+				}
+				h := Header{Kind: frameData, From: i, To: i * 31, Tag: i*1000003 - 7, DType: dt, Shape: shape}
+				encodeToStream(t, &stream, &h, data, crc)
+				want = append(want, struct {
+					h    Header
+					data []float64
+				}{h, data})
+			}
+			dec := NewDecoder(&stream)
+			for i, w := range want {
+				h, ten, err := dec.ReadFrame()
+				if err != nil {
+					t.Fatalf("dtype %d crc %v frame %d: %v", dt, crc, i, err)
+				}
+				if h.From != w.h.From || h.To != w.h.To || h.Tag != w.h.Tag || h.DType != dt {
+					t.Fatalf("frame %d header %+v, want %+v", i, h, w.h)
+				}
+				if !ten.HasShape(w.h.Shape) {
+					t.Fatalf("frame %d shape %v, want %v", i, ten.Shape(), w.h.Shape)
+				}
+				for j, v := range ten.Data() {
+					wantV := w.data[j]
+					if dt == DTF32 {
+						wantV = float64(float32(wantV))
+					}
+					if v != wantV {
+						t.Fatalf("frame %d elem %d = %v, want %v", i, j, v, wantV)
+					}
+				}
+				tensor.Recycle(ten)
+			}
+			if _, _, err := dec.ReadFrame(); err != io.EOF {
+				t.Fatalf("after last frame: err %v, want io.EOF", err)
+			}
+		}
+	}
+}
+
+// TestFrameRoundTripF64BitExact pins the lossless guarantee bit-for-bit loss
+// equality across process counts rests on: DTF64 payloads survive the wire
+// with identical bit patterns, including negative zero and denormals.
+func TestFrameRoundTripF64BitExact(t *testing.T) {
+	special := []float64{0, -0.0, 1.0 / 3.0, 5e-324, -5e-324, 1e308, -1e-308}
+	h := Header{Kind: frameData, From: 1, To: 2, Tag: 3, DType: DTF64, Shape: []int{len(special)}}
+	var stream bytes.Buffer
+	encodeToStream(t, &stream, &h, special, true)
+	_, ten, err := NewDecoder(&stream).ReadFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range ten.Data() {
+		if math.Float64bits(v) != math.Float64bits(special[i]) {
+			t.Fatalf("elem %d: bits %x, want %x", i, math.Float64bits(v), math.Float64bits(special[i]))
+		}
+	}
+}
+
+// TestDecodeTruncatedFrame covers every truncation point: inside the length
+// prefix, inside the header, inside the payload.
+func TestDecodeTruncatedFrame(t *testing.T) {
+	h := Header{Kind: frameData, From: 0, To: 1, Tag: 9, DType: DTF64, Shape: []int{8}}
+	full := EncodeFrame(&h, make([]float64, 8), false)
+	defer recycleFrameBuf(full)
+	for _, cut := range []int{1, 3, 5, 12, len(full) / 2, len(full) - 1} {
+		dec := NewDecoder(bytes.NewReader(full[:cut]))
+		_, _, err := dec.ReadFrame()
+		if err == nil {
+			t.Fatalf("cut at %d decoded successfully", cut)
+		}
+		if err == io.EOF && cut >= 4 {
+			t.Fatalf("cut at %d reported clean EOF mid-frame", cut)
+		}
+	}
+}
+
+// TestDecodeCorruptFrames covers header validation: bad magic, bad version,
+// unknown dtype, oversized rank, length/shape mismatch, CRC mismatch.
+func TestDecodeCorruptFrames(t *testing.T) {
+	mk := func() []byte {
+		h := Header{Kind: frameData, From: 0, To: 1, Tag: 4, DType: DTF64, Shape: []int{4}}
+		buf := EncodeFrame(&h, []float64{1, 2, 3, 4}, true)
+		out := append([]byte(nil), buf...)
+		recycleFrameBuf(buf)
+		return out
+	}
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+	}{
+		{"bad magic", func(b []byte) { b[4] = 0x00 }},
+		{"bad version", func(b []byte) { b[5] = 99 }},
+		{"unknown dtype", func(b []byte) { b[24] = 77 }},
+		{"oversized rank", func(b []byte) { b[25] = maxWireRank + 1 }},
+		{"length/shape mismatch", func(b []byte) { b[25] = 2 }},
+		{"payload corruption fails CRC", func(b []byte) { b[len(b)-9] ^= 0xFF }},
+		{"header corruption fails CRC", func(b []byte) { b[17] ^= 0xFF }}, // tag byte: would re-route silently without header coverage
+		{"crc trailer corruption", func(b []byte) { b[len(b)-1] ^= 0xFF }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := mk()
+			tc.mutate(b)
+			_, _, err := NewDecoder(bytes.NewReader(b)).ReadFrame()
+			if err == nil {
+				t.Fatal("corrupt frame decoded successfully")
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsAbsurdLength pins the allocation guard: a corrupt length
+// prefix may not drive a giant allocation.
+func TestDecodeRejectsAbsurdLength(t *testing.T) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], 1<<31)
+	_, _, err := NewDecoder(bytes.NewReader(b[:])).ReadFrame()
+	if err == nil {
+		t.Fatal("absurd frame length accepted")
+	}
+}
+
+// TestMailboxOrderAndReuse checks FIFO delivery across concurrent producers'
+// interleavings and that Stop drains outstanding items.
+func TestMailboxOrderAndReuse(t *testing.T) {
+	var got []int
+	done := make(chan struct{})
+	m := NewMailbox[int](0, func(v int) {
+		got = append(got, v)
+		if len(got) == 1000 {
+			close(done)
+		}
+	})
+	for i := 0; i < 1000; i++ {
+		m.Put(i)
+	}
+	<-done
+	m.Stop()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("item %d = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+}
+
+// TestMailboxStopDrains pins the shutdown contract: items enqueued before
+// Stop are all delivered.
+func TestMailboxStopDrains(t *testing.T) {
+	block := make(chan struct{})
+	var n int
+	m := NewMailbox[int](0, func(int) {
+		<-block
+		n++
+	})
+	for i := 0; i < 10; i++ {
+		m.Put(i)
+	}
+	close(block)
+	m.Stop()
+	if n != 10 {
+		t.Fatalf("sink ran %d times, want 10", n)
+	}
+}
+
+// TestMailboxPutNeverBlocks enqueues against a sink that is blocked for the
+// duration — every Put must return immediately (the deadlock-freedom
+// property the sender workers exist for).
+func TestMailboxPutNeverBlocks(t *testing.T) {
+	release := make(chan struct{})
+	m := NewMailbox[int](0, func(int) { <-release })
+	doneAll := make(chan struct{})
+	go func() {
+		for i := 0; i < 10000; i++ {
+			m.Put(i)
+		}
+		close(doneAll)
+	}()
+	<-doneAll // would hang here if Put blocked on the stalled sink
+	close(release)
+	m.Stop()
+}

@@ -1,0 +1,344 @@
+// Package distrun executes a training job across OS processes on the dist
+// runtime: every rank compiles the identical program from a shared JobSpec
+// (deterministic replication — same seeds, same schedule), runs its own
+// actor's share of each step over the wire transport, and exchanges step
+// results through reserved tags so parameters evolve bit-identically on
+// every rank. It is the glue between the jaxpp compiler/runtime and the
+// dist coordinator/worker topology that cmd/jaxpp-train -distributed and
+// cmd/jaxpp-worker share.
+package distrun
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	jaxpp "repro"
+	"repro/internal/dist"
+	"repro/internal/runtime"
+	"repro/internal/tensor"
+)
+
+// JobSpec is the coordinator-distributed description of one training job.
+// Workers receive it as the rendezvous job payload and reconstruct the
+// identical compiled program from it.
+type JobSpec struct {
+	Stages       int     `json:"stages"`
+	NumMB        int     `json:"num_mb"`
+	MBRows       int     `json:"mb_rows"`
+	Width        int     `json:"width"`
+	Steps        int     `json:"steps"`
+	LR           float64 `json:"lr"`
+	Schedule     string  `json:"schedule"`      // "gpipe" or "1f1b"
+	DataParallel int     `json:"data_parallel"` // replicas; 0 or 1 disables
+	SPMD         int     `json:"spmd"`          // virtual SPMD devices per actor; 0/1 disables
+	Seed         uint64  `json:"seed"`
+	// StepSleepMs inserts an artificial pause after every step on every
+	// rank — test instrumentation that stretches a job out so failure
+	// injection (worker kill) has a stable window to land in.
+	StepSleepMs int `json:"step_sleep_ms,omitempty"`
+}
+
+// World returns the process count the job needs: one per global actor.
+func (s JobSpec) World() int {
+	return max(s.DataParallel, 1) * s.Stages
+}
+
+// Replicas returns the data-parallel replica count (>= 1).
+func (s JobSpec) Replicas() int { return max(s.DataParallel, 1) }
+
+// Marshal encodes the spec for the rendezvous job payload.
+func (s JobSpec) Marshal() []byte {
+	data, err := json.Marshal(s)
+	if err != nil {
+		panic(err) // plain struct of scalars; cannot fail
+	}
+	return data
+}
+
+// UnmarshalJobSpec decodes a rendezvous job payload.
+func UnmarshalJobSpec(data []byte) (JobSpec, error) {
+	var s JobSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("distrun: bad job payload: %w", err)
+	}
+	if s.Stages < 1 || s.NumMB < 1 || s.Steps < 0 {
+		return s, fmt.Errorf("distrun: invalid job spec %+v", s)
+	}
+	return s, nil
+}
+
+// Result-exchange tag space: distinct from pipeline P2P tags (small
+// sequential ints), the calibration window (TagSpaceBase/2), and the
+// collective group windows (TagSpaceBase and above). Tag reuse across steps
+// is safe because every rank's step s+1 exchange is ordered behind its
+// receipt of all step-s gradients (a de facto barrier), and per-connection
+// FIFO keeps same-tag frames in step order.
+const (
+	resultTagBase = 1 << 18
+	gradTagBase   = resultTagBase
+	lossTagBase   = resultTagBase + 1<<12
+)
+
+// Report is a job's outcome on one rank.
+type Report struct {
+	Rank  int
+	World int
+	// MBLosses[step] holds the per-microbatch losses of that step in global
+	// (replica-major) microbatch order. Populated on rank 0 only — workers
+	// ship their losses to the coordinator.
+	MBLosses [][]float64
+	// StepLosses[step] is the mean microbatch loss (rank 0 only).
+	StepLosses []float64
+	// FinalParams are the post-training parameters (identical on every
+	// rank; recorded everywhere for verification).
+	FinalParams []*jaxpp.Tensor
+}
+
+// InitModel builds the deterministic initial parameters and global batch
+// every rank derives from the spec's seed — byte-identical across
+// processes, which is what lets ranks replicate driver state instead of
+// shipping it.
+func InitModel(spec JobSpec) (params, batch []*jaxpp.Tensor) {
+	rng := jaxpp.NewRNG(spec.Seed)
+	params = make([]*jaxpp.Tensor, spec.Stages)
+	for i := range params {
+		params[i] = rng.Xavier(spec.Width, spec.Width)
+	}
+	rows := spec.Replicas() * spec.NumMB * spec.MBRows
+	x := rng.Normal(1, rows, spec.Width)
+	y := rng.OneHotBatch(rows, spec.Width)
+	return params, []*jaxpp.Tensor{x, y}
+}
+
+// Compile builds the training step for a spec over the given transport
+// (nil compiles onto a fresh in-process cluster).
+func Compile(spec JobSpec, tr runtime.Transport) (*jaxpp.TrainStep, error) {
+	var sched *jaxpp.Schedule
+	switch spec.Schedule {
+	case "gpipe":
+		sched = jaxpp.GPipe(spec.Stages, spec.NumMB)
+	case "", "1f1b":
+		sched = jaxpp.OneFOneB(spec.Stages, spec.NumMB)
+	default:
+		return nil, fmt.Errorf("distrun: unknown schedule %q", spec.Schedule)
+	}
+	paramShapes := make([][]int, spec.Stages)
+	for i := range paramShapes {
+		paramShapes[i] = []int{spec.Width, spec.Width}
+	}
+	var mesh *jaxpp.RemoteMesh
+	if tr == nil {
+		mesh = jaxpp.NewRemoteMesh(spec.World())
+	} else {
+		mesh = jaxpp.NewRemoteMeshWithTransport(spec.World(), tr)
+	}
+	return mesh.Compile(jaxpp.CompileSpec{
+		Loss: func(b *jaxpp.Builder, params, mb []*jaxpp.Value) *jaxpp.Value {
+			h := mb[0]
+			for i, w := range params {
+				h = b.ReLU(b.MatMul(h, w))
+				if i+1 < len(params) {
+					h = b.PipelineYield(h)
+				}
+			}
+			return b.CrossEntropy(h, mb[1])
+		},
+		ParamShapes:         paramShapes,
+		BatchShapes:         [][]int{{spec.MBRows, spec.Width}, {spec.MBRows, spec.Width}},
+		Schedule:            sched,
+		DataParallel:        spec.DataParallel,
+		SPMDDevicesPerActor: spec.SPMD,
+	})
+}
+
+// ApplySGD returns params - lr·grads as fresh tensors. Both the in-process
+// reference and every distributed rank run this exact loop, so parameter
+// trajectories agree bit for bit.
+func ApplySGD(params, grads []*jaxpp.Tensor, lr float64) ([]*jaxpp.Tensor, error) {
+	next := make([]*jaxpp.Tensor, len(params))
+	for i := range params {
+		d := make([]float64, grads[i].Size())
+		pd := params[i].Data()
+		for j, g := range grads[i].Data() {
+			d[j] = pd[j] - lr*g
+		}
+		p, err := jaxpp.TensorFromSlice(d, params[i].Shape()...)
+		if err != nil {
+			return nil, err
+		}
+		next[i] = p
+	}
+	return next, nil
+}
+
+// Run executes the job on this rank of a bootstrapped session: compile the
+// shared program, run this rank's actor every step, broadcast locally owned
+// gradients to all ranks (every rank applies the identical SGD update), and
+// ship per-microbatch losses to rank 0. Blocks until the job completes or
+// the transport is poisoned (a dead peer surfaces here as an error, not a
+// hang).
+func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
+	if sess.World != spec.World() {
+		return nil, fmt.Errorf("distrun: session world %d, job wants %d (= %d replicas × %d stages)", sess.World, spec.World(), spec.Replicas(), spec.Stages)
+	}
+	tr := sess.Transport
+	ts, err := Compile(spec, tr)
+	if err != nil {
+		return nil, err
+	}
+	defer ts.Close()
+	rank := sess.Rank
+	prog := ts.Program()
+	pp := ts.NumActors() / ts.NumReplicas()
+	numMB := ts.NumMicrobatches()
+	totalMB := ts.NumReplicas() * numMB
+
+	// Owners, derived from the program identically on every rank: gradient
+	// gi lives on its replica-0 actor; loss (r, mb) on replica r's actor.
+	gradOwner := make([]int, len(prog.Grads))
+	for gi, g := range prog.Grads {
+		gradOwner[gi] = g.Actor
+	}
+	lossOwner := make([]int, totalMB)
+	for r := 0; r < ts.NumReplicas(); r++ {
+		for mb, l := range prog.Losses {
+			lossOwner[r*numMB+mb] = r*pp + l.Actor
+		}
+	}
+
+	params, batch := InitModel(spec)
+	rep := &Report{Rank: rank, World: sess.World}
+	grads := make([]*jaxpp.Tensor, len(prog.Grads))
+	for step := 0; step < spec.Steps; step++ {
+		if err := ts.StepActor(rank, params, batch); err != nil {
+			return nil, fmt.Errorf("distrun: rank %d step %d: %w", rank, step, err)
+		}
+		res, err := ts.TakeActorResults(rank)
+		if err != nil {
+			return nil, fmt.Errorf("distrun: rank %d step %d results: %w", rank, step, err)
+		}
+
+		// Losses to rank 0 first: the coordinator consumes them before it
+		// broadcasts its own gradients, so a worker cannot lap the
+		// coordinator's loss mailboxes (grad receipt is the step barrier).
+		if rank != 0 {
+			for i, mb := range res.LossMB {
+				tr.Send(rank, 0, lossTagBase+mb, res.Losses[i])
+				// dist Send serializes before returning; the caller keeps the
+				// Take-transferred tensor and returns it to the pool.
+				tensor.Recycle(res.Losses[i])
+			}
+		}
+		var mbLosses []float64
+		if rank == 0 {
+			mbLosses = make([]float64, totalMB)
+			for i, mb := range res.LossMB {
+				mbLosses[mb] = res.Losses[i].Data()[0]
+				tensor.Recycle(res.Losses[i])
+			}
+			for mb, owner := range lossOwner {
+				if owner == 0 {
+					continue
+				}
+				l, err := tr.Recv(0, owner, lossTagBase+mb)
+				if err != nil {
+					return nil, fmt.Errorf("distrun: step %d loss %d from rank %d: %w", step, mb, owner, err)
+				}
+				mbLosses[mb] = l.Data()[0]
+				tensor.Recycle(l)
+			}
+		}
+
+		// Gradient exchange: each replica-0 owner broadcasts its (already
+		// DP-all-reduced) gradients; every rank ends the step holding the
+		// full gradient list and applies the same update.
+		for i, gi := range res.GradIdx {
+			g := res.Grads[i]
+			for to := 0; to < sess.World; to++ {
+				if to != rank {
+					tr.Send(rank, to, gradTagBase+gi, g)
+				}
+			}
+			grads[gi] = g
+		}
+		for gi, owner := range gradOwner {
+			if owner == rank {
+				continue
+			}
+			g, err := tr.Recv(rank, owner, gradTagBase+gi)
+			if err != nil {
+				return nil, fmt.Errorf("distrun: rank %d step %d grad %d from rank %d: %w", rank, step, gi, owner, err)
+			}
+			grads[gi] = g
+		}
+
+		next, err := ApplySGD(params, grads, spec.LR)
+		if err != nil {
+			return nil, err
+		}
+		for gi := range gradOwner {
+			// Wire-received grads are pool-owned; this rank's own grads were
+			// Take-transferred from the store and fully serialized by their
+			// broadcast sends — both go back to the pool after the update.
+			tensor.Recycle(grads[gi])
+			grads[gi] = nil
+		}
+		params = next
+		if rank == 0 {
+			rep.MBLosses = append(rep.MBLosses, mbLosses)
+			var total float64
+			for _, l := range mbLosses {
+				total += l
+			}
+			rep.StepLosses = append(rep.StepLosses, total/float64(totalMB))
+		}
+		if spec.StepSleepMs > 0 {
+			time.Sleep(time.Duration(spec.StepSleepMs) * time.Millisecond)
+		}
+	}
+	// End-of-job barrier: no rank tears its session down while a slower peer
+	// is still mid-step — without it, a fast rank's graceful shutdown is
+	// indistinguishable from a crash to ranks still exchanging tensors.
+	if err := sess.Barrier(); err != nil {
+		return nil, fmt.Errorf("distrun: rank %d end-of-job barrier: %w", rank, err)
+	}
+	rep.FinalParams = params
+	return rep, nil
+}
+
+// RunLocal executes the identical job in one process on the in-process
+// runtime — the reference the multi-process path must match bit for bit.
+func RunLocal(spec JobSpec) (*Report, error) { return RunLocalOn(spec, nil) }
+
+// RunLocalOn is RunLocal over a caller-provided transport (e.g. a
+// dist.LocalMesh, exercising the binary wire path inside one process).
+func RunLocalOn(spec JobSpec, tr runtime.Transport) (*Report, error) {
+	ts, err := Compile(spec, tr)
+	if err != nil {
+		return nil, err
+	}
+	defer ts.Close()
+	params, batch := InitModel(spec)
+	totalMB := ts.NumReplicas() * ts.NumMicrobatches()
+	rep := &Report{Rank: 0, World: 1}
+	for step := 0; step < spec.Steps; step++ {
+		losses, grads, err := ts.Step(params, batch)
+		if err != nil {
+			return nil, fmt.Errorf("distrun: local step %d: %w", step, err)
+		}
+		mbLosses := make([]float64, totalMB)
+		var total float64
+		for i, l := range losses {
+			mbLosses[i] = l.Data()[0]
+			total += l.Data()[0]
+		}
+		rep.MBLosses = append(rep.MBLosses, mbLosses)
+		rep.StepLosses = append(rep.StepLosses, total/float64(totalMB))
+		if params, err = ApplySGD(params, grads, spec.LR); err != nil {
+			return nil, err
+		}
+	}
+	rep.FinalParams = params
+	return rep, nil
+}

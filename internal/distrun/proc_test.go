@@ -1,0 +1,199 @@
+package distrun
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildCmds compiles jaxpp-train and jaxpp-worker once per test binary run
+// (the Go build cache makes reruns near-instant) and returns their paths.
+var buildCmds = sync.OnceValues(func() (map[string]string, error) {
+	dir, err := os.MkdirTemp("", "jaxpp-dist-cmds-")
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, name := range []string{"jaxpp-train", "jaxpp-worker"} {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/"+name)
+		cmd.Dir = repoRoot()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			return nil, fmt.Errorf("go build %s: %v\n%s", name, err, b)
+		}
+		out[name] = bin
+	}
+	return out, nil
+})
+
+func repoRoot() string {
+	// Tests run with CWD = package dir (internal/distrun).
+	wd, _ := os.Getwd()
+	return filepath.Dir(filepath.Dir(wd))
+}
+
+func procFreeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// launchProcesses starts 1 coordinator jaxpp-train + (world-1) jaxpp-worker
+// OS processes for the spec and returns the coordinator cmd, worker cmds,
+// and the losses-out path.
+func launchProcesses(t *testing.T, bins map[string]string, spec JobSpec, extra ...string) (*exec.Cmd, []*exec.Cmd, string) {
+	t.Helper()
+	addr := procFreeAddr(t)
+	lossesPath := filepath.Join(t.TempDir(), "losses.json")
+	args := []string{
+		"-distributed", "-coordinator", addr,
+		"-stages", fmt.Sprint(spec.Stages), "-mb", fmt.Sprint(spec.NumMB),
+		"-mbrows", fmt.Sprint(spec.MBRows), "-width", fmt.Sprint(spec.Width),
+		"-steps", fmt.Sprint(spec.Steps), "-lr", fmt.Sprint(spec.LR),
+		"-schedule", spec.Schedule, "-dp", fmt.Sprint(spec.DataParallel),
+		"-seed", fmt.Sprint(spec.Seed), "-losses-out", lossesPath,
+		"-step-sleep-ms", fmt.Sprint(spec.StepSleepMs),
+	}
+	args = append(args, extra...)
+	coord := exec.Command(bins["jaxpp-train"], args...)
+	var coordOut strings.Builder
+	coord.Stdout, coord.Stderr = &coordOut, &coordOut
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if coord.Process != nil {
+			coord.Process.Kill()
+		}
+		coord.Wait() // second Wait errors harmlessly; ensures the output copier finished
+		t.Logf("coordinator output:\n%s", coordOut.String())
+	})
+	var workers []*exec.Cmd
+	for w := 1; w < spec.World(); w++ {
+		wk := exec.Command(bins["jaxpp-worker"], "-coordinator", addr)
+		var out strings.Builder
+		wk.Stdout, wk.Stderr = &out, &out
+		if err := wk.Start(); err != nil {
+			t.Fatal(err)
+		}
+		w := w
+		t.Cleanup(func() {
+			if wk.Process != nil {
+				wk.Process.Kill()
+			}
+			wk.Wait()
+			t.Logf("worker %d output:\n%s", w, out.String())
+		})
+		workers = append(workers, wk)
+	}
+	return coord, workers, lossesPath
+}
+
+func waitWithTimeout(t *testing.T, cmd *exec.Cmd, d time.Duration, who string) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(d):
+		cmd.Process.Kill()
+		t.Fatalf("%s did not exit within %v", who, d)
+		return nil
+	}
+}
+
+// TestFourOSProcessesMatchInProcessLosses is the end-to-end acceptance test:
+// a 2×2 DP×PP job trains across 4 real OS processes (1 jaxpp-train
+// coordinator + 3 jaxpp-worker daemons) over the dist TCP transport, and
+// every per-microbatch loss of every step must be bit-identical to the
+// single-process in-process run.
+func TestFourOSProcessesMatchInProcessLosses(t *testing.T) {
+	bins, err := buildCmds()
+	if err != nil {
+		t.Skipf("cannot build cmd binaries in this environment: %v", err)
+	}
+	spec := JobSpec{
+		Stages: 2, NumMB: 4, MBRows: 4, Width: 16,
+		Steps: 5, LR: 0.5, Schedule: "1f1b", DataParallel: 2, Seed: 11,
+	}
+	local, err := RunLocal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, workers, lossesPath := launchProcesses(t, bins, spec)
+	if err := waitWithTimeout(t, coord, 90*time.Second, "coordinator"); err != nil {
+		t.Fatalf("coordinator failed: %v", err)
+	}
+	for i, wk := range workers {
+		if err := waitWithTimeout(t, wk, 30*time.Second, fmt.Sprintf("worker %d", i+1)); err != nil {
+			t.Fatalf("worker %d failed: %v", i+1, err)
+		}
+	}
+
+	data, err := os.ReadFile(lossesPath)
+	if err != nil {
+		t.Fatalf("coordinator wrote no losses: %v", err)
+	}
+	var got struct {
+		StepLosses []float64   `json:"step_losses"`
+		MBLosses   [][]float64 `json:"mb_losses"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.MBLosses) != len(local.MBLosses) {
+		t.Fatalf("steps: %d vs %d", len(got.MBLosses), len(local.MBLosses))
+	}
+	for s := range local.MBLosses {
+		for mb := range local.MBLosses[s] {
+			g, w := got.MBLosses[s][mb], local.MBLosses[s][mb]
+			if math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("step %d mb %d: process loss %v != in-process %v", s, mb, g, w)
+			}
+		}
+	}
+}
+
+// TestKilledWorkerProcessFailsDriver SIGKILLs one worker process mid-job and
+// requires the coordinator process to exit nonzero (transport poisoned)
+// instead of hanging.
+func TestKilledWorkerProcessFailsDriver(t *testing.T) {
+	bins, err := buildCmds()
+	if err != nil {
+		t.Skipf("cannot build cmd binaries in this environment: %v", err)
+	}
+	spec := JobSpec{
+		Stages: 3, NumMB: 3, MBRows: 2, Width: 8,
+		Steps: 100000, LR: 0.1, Schedule: "1f1b", Seed: 1, StepSleepMs: 2,
+	}
+	coord, workers, _ := launchProcesses(t, bins, spec)
+
+	// Give the job time to bootstrap and run a few steps, then kill -9 the
+	// last worker.
+	time.Sleep(3 * time.Second)
+	victim := workers[len(workers)-1]
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+
+	err = waitWithTimeout(t, coord, 60*time.Second, "coordinator")
+	if err == nil {
+		t.Fatal("coordinator exited cleanly despite a SIGKILLed worker")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/dist"
 	"repro/internal/taskgraph"
 	"repro/internal/tensor"
 )
@@ -31,7 +32,24 @@ type Actor struct {
 	argBuf []*tensor.Tensor
 	outBuf []*tensor.Tensor
 
+	// senders holds one persistent sender worker per destination actor,
+	// created at Load from the program's OpSend peers. Asynchronous sends
+	// enqueue into the destination's non-blocking mailbox instead of
+	// spawning a goroutine per send: the §4.2 guarantee (initiating a send
+	// never blocks the actor, a slow peer stalls only its own queue) is
+	// preserved by the per-destination fan-out, and the per-send goroutine
+	// + closure allocations disappear from the steady-state step.
+	senders map[int]*dist.Mailbox[sendItem]
+
 	sendWG sync.WaitGroup
+}
+
+// sendItem is one queued asynchronous send: the payload plus the store
+// buffer whose deferred deletion unblocks when the transfer completes.
+type sendItem struct {
+	tag int
+	t   *tensor.Tensor
+	buf taskgraph.BufID
 }
 
 // segmentExecutable is a "compiled" pipeline segment: in this reproduction
@@ -51,11 +69,12 @@ func NewActor(id int, tr Transport) *Actor {
 }
 
 // Load installs the actor's slice of the program and its segment
-// executables.
+// executables, and (re)provisions one sender worker per OpSend destination.
 func (a *Actor) Load(prog []taskgraph.Instr, segs []*segmentExecutable) {
 	a.prog = prog
 	a.segs = segs
 	maxIns, maxOuts := 0, 0
+	peers := map[int]bool{}
 	for _, in := range prog {
 		if len(in.Ins) > maxIns {
 			maxIns = len(in.Ins)
@@ -63,9 +82,31 @@ func (a *Actor) Load(prog []taskgraph.Instr, segs []*segmentExecutable) {
 		if len(in.Outs) > maxOuts {
 			maxOuts = len(in.Outs)
 		}
+		if in.Kind == taskgraph.OpSend {
+			peers[in.Peer] = true
+		}
 	}
 	a.argBuf = make([]*tensor.Tensor, maxIns)
 	a.outBuf = make([]*tensor.Tensor, maxOuts)
+	a.Close() // retire workers from a previous Load
+	a.senders = make(map[int]*dist.Mailbox[sendItem], len(peers))
+	for peer := range peers {
+		peer := peer
+		a.senders[peer] = dist.NewMailbox(0, func(it sendItem) {
+			a.transport.Send(a.ID, peer, it.tag, it.t)
+			a.Store.SendDone(it.buf)
+			a.sendWG.Done()
+		})
+	}
+}
+
+// Close retires the actor's sender workers, draining any queued sends.
+// A closed actor can be re-armed by another Load.
+func (a *Actor) Close() {
+	for _, mb := range a.senders {
+		mb.Stop()
+	}
+	a.senders = nil
 }
 
 func (a *Actor) segment(idx int) (*segmentExecutable, error) {
@@ -128,14 +169,11 @@ func (a *Actor) exec(in taskgraph.Instr) error {
 			return nil
 		}
 		// Asynchronous send: the instruction only *initiates* the transfer;
-		// the store defers deletion until completion (§4.3).
+		// the store defers deletion until completion (§4.3). The enqueue
+		// into the destination's persistent sender worker never blocks.
 		a.Store.SendStarted(in.Buf)
 		a.sendWG.Add(1)
-		go func(buf taskgraph.BufID, peer, tag int, payload *tensor.Tensor) {
-			defer a.sendWG.Done()
-			a.transport.Send(a.ID, peer, tag, payload)
-			a.Store.SendDone(buf)
-		}(in.Buf, in.Peer, in.Tag, t)
+		a.senders[in.Peer].Put(sendItem{tag: in.Tag, t: t, buf: in.Buf})
 		return nil
 
 	case taskgraph.OpRecv:

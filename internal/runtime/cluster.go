@@ -39,6 +39,14 @@ func NewClusterWithTransport(n int, tr Transport) *Cluster {
 	return c
 }
 
+// Close retires every actor's sender workers. The cluster can be reloaded
+// afterwards; in-flight steps must have completed.
+func (c *Cluster) Close() {
+	for _, a := range c.Actors {
+		a.Close()
+	}
+}
+
 // LoadOptions configures how segments are "compiled" onto actors.
 type LoadOptions struct {
 	// SPMDDevices > 1 executes each segment SPMD-sharded over that many
@@ -135,6 +143,11 @@ func (c *Cluster) Load(prog *taskgraph.Program, opts LoadOptions) (*Executable, 
 // Replicas returns the data-parallel replica count.
 func (e *Executable) Replicas() int { return e.replicas }
 
+// Close retires the cluster's per-actor sender workers. Call it when the
+// executable is done stepping (steps must have completed); the cluster can
+// be reloaded afterwards.
+func (e *Executable) Close() { e.cluster.Close() }
+
 // ActorsPerReplica returns the pipeline actor count of one replica.
 func (e *Executable) ActorsPerReplica() int { return e.pp }
 
@@ -207,59 +220,35 @@ func makeRunner(g *ir.Graph, opts LoadOptions) (func(outs, inputs []*tensor.Tens
 // could consume a stale payload (the same reason NCCL aborts a communicator
 // after a collective error). Re-provision the cluster instead of retrying.
 func (e *Executable) Step(inputs []*tensor.Tensor) (losses []*tensor.Tensor, grads []*tensor.Tensor, err error) {
+	losses = make([]*tensor.Tensor, e.replicas*e.prog.Schedule.NumMB)
+	grads = make([]*tensor.Tensor, len(e.prog.Grads))
+	if err := e.StepInto(inputs, losses, grads); err != nil {
+		return nil, nil, err
+	}
+	return losses, grads, nil
+}
+
+// StepInto is Step writing the per-microbatch losses and final gradients
+// into caller-provided slices (len Replicas×NumMB and len(grads)
+// respectively), mirroring interp.Program.RunInto: a driver that reuses its
+// result buffers across steps runs the dispatch path without any
+// driver-side slice allocation. The tensors placed into the slices follow
+// the same ownership-transfer contract as Step.
+func (e *Executable) StepInto(inputs, losses, grads []*tensor.Tensor) error {
 	prog := e.prog
-	src := prog.Split.Source
-	if len(inputs) != len(src.Inputs) {
-		return nil, nil, fmt.Errorf("runtime: %d inputs for %d graph inputs", len(inputs), len(src.Inputs))
+	numMB := prog.Schedule.NumMB
+	if len(losses) != e.replicas*numMB {
+		return fmt.Errorf("runtime: losses buffer holds %d, step produces %d", len(losses), e.replicas*numMB)
+	}
+	if len(grads) != len(prog.Grads) {
+		return fmt.Errorf("runtime: grads buffer holds %d, step produces %d", len(grads), len(prog.Grads))
+	}
+	if err := e.validateInputs(inputs); err != nil {
+		return err
 	}
 	actors := e.cluster.Actors
-	numMB := prog.Schedule.NumMB
-
-	// Validate replica-invariant inputs once, before the replica loop.
-	for i, p := range prog.Params {
-		if p == nil {
-			continue
-		}
-		if !inputs[i].HasShape(src.Inputs[i].Shape) {
-			return nil, nil, fmt.Errorf("runtime: input %d shape %v, expected %v", i, inputs[i].Shape(), src.Inputs[i].Shape)
-		}
-	}
-
 	for r := 0; r < e.replicas; r++ {
-		base := r * e.pp
-		// Clear last step's results so accumulators restart.
-		for _, g := range prog.Grads {
-			actors[base+g.Actor].Store.Delete(g.Buf)
-		}
-		for _, l := range prog.Losses {
-			actors[base+l.Actor].Store.Delete(l.Buf)
-		}
-		// Place parameters (owner copies; intra-replica tied-weight copies
-		// flow through the pre-loop send/recv instructions already in the
-		// programs; tensors are immutable, so replicas share storage).
-		for i, p := range prog.Params {
-			if p == nil {
-				continue
-			}
-			actors[base+p.Actor].Store.Put(p.Buf, inputs[i])
-		}
-		// Place this replica's shard of the batch, microbatch by microbatch.
-		for i, placements := range prog.Batch {
-			want := src.Inputs[i].Shape
-			full := inputs[i]
-			if full.Rank() == 0 || full.Dim(0) != want[0]*numMB*e.replicas {
-				return nil, nil, fmt.Errorf("runtime: batch input %d has leading dim %v, expected %d×%d×%d", i, full.Shape(), e.replicas, numMB, want[0])
-			}
-			for mb := 0; mb < numMB; mb++ {
-				row := (r*numMB + mb) * want[0]
-				// Zero-copy borrowed row view: the actor reads the caller's
-				// batch rows in place. The borrowed flag makes every mutating
-				// path (in-place kernels, scratch recycling) refuse the
-				// tensor, so caller batch data cannot be written through it.
-				view := tensor.ViewRange0(full, row, row+want[0])
-				actors[base+placements[mb].Actor].Store.Put(placements[mb].Buf, view)
-			}
-		}
+		e.place(r, -1, inputs)
 	}
 
 	// Dispatch: one fused "RPC" per actor (§4.4), all concurrent. Each actor
@@ -271,18 +260,13 @@ func (e *Executable) Step(inputs []*tensor.Tensor) (losses []*tensor.Tensor, gra
 		wg.Add(1)
 		go func(i int, a *Actor) {
 			defer wg.Done()
-			if errs[i] = a.RunStep(); errs[i] != nil {
-				return
-			}
-			if fn := e.epilogues[i]; fn != nil {
-				errs[i] = fn(a.Store)
-			}
+			errs[i] = e.runActor(i, a)
 		}(i, a)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, nil, fmt.Errorf("runtime: actor %d failed: %w", i, err)
+			return fmt.Errorf("runtime: actor %d failed: %w", i, err)
 		}
 	}
 
@@ -291,26 +275,187 @@ func (e *Executable) Step(inputs []*tensor.Tensor) (losses []*tensor.Tensor, gra
 	// so the returned tensors no longer alias store state and nothing a later
 	// Step does — deletes, in-place accumulation, epilogue collectives — can
 	// mutate or reclaim them under the caller.
-	losses = make([]*tensor.Tensor, e.replicas*numMB)
 	for r := 0; r < e.replicas; r++ {
 		base := r * e.pp
 		for mb, l := range prog.Losses {
 			t, err := actors[base+l.Actor].Store.Take(l.Buf)
 			if err != nil {
-				return nil, nil, fmt.Errorf("runtime: replica %d loss mb %d: %w", r, mb, err)
+				return fmt.Errorf("runtime: replica %d loss mb %d: %w", r, mb, err)
 			}
 			losses[r*numMB+mb] = t
 		}
 	}
-	grads = make([]*tensor.Tensor, len(prog.Grads))
 	for gi, g := range prog.Grads {
 		t, err := actors[g.Actor].Store.Take(g.Buf)
 		if err != nil {
-			return nil, nil, fmt.Errorf("runtime: grad %d: %w", gi, err)
+			return fmt.Errorf("runtime: grad %d: %w", gi, err)
 		}
 		grads[gi] = t
 	}
-	return losses, grads, nil
+	return nil
+}
+
+// validateInputs checks arity, parameter shapes, and batch leading
+// dimensions once per step.
+func (e *Executable) validateInputs(inputs []*tensor.Tensor) error {
+	prog := e.prog
+	src := prog.Split.Source
+	if len(inputs) != len(src.Inputs) {
+		return fmt.Errorf("runtime: %d inputs for %d graph inputs", len(inputs), len(src.Inputs))
+	}
+	for i, p := range prog.Params {
+		if p == nil {
+			continue
+		}
+		if !inputs[i].HasShape(src.Inputs[i].Shape) {
+			return fmt.Errorf("runtime: input %d shape %v, expected %v", i, inputs[i].Shape(), src.Inputs[i].Shape)
+		}
+	}
+	numMB := prog.Schedule.NumMB
+	for i := range prog.Batch {
+		want := src.Inputs[i].Shape
+		full := inputs[i]
+		if full.Rank() == 0 || full.Dim(0) != want[0]*numMB*e.replicas {
+			return fmt.Errorf("runtime: batch input %d has leading dim %v, expected %d×%d×%d", i, full.Shape(), e.replicas, numMB, want[0])
+		}
+	}
+	return nil
+}
+
+// place prepares replica r's actors for a step: clears last step's results
+// so accumulators restart, places parameters, and places the replica's
+// batch shard microbatch by microbatch. only filters the pass: only < 0
+// places every actor of the replica in one walk over the program (the
+// in-process driver path), only >= 0 places just that per-replica actor
+// index (the multi-process path, where each OS process hosts one actor).
+// One function serves both paths so the indexing — especially the
+// (r·numMB+mb)·rows batch-row math the bit-for-bit local-vs-distributed
+// equivalence depends on — cannot diverge. Inputs must have been validated.
+func (e *Executable) place(r, only int, inputs []*tensor.Tensor) {
+	prog := e.prog
+	src := prog.Split.Source
+	numMB := prog.Schedule.NumMB
+	actors := e.cluster.Actors
+	base := r * e.pp
+	// Clear last step's results so accumulators restart.
+	for _, g := range prog.Grads {
+		if only < 0 || g.Actor == only {
+			actors[base+g.Actor].Store.Delete(g.Buf)
+		}
+	}
+	for _, l := range prog.Losses {
+		if only < 0 || l.Actor == only {
+			actors[base+l.Actor].Store.Delete(l.Buf)
+		}
+	}
+	// Parameters: owner copies; intra-replica tied-weight copies flow
+	// through the pre-loop send/recv instructions already in the programs;
+	// tensors are immutable, so replicas share storage.
+	for i, p := range prog.Params {
+		if p != nil && (only < 0 || p.Actor == only) {
+			actors[base+p.Actor].Store.Put(p.Buf, inputs[i])
+		}
+	}
+	// This replica's shard of the batch, microbatch by microbatch.
+	for i, placements := range prog.Batch {
+		want := src.Inputs[i].Shape
+		full := inputs[i]
+		for mb := 0; mb < numMB; mb++ {
+			if only >= 0 && placements[mb].Actor != only {
+				continue
+			}
+			row := (r*numMB + mb) * want[0]
+			// Zero-copy borrowed row view: the actor reads the caller's
+			// batch rows in place. The borrowed flag makes every mutating
+			// path (in-place kernels, scratch recycling) refuse the
+			// tensor, so caller batch data cannot be written through it.
+			view := tensor.ViewRange0(full, row, row+want[0])
+			actors[base+placements[mb].Actor].Store.Put(placements[mb].Buf, view)
+		}
+	}
+}
+
+// runActor executes one global actor's program and step epilogue.
+func (e *Executable) runActor(global int, a *Actor) error {
+	if err := a.RunStep(); err != nil {
+		return err
+	}
+	if fn := e.epilogues[global]; fn != nil {
+		return fn(a.Store)
+	}
+	return nil
+}
+
+// StepActor runs one global actor's share of a step: placement, program,
+// and epilogue for that actor only. It is the per-process entry point of
+// the multi-process runtime (package dist), where every OS process hosts
+// exactly one of the executable's actors and peers run their own shares
+// concurrently over a shared wire transport. inputs carry the same full
+// global batch and parameters on every process (deterministic replication);
+// only the slices this actor owns are placed. Collect this actor's results
+// with TakeActorResults afterwards.
+func (e *Executable) StepActor(actor int, inputs []*tensor.Tensor) error {
+	if actor < 0 || actor >= len(e.cluster.Actors) {
+		return fmt.Errorf("runtime: actor %d out of range (cluster of %d)", actor, len(e.cluster.Actors))
+	}
+	if err := e.validateInputs(inputs); err != nil {
+		return err
+	}
+	e.place(actor/e.pp, actor%e.pp, inputs)
+	if err := e.runActor(actor, e.cluster.Actors[actor]); err != nil {
+		return fmt.Errorf("runtime: actor %d failed: %w", actor, err)
+	}
+	return nil
+}
+
+// ActorResults are the step outputs owned by one global actor: losses by
+// global microbatch index (replica-major, as Step orders them) and final
+// gradients by parameter-gradient index. Gradients are reported only by
+// replica-0 actors — after the DP epilogue all-reduce every replica holds
+// identical sums, and Step's contract returns replica 0's.
+type ActorResults struct {
+	LossMB  []int
+	Losses  []*tensor.Tensor
+	GradIdx []int
+	Grads   []*tensor.Tensor
+}
+
+// TakeActorResults fetches (with ownership transfer, like Step) the losses
+// and gradients the given global actor produced this step.
+func (e *Executable) TakeActorResults(actor int) (*ActorResults, error) {
+	if actor < 0 || actor >= len(e.cluster.Actors) {
+		return nil, fmt.Errorf("runtime: actor %d out of range (cluster of %d)", actor, len(e.cluster.Actors))
+	}
+	prog := e.prog
+	numMB := prog.Schedule.NumMB
+	r, a := actor/e.pp, actor%e.pp
+	store := e.cluster.Actors[actor].Store
+	res := &ActorResults{}
+	for mb, l := range prog.Losses {
+		if l.Actor != a {
+			continue
+		}
+		t, err := store.Take(l.Buf)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: actor %d loss mb %d: %w", actor, mb, err)
+		}
+		res.LossMB = append(res.LossMB, r*numMB+mb)
+		res.Losses = append(res.Losses, t)
+	}
+	if r == 0 {
+		for gi, g := range prog.Grads {
+			if g.Actor != a {
+				continue
+			}
+			t, err := store.Take(g.Buf)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: actor %d grad %d: %w", actor, gi, err)
+			}
+			res.GradIdx = append(res.GradIdx, gi)
+			res.Grads = append(res.Grads, t)
+		}
+	}
+	return res, nil
 }
 
 // StoreStatsAll returns each actor's store statistics.

@@ -2,8 +2,9 @@
 // long-lived SPMD actors each own an object store of device buffers and
 // execute one fused instruction program per training step, communicating
 // exclusively through asynchronous point-to-point sends and receives. Actors
-// run as goroutines over an in-process transport or as TCP peers (package
-// rpcx), playing the role Ray workers + NCCL play for JaxPP.
+// run as goroutines over an in-process transport or as TCP peers across OS
+// processes (package dist), playing the role Ray workers + NCCL play for
+// JaxPP.
 package runtime
 
 import (

@@ -149,7 +149,7 @@ func NewRemoteMesh(actors int) *RemoteMesh {
 }
 
 // NewRemoteMeshWithTransport provisions actors over a custom transport
-// (e.g. rpcx TCP for multi-process runs).
+// (e.g. a dist TCP endpoint or LocalMesh for wire-protocol runs).
 func NewRemoteMeshWithTransport(actors int, tr runtime.Transport) *RemoteMesh {
 	return &RemoteMesh{cluster: runtime.NewClusterWithTransport(actors, tr)}
 }
@@ -166,6 +166,11 @@ type TrainStep struct {
 	// all-reduce took (0 for actors without gradients or when DP is off).
 	// Written by each actor's own goroutine during Step, read afterwards.
 	dpSyncNanos []int64
+
+	// inBuf is the reusable batch+params staging slice StepInto assembles
+	// runtime inputs into. TrainStep drivers are single-threaded (one
+	// controller), so one buffer serves every step.
+	inBuf []*Tensor
 }
 
 // Compile traces, differentiates, stage-splits, schedules, and loads the
@@ -302,15 +307,73 @@ func (t *TrainStep) installDPSync(tr runtime.Transport) error {
 // replica-major) and the accumulated gradients (one per parameter, summed
 // over every replica's microbatches when DataParallel is on).
 func (t *TrainStep) Step(params, batch []*Tensor) (losses, grads []*Tensor, err error) {
+	losses = make([]*Tensor, t.exe.Replicas()*t.prog.Schedule.NumMB)
+	grads = make([]*Tensor, len(t.prog.Grads))
+	if err := t.StepInto(params, batch, losses, grads); err != nil {
+		return nil, nil, err
+	}
+	return losses, grads, nil
+}
+
+// StepInto is Step writing results into caller-provided slices (losses of
+// len NumReplicas×NumMicrobatches, grads of len NumParams), mirroring
+// interp.Program.RunInto: a driver that reuses its result buffers runs the
+// whole dispatch path without per-step slice allocations. Not safe for
+// concurrent use (a TrainStep is a single-controller object).
+func (t *TrainStep) StepInto(params, batch, losses, grads []*Tensor) error {
+	inputs, err := t.stageInputs(params, batch)
+	if err != nil {
+		return err
+	}
+	return t.exe.StepInto(inputs, losses, grads)
+}
+
+// stageInputs validates arity and assembles batch+params into the runtime's
+// positional input order using the reusable staging buffer.
+func (t *TrainStep) stageInputs(params, batch []*Tensor) ([]*Tensor, error) {
 	if len(params) != len(t.spec.ParamShapes) {
-		return nil, nil, fmt.Errorf("jaxpp: %d params, compiled with %d", len(params), len(t.spec.ParamShapes))
+		return nil, fmt.Errorf("jaxpp: %d params, compiled with %d", len(params), len(t.spec.ParamShapes))
 	}
 	if len(batch) != len(t.spec.BatchShapes) {
-		return nil, nil, fmt.Errorf("jaxpp: %d batch inputs, compiled with %d", len(batch), len(t.spec.BatchShapes))
+		return nil, fmt.Errorf("jaxpp: %d batch inputs, compiled with %d", len(batch), len(t.spec.BatchShapes))
 	}
-	inputs := append(append([]*Tensor{}, batch...), params...)
-	return t.exe.Step(inputs)
+	t.inBuf = append(append(t.inBuf[:0], batch...), params...)
+	return t.inBuf, nil
 }
+
+// NumActors returns the cluster's global actor count
+// (NumReplicas × pipeline stages' actors) — the world size of a
+// multi-process run.
+func (t *TrainStep) NumActors() int { return t.exe.Replicas() * t.exe.ActorsPerReplica() }
+
+// StepActor runs one global actor's share of a step — the per-process entry
+// point for multi-process training, where each OS process hosts one actor
+// and every process passes identical params and the identical full global
+// batch (deterministic replication). Peers must run their shares
+// concurrently; collect this rank's outputs with TakeActorResults.
+func (t *TrainStep) StepActor(actor int, params, batch []*Tensor) error {
+	inputs, err := t.stageInputs(params, batch)
+	if err != nil {
+		return err
+	}
+	return t.exe.StepActor(actor, inputs)
+}
+
+// ActorResults are one actor's step outputs (see runtime.ActorResults).
+type ActorResults = runtime.ActorResults
+
+// TakeActorResults fetches the losses and gradients the given global actor
+// produced this step, with ownership transfer.
+func (t *TrainStep) TakeActorResults(actor int) (*ActorResults, error) {
+	return t.exe.TakeActorResults(actor)
+}
+
+// Close retires the step's per-actor sender workers. A compiled TrainStep
+// owns long-lived goroutines (one per actor-to-peer link); a process that
+// compiles many transient steps — benchmarks, sweeps, tests — should Close
+// each one once its steps have completed, or the workers accumulate for the
+// process lifetime. A closed step must not Step again.
+func (t *TrainStep) Close() { t.exe.Close() }
 
 // NumMicrobatches returns the gradient accumulation count per replica.
 func (t *TrainStep) NumMicrobatches() int { return t.prog.Schedule.NumMB }

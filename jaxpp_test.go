@@ -3,7 +3,7 @@ package jaxpp
 import (
 	"testing"
 
-	"repro/internal/rpcx"
+	"repro/internal/dist"
 	"repro/internal/tensor"
 )
 
@@ -86,7 +86,7 @@ func TestSchedulesAgreeOnGradients(t *testing.T) {
 
 func TestTCPTransportEndToEnd(t *testing.T) {
 	const stages, mbRows, numMB, width = 3, 4, 6, 8
-	tr, err := rpcx.NewTCPTransport(stages)
+	tr, err := dist.NewLocalMesh(stages, dist.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
