@@ -305,6 +305,51 @@ func buildSnapshot() (*snapshot, error) {
 	return s, nil
 }
 
+// checkRegression is the trajectory gate: it compares the fresh runtime-step
+// measurements against a committed baseline snapshot and fails when step
+// time or allocations regress more than maxPct percent. Allocation counts
+// are deterministic; timings carry machine jitter, which is why the
+// threshold is a generous 25% by default rather than a tight bound.
+func checkRegression(cur, base *runtimeStepStats, maxPct float64) error {
+	if base == nil {
+		return fmt.Errorf("baseline snapshot has no runtime_steps block")
+	}
+	checks := []struct {
+		name      string
+		cur, base float64
+	}{
+		{"pipeline step ms", cur.PipelineStepMs, base.PipelineStepMs},
+		{"pipeline step allocs", cur.PipelineStepAllocs, base.PipelineStepAllocs},
+		{"DPxPP step ms", cur.DPxPPStepMs, base.DPxPPStepMs},
+		{"DPxPP step allocs", cur.DPxPPStepAllocs, base.DPxPPStepAllocs},
+	}
+	for _, c := range checks {
+		if c.base <= 0 {
+			// A zero baseline means the snapshot is schema-drifted or
+			// corrupt; fail loudly rather than silently checking nothing.
+			return fmt.Errorf("baseline has no usable %q value (%v)", c.name, c.base)
+		}
+		if limit := c.base * (1 + maxPct/100); c.cur > limit {
+			return fmt.Errorf("%s regressed: %.3f vs baseline %.3f (+%.1f%%, limit +%.0f%%)",
+				c.name, c.cur, c.base, 100*(c.cur/c.base-1), maxPct)
+		}
+	}
+	return nil
+}
+
+// loadBaseline reads a committed snapshot for the regression gate.
+func loadBaseline(path string) (*snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &s, nil
+}
+
 // checkStepAllocs enforces the allocs-per-step ceiling, the CI gate that
 // keeps the SliceRange0-copy/store-churn allocation regression class from
 // silently returning.
@@ -322,12 +367,34 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, fig9, fig10, table1, ablations, validate, wire")
 	jsonPath := flag.String("json", "", "write a machine-readable perf snapshot to this path and exit")
 	maxStepAllocs := flag.Float64("max-step-allocs", 0, "fail (exit 1) if a steady-state runtime step allocates more than this many objects; without -json only the step measurement runs")
+	baselinePath := flag.String("baseline", "", "committed snapshot to diff runtime_steps against; step time or allocs more than -max-regress percent worse fail (exit 1)")
+	maxRegress := flag.Float64("max-regress", 25, "allowed runtime-step regression vs -baseline, in percent")
 	wirePeer := flag.String("wire-peer", "", "internal: act as the multi-process wire-bench echo peer (coordinator address)")
 	flag.Parse()
 
 	if *wirePeer != "" {
 		wirePeerMain(*wirePeer)
 		return
+	}
+
+	gate := func(rs *runtimeStepStats) {
+		if *maxStepAllocs > 0 {
+			if err := checkStepAllocs(rs, *maxStepAllocs); err != nil {
+				fmt.Fprintln(os.Stderr, "jaxpp-bench:", err)
+				os.Exit(1)
+			}
+		}
+		if *baselinePath != "" {
+			base, err := loadBaseline(*baselinePath)
+			if err == nil {
+				err = checkRegression(rs, base.RuntimeSteps, *maxRegress)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "jaxpp-bench:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("runtime steps within %.0f%% of %s\n", *maxRegress, *baselinePath)
+		}
 	}
 
 	if *jsonPath != "" {
@@ -346,27 +413,19 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
-		if *maxStepAllocs > 0 {
-			if err := checkStepAllocs(s.RuntimeSteps, *maxStepAllocs); err != nil {
-				fmt.Fprintln(os.Stderr, "jaxpp-bench:", err)
-				os.Exit(1)
-			}
-		}
+		gate(s.RuntimeSteps)
 		return
 	}
 
-	if *maxStepAllocs > 0 {
+	if *maxStepAllocs > 0 || *baselinePath != "" {
 		rs, err := measureRuntimeSteps()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jaxpp-bench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("pipeline step: %.3f ms, %.0f allocs; DPxPP step: %.3f ms, %.0f allocs (ceiling %.0f)\n",
-			rs.PipelineStepMs, rs.PipelineStepAllocs, rs.DPxPPStepMs, rs.DPxPPStepAllocs, *maxStepAllocs)
-		if err := checkStepAllocs(rs, *maxStepAllocs); err != nil {
-			fmt.Fprintln(os.Stderr, "jaxpp-bench:", err)
-			os.Exit(1)
-		}
+		fmt.Printf("pipeline step: %.3f ms, %.0f allocs; DPxPP step: %.3f ms, %.0f allocs\n",
+			rs.PipelineStepMs, rs.PipelineStepAllocs, rs.DPxPPStepMs, rs.DPxPPStepAllocs)
+		gate(rs)
 		return
 	}
 

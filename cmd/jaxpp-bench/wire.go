@@ -8,6 +8,7 @@ import (
 	"os/exec"
 	"time"
 
+	"repro/internal/collective"
 	"repro/internal/dist"
 	"repro/internal/runtime"
 	"repro/internal/tensor"
@@ -31,6 +32,12 @@ type wireStats struct {
 	TCPLocalGBs      float64 `json:"tcp_local_gbs"`
 	TCPMultiProcGBs  float64 `json:"tcp_multiprocess_gbs,omitempty"`
 	MultiProcErr     string  `json:"multiprocess_error,omitempty"`
+	// Wire-collective tier: bucketed ring AllReduce over TCP endpoints
+	// (dist.LocalMesh), reported as NCCL-style bus bandwidth
+	// (2·(n−1)/n · bytes / time) — the throughput the distributed gradient
+	// epilogue sees, as opposed to the point-to-point tiers above.
+	CollectiveRanks  int     `json:"tcp_collective_ranks,omitempty"`
+	CollectiveBusGBs float64 `json:"tcp_collective_busgbs,omitempty"`
 }
 
 const wireTagOut, wireTagBack = 1 << 16, 1<<16 + 1
@@ -175,7 +182,36 @@ func measureMultiProc() (float64, error) {
 	return 0, lastErr
 }
 
-// measureWire runs all three tiers. The multi-process tier degrades to an
+// wireCollectiveRanks/Elems size the wire-collective tier: 8 TCP endpoints
+// (the CI smoke's world) ring-all-reducing 2 MiB per rank.
+const (
+	wireCollectiveRanks = 8
+	wireCollectiveElems = 1 << 18
+)
+
+// measureWireCollective times a bucketed ring AllReduce across TCP
+// endpoints inside one process and converts the steady-state duration to
+// bus bandwidth, verifying the reduction on the way (integer payloads sum
+// exactly).
+func measureWireCollective(n, elems int) (float64, error) {
+	mesh, err := dist.NewLocalMesh(n, dist.Options{})
+	if err != nil {
+		return 0, err
+	}
+	defer mesh.Close()
+	dur, out, err := collective.MeasureAllReduce(mesh, n, elems, collective.DefaultBucketBytes)
+	if err != nil {
+		return 0, fmt.Errorf("wire collective: %w", err)
+	}
+	want := float64(n * (n + 1) / 2) // MeasureAllReduce ranks contribute r+1
+	if got := out.Data()[0]; got != want {
+		return 0, fmt.Errorf("wire collective: reduced value %v, want %v", got, want)
+	}
+	bus := 2 * float64(n-1) / float64(n) * float64(elems*8)
+	return bus / dur.Seconds() / 1e9, nil
+}
+
+// measureWire runs all four tiers. The multi-process tier degrades to an
 // error note instead of failing the snapshot (sandboxes may forbid exec).
 func measureWire() (*wireStats, error) {
 	s := &wireStats{}
@@ -196,6 +232,10 @@ func measureWire() (*wireStats, error) {
 		s.MultiProcErr = err.Error()
 	} else {
 		s.TCPMultiProcGBs = gbs
+	}
+	s.CollectiveRanks = wireCollectiveRanks
+	if s.CollectiveBusGBs, err = measureWireCollective(wireCollectiveRanks, wireCollectiveElems); err != nil {
+		return nil, err
 	}
 	return s, nil
 }

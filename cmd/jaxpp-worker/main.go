@@ -1,9 +1,11 @@
 // Command jaxpp-worker is the long-lived worker daemon of the multi-process
 // runtime: it dials the coordinator's control address, completes the
 // rendezvous (reporting its data-plane listen address, receiving its rank,
-// the address book, and the job spec), then runs its actor's share of every
-// training step over the dist wire transport. It needs no model flags — the
-// coordinator's job spec is the single source of truth.
+// the address book, and the job payload), then runs its share of the job
+// over the dist wire transport. It needs no model flags — the coordinator's
+// job payload is the single source of truth, and its kind selects the work:
+// a training job steps this rank's hosted actor, a collective job runs the
+// wire-collective verification.
 //
 //	jaxpp-worker -coordinator 127.0.0.1:29400
 //
@@ -36,13 +38,8 @@ func main() {
 		log.Fatal(err)
 	}
 	defer sess.Close()
-	spec, err := distrun.UnmarshalJobSpec(sess.Job)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("jaxpp-worker: rank %d of %d (job: %d stages × %d replicas, %d steps)\n",
-		sess.Rank, sess.World, spec.Stages, spec.Replicas(), spec.Steps)
-	if _, err := distrun.Run(sess, spec); err != nil {
+	fmt.Printf("jaxpp-worker: rank %d of %d\n", sess.Rank, sess.World)
+	if err := distrun.RunJob(sess); err != nil {
 		fmt.Fprintln(os.Stderr, "jaxpp-worker:", err)
 		os.Exit(1)
 	}

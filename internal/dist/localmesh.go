@@ -50,6 +50,17 @@ func (m *LocalMesh) Recv(to, from, tag int) (*tensor.Tensor, error) {
 	return m.eps[to].Recv(to, from, tag)
 }
 
+// Poison fails every endpoint: pending and future receives on any actor
+// error out promptly. A multi-actor driver whose goroutines share the mesh
+// uses it the way a process crash poisons the distributed transport — one
+// failed actor must not leave its peers blocked in ring receives until
+// their timeouts.
+func (m *LocalMesh) Poison(err error) {
+	for _, ep := range m.eps {
+		ep.Poison(err)
+	}
+}
+
 // Err returns the first endpoint poison error, if any.
 func (m *LocalMesh) Err() error {
 	for _, ep := range m.eps {

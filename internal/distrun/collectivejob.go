@@ -1,0 +1,256 @@
+package distrun
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/collective"
+	"repro/internal/dist"
+	"repro/internal/tensor"
+)
+
+// The wire-collective verification job: every rank of a bootstrapped world
+// runs the same deterministic sequence of ring collectives — bucketed
+// AllReduce, AllGather, Broadcast, Barrier — over the TCP data plane and
+// checks the results against locally computed expectations. Payloads are
+// integer-valued floats, so every reduction order produces identical bits
+// and verification needs no tolerance and no reference rank: each process
+// can convict the wire path on its own and exit nonzero. This is the job
+// the 8-process CI smoke runs — the first collective larger than 4
+// processes ever exercised over real sockets.
+
+// KindCollective is the CollectiveSpec payload kind.
+const KindCollective = "collective"
+
+// CollectiveSpec is the coordinator-distributed description of one
+// wire-collective verification job.
+type CollectiveSpec struct {
+	Kind  string `json:"kind"` // KindCollective
+	World int    `json:"world"`
+	// Elems is the per-rank element count of the all-reduced vector (split
+	// into several tensors so bucket fusion is exercised).
+	Elems int    `json:"elems"`
+	Iters int    `json:"iters"`
+	Seed  uint64 `json:"seed"`
+	// BucketBytes caps fusion buckets (0 = collective.DefaultBucketBytes).
+	// The CI smoke passes a small cap so one iteration walks several
+	// buckets and chunked rings rather than a single fused transfer.
+	BucketBytes int `json:"bucket_bytes,omitempty"`
+}
+
+// Marshal encodes the spec for the rendezvous job payload.
+func (s CollectiveSpec) Marshal() []byte {
+	s.Kind = KindCollective
+	data, err := json.Marshal(s)
+	if err != nil {
+		panic(err) // plain struct of scalars; cannot fail
+	}
+	return data
+}
+
+// Validate checks the spec's invariants — shared by the decode path and the
+// local/coordinator entry points, so a degenerate spec (world 0 would
+// "verify" nothing and report success) fails loudly everywhere.
+func (s CollectiveSpec) Validate() error {
+	if s.World < 1 || s.Elems < 1 || s.Iters < 1 {
+		return fmt.Errorf("distrun: invalid collective spec %+v", s)
+	}
+	return nil
+}
+
+// UnmarshalCollectiveSpec decodes a rendezvous job payload.
+func UnmarshalCollectiveSpec(data []byte) (CollectiveSpec, error) {
+	var s CollectiveSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("distrun: bad collective job payload: %w", err)
+	}
+	if s.Kind != KindCollective {
+		return s, fmt.Errorf("distrun: payload kind %q is not a collective job", s.Kind)
+	}
+	if err := s.Validate(); err != nil {
+		return s, err
+	}
+	return s, nil
+}
+
+// RunCollective executes the verification job on this rank of a
+// bootstrapped session and blocks until every rank has passed (the session
+// barrier at the end keeps a fast rank from tearing down the mesh under a
+// slower one).
+func RunCollective(sess *dist.Session, spec CollectiveSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if sess.World != spec.World {
+		return fmt.Errorf("distrun: session world %d, collective job wants %d", sess.World, spec.World)
+	}
+	if err := RunCollectiveOn(sess.Transport, sess.Rank, spec); err != nil {
+		return err
+	}
+	if err := sess.Barrier(); err != nil {
+		return fmt.Errorf("distrun: rank %d end-of-job barrier: %w", sess.Rank, err)
+	}
+	return nil
+}
+
+// RunCollectiveLocal runs the same verification inside one process over a
+// dist.LocalMesh (one TCP endpoint per rank, one goroutine per rank) — the
+// single-binary rehearsal of the multi-process smoke. opts configures the
+// endpoints (CRC trailers, receive timeouts).
+func RunCollectiveLocal(spec CollectiveSpec, opts dist.Options) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	mesh, err := dist.NewLocalMesh(spec.World, opts)
+	if err != nil {
+		return err
+	}
+	defer mesh.Close()
+	errs := make([]error, spec.World)
+	done := make(chan int, spec.World)
+	for r := 0; r < spec.World; r++ {
+		go func(r int) {
+			errs[r] = RunCollectiveOn(mesh, r, spec)
+			if errs[r] != nil {
+				// A failed rank stops participating in the ring; poison the
+				// mesh so its peers fail out of their receives immediately
+				// instead of blocking until the receive timeout.
+				mesh.Poison(fmt.Errorf("distrun: local collective rank %d failed: %w", r, errs[r]))
+			}
+			done <- r
+		}(r)
+	}
+	for i := 0; i < spec.World; i++ {
+		<-done
+	}
+	// Report the verification failure that started the collapse, not a
+	// peer's secondary poisoned-transport error.
+	if err := mesh.Err(); err != nil {
+		return err
+	}
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("distrun: local collective rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// rankValue is the deterministic integer-valued payload element for (rank,
+// element, iteration): small enough that world-size sums stay far below
+// 2^53, so floating-point addition is exact in every order.
+func rankValue(spec CollectiveSpec, rank, i, iter int) float64 {
+	base := float64(spec.Seed%1000+1) + float64(iter)
+	return (base + float64(rank+1)) * float64(i%97+1)
+}
+
+// RunCollectiveOn is the transport-level core of the verification job,
+// shared by the multi-process path (dist.Transport) and the LocalMesh
+// rehearsal. rank is this caller's actor ID; every actor 0..World-1 must
+// run it concurrently.
+func RunCollectiveOn(tr collective.Transport, rank int, spec CollectiveSpec) error {
+	comm, err := worldComm(tr, spec.World, rank)
+	if err != nil {
+		return err
+	}
+	n := spec.World
+
+	// Split the per-rank vector into three tensors sized so the bucketed
+	// all-reduce walks both of its paths: the two small tensors together fit
+	// one fusion bucket (the flat pack/reduce/unpack staging path), while
+	// the remainder — larger than the cap for every shipped configuration —
+	// forms its own single-tensor bucket (the direct in-place path).
+	bb := spec.BucketBytes
+	if bb <= 0 {
+		bb = collective.DefaultBucketBytes
+	}
+	capElems := max(bb/8, 2)
+	small := max(min(spec.Elems/4, capElems/2), 1)
+	sizes := []int{small, small, max(spec.Elems-2*small, 1)}
+	ts := make([]*tensor.Tensor, len(sizes))
+	for i, sz := range sizes {
+		ts[i] = tensor.GetScratch(sz)
+	}
+	defer func() {
+		for _, t := range ts {
+			tensor.Recycle(t)
+		}
+	}()
+
+	shardLen := max(spec.Elems/n, 1)
+	shard := tensor.GetScratch(shardLen)
+	gathered := tensor.GetScratch(n * shardLen)
+	bcast := tensor.GetScratch(shardLen)
+	defer tensor.Recycle(shard)
+	defer tensor.Recycle(gathered)
+	defer tensor.Recycle(bcast)
+
+	for iter := 0; iter < spec.Iters; iter++ {
+		// Bucketed ring AllReduce: verify the element-wise sum over ranks.
+		off := 0
+		for _, t := range ts {
+			for j := range t.Data() {
+				t.Data()[j] = rankValue(spec, rank, off+j, iter)
+			}
+			off += t.Size()
+		}
+		if err := comm.AllReduceBucketsInPlace(ts, collective.OpSum, spec.BucketBytes); err != nil {
+			return fmt.Errorf("rank %d iter %d all-reduce: %w", rank, iter, err)
+		}
+		off = 0
+		for ti, t := range ts {
+			for j, got := range t.Data() {
+				var want float64
+				for r := 0; r < n; r++ {
+					want += rankValue(spec, r, off+j, iter)
+				}
+				if math.Float64bits(got) != math.Float64bits(want) {
+					return fmt.Errorf("rank %d iter %d all-reduce tensor %d elem %d: got %v, want %v", rank, iter, ti, j, got, want)
+				}
+			}
+			off += t.Size()
+		}
+
+		// Ring AllGather: verify every rank's shard lands in its slot.
+		for j := range shard.Data() {
+			shard.Data()[j] = rankValue(spec, rank, j, iter)
+		}
+		if err := comm.AllGatherInto(gathered, shard); err != nil {
+			return fmt.Errorf("rank %d iter %d all-gather: %w", rank, iter, err)
+		}
+		for r := 0; r < n; r++ {
+			for j := 0; j < shardLen; j++ {
+				got, want := gathered.Data()[r*shardLen+j], rankValue(spec, r, j, iter)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					return fmt.Errorf("rank %d iter %d all-gather slot (%d,%d): got %v, want %v", rank, iter, r, j, got, want)
+				}
+			}
+		}
+
+		// Pipelined ring Broadcast from a rotating root.
+		root := iter % n
+		if rank == root {
+			for j := range bcast.Data() {
+				bcast.Data()[j] = rankValue(spec, root, j, iter)
+			}
+		} else {
+			clear(bcast.Data())
+		}
+		if err := comm.BroadcastInto(bcast, root); err != nil {
+			return fmt.Errorf("rank %d iter %d broadcast: %w", rank, iter, err)
+		}
+		for j, got := range bcast.Data() {
+			if want := rankValue(spec, root, j, iter); math.Float64bits(got) != math.Float64bits(want) {
+				return fmt.Errorf("rank %d iter %d broadcast elem %d: got %v, want %v", rank, iter, j, got, want)
+			}
+		}
+
+		// Dissemination barrier rounds off the iteration, keeping tag
+		// windows in lockstep across ranks of any speed.
+		if err := comm.Barrier(); err != nil {
+			return fmt.Errorf("rank %d iter %d barrier: %w", rank, iter, err)
+		}
+	}
+	return nil
+}

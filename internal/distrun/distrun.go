@@ -2,8 +2,8 @@
 // runtime: every rank compiles the identical program from a shared JobSpec
 // (deterministic replication — same seeds, same schedule), runs its own
 // actor's share of each step over the wire transport, and exchanges step
-// results through reserved tags so parameters evolve bit-identically on
-// every rank. It is the glue between the jaxpp compiler/runtime and the
+// results through the collective engine so parameters evolve bit-identically
+// on every rank. It is the glue between the jaxpp compiler/runtime and the
 // dist coordinator/worker topology that cmd/jaxpp-train -distributed and
 // cmd/jaxpp-worker share.
 package distrun
@@ -11,18 +11,32 @@ package distrun
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"time"
 
 	jaxpp "repro"
+	"repro/internal/collective"
 	"repro/internal/dist"
 	"repro/internal/runtime"
 	"repro/internal/tensor"
+)
+
+// The collective engine runs directly over the multi-process wire transport:
+// dist endpoints (and the single-process LocalMesh) satisfy the collective
+// point-to-point contract, including the SenderOwnsSent capability that lets
+// ring chunks recycle on serializing transports.
+var (
+	_ collective.Transport = (*dist.Transport)(nil)
+	_ collective.Transport = (*dist.LocalMesh)(nil)
 )
 
 // JobSpec is the coordinator-distributed description of one training job.
 // Workers receive it as the rendezvous job payload and reconstruct the
 // identical compiled program from it.
 type JobSpec struct {
+	// Kind discriminates rendezvous job payloads ("" or "train" is a
+	// training job); RunJob dispatches on it.
+	Kind         string  `json:"kind,omitempty"`
 	Stages       int     `json:"stages"`
 	NumMB        int     `json:"num_mb"`
 	MBRows       int     `json:"mb_rows"`
@@ -37,7 +51,14 @@ type JobSpec struct {
 	// rank — test instrumentation that stretches a job out so failure
 	// injection (worker kill) has a stable window to land in.
 	StepSleepMs int `json:"step_sleep_ms,omitempty"`
+	// NoHostedFilter makes every rank materialize the full world-size
+	// cluster instead of only its own actor — test instrumentation proving
+	// the hosted-actor filter does not change numerics.
+	NoHostedFilter bool `json:"no_hosted_filter,omitempty"`
 }
+
+// KindTrain is the JobSpec payload kind (the empty string means the same).
+const KindTrain = "train"
 
 // World returns the process count the job needs: one per global actor.
 func (s JobSpec) World() int {
@@ -62,23 +83,69 @@ func UnmarshalJobSpec(data []byte) (JobSpec, error) {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return s, fmt.Errorf("distrun: bad job payload: %w", err)
 	}
+	if s.Kind != "" && s.Kind != KindTrain {
+		return s, fmt.Errorf("distrun: payload kind %q is not a training job", s.Kind)
+	}
 	if s.Stages < 1 || s.NumMB < 1 || s.Steps < 0 {
 		return s, fmt.Errorf("distrun: invalid job spec %+v", s)
 	}
 	return s, nil
 }
 
-// Result-exchange tag space: distinct from pipeline P2P tags (small
-// sequential ints), the calibration window (TagSpaceBase/2), and the
-// collective group windows (TagSpaceBase and above). Tag reuse across steps
-// is safe because every rank's step s+1 exchange is ordered behind its
-// receipt of all step-s gradients (a de facto barrier), and per-connection
-// FIFO keeps same-tag frames in step order.
-const (
-	resultTagBase = 1 << 18
-	gradTagBase   = resultTagBase
-	lossTagBase   = resultTagBase + 1<<12
-)
+// worldGroupID selects the tag window of the all-ranks process group the
+// result exchange runs on. DP-sync groups derived from the actor mesh use
+// IDs 0..pp-1 (data axis) and pp..pp+replicas-1 (pipe axis, if anyone builds
+// them), so a constant far above any realistic stage or replica count keeps
+// the windows disjoint. The calibration window (TagSpaceBase/2) and pipeline
+// P2P tags (small sequential ints) are below every group window by
+// construction.
+const worldGroupID = 1 << 10
+
+// worldComm returns this rank's communicator on the all-ranks process group
+// (ranks 0..world-1 under worldGroupID) — the single construction both the
+// training epilogue and the collective verification job use, so the two
+// paths can never drift onto different tag windows.
+func worldComm(tr collective.Transport, world, rank int) (*collective.Communicator, error) {
+	ranks := make([]int, world)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	group, err := collective.NewGroup(tr, ranks, worldGroupID)
+	if err != nil {
+		return nil, err
+	}
+	return group.Comm(rank)
+}
+
+// RunJob dispatches a rendezvous job payload to its runner: training jobs go
+// to Run, wire-collective verification jobs to RunCollective. It is the
+// single entry point a jaxpp-worker needs — the payload kind, not a CLI
+// flag, selects the work.
+func RunJob(sess *dist.Session) error {
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(sess.Job, &probe); err != nil {
+		return fmt.Errorf("distrun: bad job payload: %w", err)
+	}
+	switch probe.Kind {
+	case "", KindTrain:
+		spec, err := UnmarshalJobSpec(sess.Job)
+		if err != nil {
+			return err
+		}
+		_, err = Run(sess, spec)
+		return err
+	case KindCollective:
+		spec, err := UnmarshalCollectiveSpec(sess.Job)
+		if err != nil {
+			return err
+		}
+		return RunCollective(sess, spec)
+	default:
+		return fmt.Errorf("distrun: unknown job kind %q", probe.Kind)
+	}
+}
 
 // Report is a job's outcome on one rank.
 type Report struct {
@@ -112,8 +179,18 @@ func InitModel(spec JobSpec) (params, batch []*jaxpp.Tensor) {
 }
 
 // Compile builds the training step for a spec over the given transport
-// (nil compiles onto a fresh in-process cluster).
+// (nil compiles onto a fresh in-process cluster), materializing every actor.
 func Compile(spec JobSpec, tr runtime.Transport) (*jaxpp.TrainStep, error) {
+	return CompileHosted(spec, tr, nil)
+}
+
+// CompileHosted is Compile with a hosted-actor filter: a distributed rank
+// passes its own actor ID so the process materializes one actor's store,
+// compiled programs, and sender workers instead of all World()'s — actor and
+// loss/gradient owners are derived from the shared program metadata, which
+// every rank compiles identically, so nothing about peers needs to exist
+// locally. nil hosts every actor.
+func CompileHosted(spec JobSpec, tr runtime.Transport, hostActors []int) (*jaxpp.TrainStep, error) {
 	var sched *jaxpp.Schedule
 	switch spec.Schedule {
 	case "gpipe":
@@ -149,33 +226,60 @@ func Compile(spec JobSpec, tr runtime.Transport) (*jaxpp.TrainStep, error) {
 		Schedule:            sched,
 		DataParallel:        spec.DataParallel,
 		SPMDDevicesPerActor: spec.SPMD,
+		HostActors:          hostActors,
 	})
 }
 
-// ApplySGD returns params - lr·grads as fresh tensors. Both the in-process
-// reference and every distributed rank run this exact loop, so parameter
-// trajectories agree bit for bit.
+// ApplySGD returns params - lr·grads as fresh tensors.
 func ApplySGD(params, grads []*jaxpp.Tensor, lr float64) ([]*jaxpp.Tensor, error) {
 	next := make([]*jaxpp.Tensor, len(params))
 	for i := range params {
-		d := make([]float64, grads[i].Size())
-		pd := params[i].Data()
-		for j, g := range grads[i].Data() {
-			d[j] = pd[j] - lr*g
-		}
-		p, err := jaxpp.TensorFromSlice(d, params[i].Shape()...)
-		if err != nil {
-			return nil, err
-		}
-		next[i] = p
+		next[i] = jaxpp.NewTensor(params[i].Shape()...)
+	}
+	if err := ApplySGDInto(next, params, grads, lr); err != nil {
+		return nil, err
 	}
 	return next, nil
 }
 
+// ApplySGDInto writes params - lr·grads into dst elementwise. Both the
+// in-process reference and every distributed rank run this exact loop, so
+// parameter trajectories agree bit for bit; drivers double-buffer dst and
+// params and swap after each step, so steady-state training allocates no
+// parameter tensors.
+func ApplySGDInto(dst, params, grads []*jaxpp.Tensor, lr float64) error {
+	if len(dst) != len(params) || len(grads) != len(params) {
+		return fmt.Errorf("distrun: SGD arity mismatch: %d dst, %d params, %d grads", len(dst), len(params), len(grads))
+	}
+	for i := range params {
+		pd, gd, dd := params[i].Data(), grads[i].Data(), dst[i].Data()
+		if len(pd) != len(gd) || len(pd) != len(dd) {
+			return fmt.Errorf("distrun: SGD size mismatch at %d: %d params, %d grads, %d dst", i, len(pd), len(gd), len(dd))
+		}
+		for j, g := range gd {
+			dd[j] = pd[j] - lr*g
+		}
+	}
+	return nil
+}
+
+// negZero fills the slots a rank does not own in the gradient exchange:
+// IEEE-754 addition has x + (-0.0) == x bit for bit for every x (including
+// x == -0.0, which x + (+0.0) would flip to +0.0), so a ring all-reduce over
+// one real contribution and world-1 negative-zero fills reproduces the
+// owner's gradient exactly — in any combine order — and the exchange stays
+// bit-compatible with the in-process reference even for gradients that
+// contain negative zeros (ReLU masking produces them).
+var negZero = math.Copysign(0, -1)
+
 // Run executes the job on this rank of a bootstrapped session: compile the
-// shared program, run this rank's actor every step, broadcast locally owned
-// gradients to all ranks (every rank applies the identical SGD update), and
-// ship per-microbatch losses to rank 0. Blocks until the job completes or
+// shared program with this rank's actor hosted, run the actor every step,
+// and run the result exchange on the collective engine over the wire
+// transport — losses travel to every rank (rank 0 records them) through one
+// ring AllGather, gradients through one bucketed ring AllReduce whose
+// traffic is the ring's 2·(N−1)/N volume per rank instead of the O(world)
+// point-to-point sends the pre-wire-collective epilogue issued. Every rank
+// then applies the identical SGD update. Blocks until the job completes or
 // the transport is poisoned (a dead peer surfaces here as an error, not a
 // hang).
 func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
@@ -183,108 +287,138 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 		return nil, fmt.Errorf("distrun: session world %d, job wants %d (= %d replicas × %d stages)", sess.World, spec.World(), spec.Replicas(), spec.Stages)
 	}
 	tr := sess.Transport
-	ts, err := Compile(spec, tr)
+	rank := sess.Rank
+	host := []int{rank}
+	if spec.NoHostedFilter {
+		host = nil
+	}
+	ts, err := CompileHosted(spec, tr, host)
 	if err != nil {
 		return nil, err
 	}
 	defer ts.Close()
-	rank := sess.Rank
 	prog := ts.Program()
 	pp := ts.NumActors() / ts.NumReplicas()
 	numMB := ts.NumMicrobatches()
 	totalMB := ts.NumReplicas() * numMB
 
-	// Owners, derived from the program identically on every rank: gradient
-	// gi lives on its replica-0 actor; loss (r, mb) on replica r's actor.
-	gradOwner := make([]int, len(prog.Grads))
-	for gi, g := range prog.Grads {
-		gradOwner[gi] = g.Actor
-	}
-	lossOwner := make([]int, totalMB)
+	// Loss owners, derived from program metadata identically on every rank
+	// (no peer actor exists locally under the hosted filter): loss (r, mb)
+	// lives on replica r's instance of its pipeline actor. lossesByRank[r]
+	// lists rank r's global microbatch indices in the order the rank packs
+	// them into its AllGather shard.
+	lossesByRank := make([][]int, sess.World)
 	for r := 0; r < ts.NumReplicas(); r++ {
 		for mb, l := range prog.Losses {
-			lossOwner[r*numMB+mb] = r*pp + l.Actor
+			owner := r*pp + l.Actor
+			lossesByRank[owner] = append(lossesByRank[owner], r*numMB+mb)
 		}
+	}
+	lossSlots := 0
+	for _, mbs := range lossesByRank {
+		lossSlots = max(lossSlots, len(mbs))
+	}
+
+	// The all-ranks process group the epilogue collectives run on. The dist
+	// transport serializes sends (SenderOwnsSent), so ring chunks come from
+	// and return to this process's scratch pool.
+	comm, err := worldComm(tr, sess.World, rank)
+	if err != nil {
+		return nil, err
 	}
 
 	params, batch := InitModel(spec)
+	if len(prog.Grads) != len(params) {
+		return nil, fmt.Errorf("distrun: program has %d gradients for %d parameters", len(prog.Grads), len(params))
+	}
+	// Gradient owners are the replica-0 actors, whose global IDs equal
+	// their per-replica IDs — derived from metadata once, so the per-step
+	// fill below skips the tensors this rank overwrites with real payloads.
+	ownedGrad := make([]bool, len(prog.Grads))
+	for gi, g := range prog.Grads {
+		ownedGrad[gi] = g.Actor == rank
+	}
+	// Steady-state buffers, reused every step: the SGD double buffer, the
+	// gradient-exchange tensors the ring reduces in place, the loss shard
+	// and gather destination, and the per-step result struct.
+	next := make([]*jaxpp.Tensor, len(params))
+	exch := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		next[i] = jaxpp.NewTensor(p.Shape()...)
+		exch[i] = tensor.GetScratchShaped(p.Shape()...)
+	}
+	shard := tensor.GetScratch(lossSlots)
+	gathered := tensor.GetScratch(sess.World * lossSlots)
+	defer func() {
+		// Recycled on every exit, including mid-step errors, so a process
+		// that retries jobs keeps its scratch pool warm.
+		tensor.Recycle(shard)
+		tensor.Recycle(gathered)
+		for _, t := range exch {
+			tensor.Recycle(t)
+		}
+	}()
+	res := &jaxpp.ActorResults{}
+
 	rep := &Report{Rank: rank, World: sess.World}
-	grads := make([]*jaxpp.Tensor, len(prog.Grads))
 	for step := 0; step < spec.Steps; step++ {
 		if err := ts.StepActor(rank, params, batch); err != nil {
 			return nil, fmt.Errorf("distrun: rank %d step %d: %w", rank, step, err)
 		}
-		res, err := ts.TakeActorResults(rank)
-		if err != nil {
+		if err := ts.TakeActorResultsInto(rank, res); err != nil {
 			return nil, fmt.Errorf("distrun: rank %d step %d results: %w", rank, step, err)
 		}
 
-		// Losses to rank 0 first: the coordinator consumes them before it
-		// broadcasts its own gradients, so a worker cannot lap the
-		// coordinator's loss mailboxes (grad receipt is the step barrier).
-		if rank != 0 {
-			for i, mb := range res.LossMB {
-				tr.Send(rank, 0, lossTagBase+mb, res.Losses[i])
-				// dist Send serializes before returning; the caller keeps the
-				// Take-transferred tensor and returns it to the pool.
-				tensor.Recycle(res.Losses[i])
-			}
+		// Losses: every rank packs its owned microbatch losses into a
+		// fixed-size shard (padded — shard sizes must match around the
+		// ring) and one AllGather hands rank 0 the full set. The gather
+		// doubles as the step-exchange ordering fence the point-to-point
+		// path got from its grad-receipt barrier.
+		sd := shard.Data()
+		clear(sd)
+		for i, l := range res.Losses {
+			sd[i] = l.Data()[0]
+			tensor.Recycle(l)
+		}
+		if err := comm.AllGatherInto(gathered, shard); err != nil {
+			return nil, fmt.Errorf("distrun: rank %d step %d loss gather: %w", rank, step, err)
 		}
 		var mbLosses []float64
 		if rank == 0 {
 			mbLosses = make([]float64, totalMB)
-			for i, mb := range res.LossMB {
-				mbLosses[mb] = res.Losses[i].Data()[0]
-				tensor.Recycle(res.Losses[i])
-			}
-			for mb, owner := range lossOwner {
-				if owner == 0 {
-					continue
+			gd := gathered.Data()
+			for r, mbs := range lossesByRank {
+				for j, mb := range mbs {
+					mbLosses[mb] = gd[r*lossSlots+j]
 				}
-				l, err := tr.Recv(0, owner, lossTagBase+mb)
-				if err != nil {
-					return nil, fmt.Errorf("distrun: step %d loss %d from rank %d: %w", step, mb, owner, err)
-				}
-				mbLosses[mb] = l.Data()[0]
-				tensor.Recycle(l)
 			}
 		}
 
-		// Gradient exchange: each replica-0 owner broadcasts its (already
-		// DP-all-reduced) gradients; every rank ends the step holding the
-		// full gradient list and applies the same update.
+		// Gradients: the owning ranks (replica-0 actors) hold the already
+		// DP-all-reduced sums; everyone else contributes negative zeros,
+		// the IEEE additive identity (see negZero), so the bucketed ring
+		// AllReduce delivers every gradient to every rank bit-exactly.
+		for gi, t := range exch {
+			if ownedGrad[gi] {
+				continue // overwritten with the real payload below
+			}
+			d := t.Data()
+			for i := range d {
+				d[i] = negZero
+			}
+		}
 		for i, gi := range res.GradIdx {
-			g := res.Grads[i]
-			for to := 0; to < sess.World; to++ {
-				if to != rank {
-					tr.Send(rank, to, gradTagBase+gi, g)
-				}
-			}
-			grads[gi] = g
+			exch[gi].CopyFrom(res.Grads[i].Data())
+			tensor.Recycle(res.Grads[i])
 		}
-		for gi, owner := range gradOwner {
-			if owner == rank {
-				continue
-			}
-			g, err := tr.Recv(rank, owner, gradTagBase+gi)
-			if err != nil {
-				return nil, fmt.Errorf("distrun: rank %d step %d grad %d from rank %d: %w", rank, step, gi, owner, err)
-			}
-			grads[gi] = g
+		if err := comm.AllReduceBucketsInPlace(exch, collective.OpSum, 0); err != nil {
+			return nil, fmt.Errorf("distrun: rank %d step %d grad all-reduce: %w", rank, step, err)
 		}
 
-		next, err := ApplySGD(params, grads, spec.LR)
-		if err != nil {
+		if err := ApplySGDInto(next, params, exch, spec.LR); err != nil {
 			return nil, err
 		}
-		for gi := range gradOwner {
-			// Wire-received grads are pool-owned; this rank's own grads were
-			// Take-transferred from the store and fully serialized by their
-			// broadcast sends — both go back to the pool after the update.
-			tensor.Recycle(grads[gi])
-			grads[gi] = nil
-		}
-		params = next
+		params, next = next, params
 		if rank == 0 {
 			rep.MBLosses = append(rep.MBLosses, mbLosses)
 			var total float64
@@ -312,7 +446,10 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 func RunLocal(spec JobSpec) (*Report, error) { return RunLocalOn(spec, nil) }
 
 // RunLocalOn is RunLocal over a caller-provided transport (e.g. a
-// dist.LocalMesh, exercising the binary wire path inside one process).
+// dist.LocalMesh, exercising the binary wire path inside one process). The
+// driver runs the allocation-lean dispatch path: results land in reused
+// StepInto buffers, exchanged tensors are recycled once consumed, and the
+// SGD update writes into a double-buffered parameter set.
 func RunLocalOn(spec JobSpec, tr runtime.Transport) (*Report, error) {
 	ts, err := Compile(spec, tr)
 	if err != nil {
@@ -321,23 +458,35 @@ func RunLocalOn(spec JobSpec, tr runtime.Transport) (*Report, error) {
 	defer ts.Close()
 	params, batch := InitModel(spec)
 	totalMB := ts.NumReplicas() * ts.NumMicrobatches()
+	next := make([]*jaxpp.Tensor, len(params))
+	for i, p := range params {
+		next[i] = jaxpp.NewTensor(p.Shape()...)
+	}
+	losses := make([]*jaxpp.Tensor, totalMB)
+	grads := make([]*jaxpp.Tensor, len(ts.Program().Grads))
 	rep := &Report{Rank: 0, World: 1}
 	for step := 0; step < spec.Steps; step++ {
-		losses, grads, err := ts.Step(params, batch)
-		if err != nil {
+		if err := ts.StepInto(params, batch, losses, grads); err != nil {
 			return nil, fmt.Errorf("distrun: local step %d: %w", step, err)
 		}
 		mbLosses := make([]float64, totalMB)
 		var total float64
 		for i, l := range losses {
 			mbLosses[i] = l.Data()[0]
-			total += l.Data()[0]
+			total += mbLosses[i]
+			tensor.Recycle(l)
 		}
 		rep.MBLosses = append(rep.MBLosses, mbLosses)
 		rep.StepLosses = append(rep.StepLosses, total/float64(totalMB))
-		if params, err = ApplySGD(params, grads, spec.LR); err != nil {
+		if err := ApplySGDInto(next, params, grads, spec.LR); err != nil {
 			return nil, err
 		}
+		for i := range grads {
+			// Take-transferred accumulators; the update consumed them.
+			tensor.Recycle(grads[i])
+			grads[i] = nil
+		}
+		params, next = next, params
 	}
 	rep.FinalParams = params
 	return rep, nil

@@ -66,6 +66,16 @@ type LoadOptions struct {
 	// because transport matching is per (sender, receiver, tag) triple.
 	// 0 or 1 loads a single replica.
 	DataParallel int
+
+	// HostActors restricts which global actors this load materializes: only
+	// the listed actors get compiled segment programs, reserved store slots,
+	// instruction streams, and sender workers. nil hosts every actor (the
+	// single-process driver). A distributed rank passes its own actor ID, so
+	// a world-N process carries one actor's state instead of N copies —
+	// peers are reachable through the transport, not materialized locally.
+	// A filtered executable steps only hosted actors (StepActor); the full
+	// Step/StepInto path refuses to run.
+	HostActors []int
 }
 
 // Executable is a loaded MPMD program ready for repeated Step calls — the
@@ -75,6 +85,10 @@ type Executable struct {
 	prog     *taskgraph.Program
 	replicas int // data-parallel replica count (>= 1)
 	pp       int // actors per replica
+
+	// hosted[actor] marks the global actors this load materialized; nil
+	// means every actor is hosted (unfiltered load).
+	hosted []bool
 
 	// epilogues run on the owning actor's goroutine after its program each
 	// step — the hook the driver uses to attach end-of-step collectives
@@ -94,10 +108,32 @@ func (c *Cluster) Load(prog *taskgraph.Program, opts LoadOptions) (*Executable, 
 	if pp*replicas != len(c.Actors) {
 		return nil, fmt.Errorf("runtime: program wants %d actors × %d replicas, cluster has %d", pp, replicas, len(c.Actors))
 	}
-	// Compile each pipeline actor's segments once; the runner closures are
-	// pure over immutable graphs/plans, so replicas share them.
+	// Hosted-actor filter: materialize only the listed global actors. The
+	// hostedPos set picks which pipeline positions need compiled segments at
+	// all (replicas share position programs).
+	var hosted []bool
+	hostedPos := make([]bool, pp)
+	if opts.HostActors == nil {
+		for a := range hostedPos {
+			hostedPos[a] = true
+		}
+	} else {
+		hosted = make([]bool, len(c.Actors))
+		for _, a := range opts.HostActors {
+			if a < 0 || a >= len(c.Actors) {
+				return nil, fmt.Errorf("runtime: hosted actor %d out of range (cluster of %d)", a, len(c.Actors))
+			}
+			hosted[a] = true
+			hostedPos[a%pp] = true
+		}
+	}
+	// Compile each hosted pipeline position's segments once; the runner
+	// closures are pure over immutable graphs/plans, so replicas share them.
 	segsByActor := make([][]*segmentExecutable, pp)
 	for a, instrs := range prog.Actors {
+		if !hostedPos[a] {
+			continue
+		}
 		needed := map[int]bool{}
 		for _, in := range instrs {
 			if in.Kind == taskgraph.OpRun {
@@ -116,6 +152,9 @@ func (c *Cluster) Load(prog *taskgraph.Program, opts LoadOptions) (*Executable, 
 	for r := 0; r < replicas; r++ {
 		base := r * pp
 		for a, instrs := range prog.Actors {
+			if hosted != nil && !hosted[base+a] {
+				continue
+			}
 			local := instrs
 			if base > 0 {
 				local = make([]taskgraph.Instr, len(instrs))
@@ -136,12 +175,19 @@ func (c *Cluster) Load(prog *taskgraph.Program, opts LoadOptions) (*Executable, 
 		prog:      prog,
 		replicas:  replicas,
 		pp:        pp,
+		hosted:    hosted,
 		epilogues: make([]func(*Store) error, len(c.Actors)),
 	}, nil
 }
 
 // Replicas returns the data-parallel replica count.
 func (e *Executable) Replicas() int { return e.replicas }
+
+// Hosts reports whether this load materialized the given global actor (true
+// for every actor on an unfiltered load).
+func (e *Executable) Hosts(actor int) bool {
+	return e.hosted == nil || (actor >= 0 && actor < len(e.hosted) && e.hosted[actor])
+}
 
 // Close retires the cluster's per-actor sender workers. Call it when the
 // executable is done stepping (steps must have completed); the cluster can
@@ -242,6 +288,9 @@ func (e *Executable) StepInto(inputs, losses, grads []*tensor.Tensor) error {
 	}
 	if len(grads) != len(prog.Grads) {
 		return fmt.Errorf("runtime: grads buffer holds %d, step produces %d", len(grads), len(prog.Grads))
+	}
+	if e.hosted != nil {
+		return fmt.Errorf("runtime: executable loaded with a hosted-actor filter; a filtered rank steps only its own actor via StepActor")
 	}
 	if err := e.validateInputs(inputs); err != nil {
 		return err
@@ -398,6 +447,9 @@ func (e *Executable) StepActor(actor int, inputs []*tensor.Tensor) error {
 	if actor < 0 || actor >= len(e.cluster.Actors) {
 		return fmt.Errorf("runtime: actor %d out of range (cluster of %d)", actor, len(e.cluster.Actors))
 	}
+	if !e.Hosts(actor) {
+		return fmt.Errorf("runtime: actor %d is not hosted by this load (hosted-actor filter); its store and programs were never materialized", actor)
+	}
 	if err := e.validateInputs(inputs); err != nil {
 		return err
 	}
@@ -423,21 +475,39 @@ type ActorResults struct {
 // TakeActorResults fetches (with ownership transfer, like Step) the losses
 // and gradients the given global actor produced this step.
 func (e *Executable) TakeActorResults(actor int) (*ActorResults, error) {
+	res := &ActorResults{}
+	if err := e.TakeActorResultsInto(actor, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TakeActorResultsInto is TakeActorResults reusing the caller's ActorResults:
+// its slices are truncated and refilled, so a driver that passes the same
+// struct every step fetches results without per-step slice allocation
+// (the StepInto counterpart for the per-actor path).
+func (e *Executable) TakeActorResultsInto(actor int, res *ActorResults) error {
 	if actor < 0 || actor >= len(e.cluster.Actors) {
-		return nil, fmt.Errorf("runtime: actor %d out of range (cluster of %d)", actor, len(e.cluster.Actors))
+		return fmt.Errorf("runtime: actor %d out of range (cluster of %d)", actor, len(e.cluster.Actors))
+	}
+	if !e.Hosts(actor) {
+		return fmt.Errorf("runtime: actor %d is not hosted by this load (hosted-actor filter); it has no results to take", actor)
 	}
 	prog := e.prog
 	numMB := prog.Schedule.NumMB
 	r, a := actor/e.pp, actor%e.pp
 	store := e.cluster.Actors[actor].Store
-	res := &ActorResults{}
+	res.LossMB = res.LossMB[:0]
+	res.Losses = res.Losses[:0]
+	res.GradIdx = res.GradIdx[:0]
+	res.Grads = res.Grads[:0]
 	for mb, l := range prog.Losses {
 		if l.Actor != a {
 			continue
 		}
 		t, err := store.Take(l.Buf)
 		if err != nil {
-			return nil, fmt.Errorf("runtime: actor %d loss mb %d: %w", actor, mb, err)
+			return fmt.Errorf("runtime: actor %d loss mb %d: %w", actor, mb, err)
 		}
 		res.LossMB = append(res.LossMB, r*numMB+mb)
 		res.Losses = append(res.Losses, t)
@@ -449,13 +519,13 @@ func (e *Executable) TakeActorResults(actor int) (*ActorResults, error) {
 			}
 			t, err := store.Take(g.Buf)
 			if err != nil {
-				return nil, fmt.Errorf("runtime: actor %d grad %d: %w", actor, gi, err)
+				return fmt.Errorf("runtime: actor %d grad %d: %w", actor, gi, err)
 			}
 			res.GradIdx = append(res.GradIdx, gi)
 			res.Grads = append(res.Grads, t)
 		}
 	}
-	return res, nil
+	return nil
 }
 
 // StoreStatsAll returns each actor's store statistics.

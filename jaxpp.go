@@ -135,6 +135,13 @@ type CompileSpec struct {
 	// DPBucketBytes caps the gradient-fusion bucket size of the DP
 	// all-reduce (default collective.DefaultBucketBytes).
 	DPBucketBytes int
+	// HostActors restricts which global actors this process materializes
+	// (stores, compiled segment programs, sender workers, DP-sync
+	// communicators). nil hosts all. A distributed rank passes its own
+	// actor ID so memory and compile time stay O(1) in the world size; the
+	// resulting TrainStep steps only hosted actors (StepActor) — the full
+	// Step path refuses to run.
+	HostActors []int
 }
 
 // RemoteMesh provisions a cluster of long-lived actors (the paper's
@@ -219,6 +226,7 @@ func (m *RemoteMesh) Compile(spec CompileSpec) (*TrainStep, error) {
 	exe, err := m.cluster.Load(prog, runtime.LoadOptions{
 		SPMDDevices:  spec.SPMDDevicesPerActor,
 		DataParallel: spec.DataParallel,
+		HostActors:   spec.HostActors,
 	})
 	if err != nil {
 		return nil, err
@@ -266,11 +274,17 @@ func (t *TrainStep) installDPSync(tr runtime.Transport) error {
 			continue
 		}
 		for r := 0; r < replicas; r++ {
+			global := r*pp + a
+			if !t.exe.Hosts(global) {
+				// A hosted-actor-filtered rank never runs this actor's
+				// epilogue; skip its communicator so the filter's memory
+				// promise (no per-peer state for unhosted actors) holds.
+				continue
+			}
 			comm, err := groups[a].Comm(r)
 			if err != nil {
 				return err
 			}
-			global := r*pp + a
 			bufs := bufs
 			ts := make([]*tensor.Tensor, len(bufs))
 			err = t.exe.SetStepEpilogue(global, func(store *runtime.Store) error {
@@ -367,6 +381,17 @@ type ActorResults = runtime.ActorResults
 func (t *TrainStep) TakeActorResults(actor int) (*ActorResults, error) {
 	return t.exe.TakeActorResults(actor)
 }
+
+// TakeActorResultsInto is TakeActorResults reusing the caller's ActorResults
+// slices, so a steady-state distributed driver fetches results without
+// per-step slice allocation.
+func (t *TrainStep) TakeActorResultsInto(actor int, res *ActorResults) error {
+	return t.exe.TakeActorResultsInto(actor, res)
+}
+
+// Hosts reports whether this process materialized the given global actor
+// (always true without CompileSpec.HostActors).
+func (t *TrainStep) Hosts(actor int) bool { return t.exe.Hosts(actor) }
 
 // Close retires the step's per-actor sender workers. A compiled TrainStep
 // owns long-lived goroutines (one per actor-to-peer link); a process that
