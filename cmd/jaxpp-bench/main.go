@@ -238,6 +238,7 @@ type snapshot struct {
 	RuntimeSteps            *runtimeStepStats     `json:"runtime_steps"`
 	Collective              *collectiveValidation `json:"collective_validation"`
 	Wire                    *wireStats            `json:"wire"`
+	Profile                 *profileBlock         `json:"profile"`
 }
 
 func buildSnapshot() (*snapshot, error) {
@@ -299,6 +300,12 @@ func buildSnapshot() (*snapshot, error) {
 		return nil, err
 	}
 	s.Wire, err = measureWire()
+	if err != nil {
+		return nil, err
+	}
+	// The profile tiers run last: they arm the obs registry, and every timed
+	// measurement above must finish before the gate ever flips on.
+	s.Profile, err = measureProfile(s.RuntimeSteps.PipelineStepMs)
 	if err != nil {
 		return nil, err
 	}
@@ -369,6 +376,7 @@ func main() {
 	maxStepAllocs := flag.Float64("max-step-allocs", 0, "fail (exit 1) if a steady-state runtime step allocates more than this many objects; without -json only the step measurement runs")
 	baselinePath := flag.String("baseline", "", "committed snapshot to diff runtime_steps against; step time or allocs more than -max-regress percent worse fail (exit 1)")
 	maxRegress := flag.Float64("max-regress", 25, "allowed runtime-step regression vs -baseline, in percent")
+	maxDisabledOverhead := flag.Float64("max-disabled-overhead-pct", 1, "with -json: fail (exit 1) if the disabled obs registry's estimated share of a pipeline step exceeds this percentage (0 disables)")
 	wirePeer := flag.String("wire-peer", "", "internal: act as the multi-process wire-bench echo peer (coordinator address)")
 	flag.Parse()
 
@@ -414,6 +422,11 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
 		gate(s.RuntimeSteps)
+		if *maxDisabledOverhead > 0 && s.Profile.DisabledOverheadPct > *maxDisabledOverhead {
+			fmt.Fprintf(os.Stderr, "jaxpp-bench: disabled obs registry costs %.3f%% of a pipeline step (%.1f ns/site), limit %.1f%%\n",
+				s.Profile.DisabledOverheadPct, s.Profile.DisabledTrackNs, *maxDisabledOverhead)
+			os.Exit(1)
+		}
 		return
 	}
 

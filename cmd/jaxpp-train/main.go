@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/distrun"
+	"repro/internal/timeline"
 )
 
 func main() {
@@ -45,6 +46,8 @@ func main() {
 	coordinator := flag.String("coordinator", "127.0.0.1:29400", "coordinator control address in -distributed mode")
 	crc := flag.Bool("crc", false, "append CRC32 trailers to wire frames")
 	lossesOut := flag.String("losses-out", "", "write per-step losses as JSON to this path (rank 0 / local only)")
+	profile := flag.Bool("profile", false, "arm the obs registry and log a one-line per-step compute/wire/idle summary")
+	traceOut := flag.String("trace-out", "", "write the executed Chrome trace (all ranks merged) to this path (rank 0 / local only; implies -profile)")
 	stepSleep := flag.Int("step-sleep-ms", 0, "sleep after every step (failure-injection test hook)")
 	coll := flag.Bool("collective", false, "run the wire-collective verification instead of training (ring AllReduce/AllGather/Broadcast, self-checked)")
 	collWorld := flag.Int("world", 8, "collective mode: process-group size")
@@ -77,6 +80,7 @@ func main() {
 		Stages: *stages, NumMB: *mb, MBRows: *mbRows, Width: *width,
 		Steps: *steps, LR: *lr, Schedule: *schedName,
 		DataParallel: *dp, SPMD: *spmd, Seed: *seed, StepSleepMs: *stepSleep,
+		Profile: *profile || *traceOut != "",
 	}
 
 	var rep *distrun.Report
@@ -116,6 +120,36 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, rep); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// writeTrace merges the per-rank profile snapshots gathered on rank 0 into a
+// single Chrome trace-event JSON file (chrome://tracing / Perfetto, or
+// jaxpp-viz -exec). Span start times are wall-anchored per process, so the
+// merged timeline aligns across ranks on one machine.
+func writeTrace(path string, rep *distrun.Report) error {
+	events := timeline.EventsFromSnapshots(rep.Profiles)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := timeline.WriteChromeTraceEvents(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	ranks := map[int]bool{}
+	for _, s := range rep.Profiles {
+		ranks[s.Rank] = true
+	}
+	fmt.Printf("trace: %d spans from %d rank(s) -> %s\n", len(events), len(ranks), path)
+	return nil
 }
 
 // runCollective runs the wire-collective verification: across OS processes

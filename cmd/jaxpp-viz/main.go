@@ -1,8 +1,11 @@
 // Command jaxpp-viz renders pipeline schedules as ASCII timelines (the
-// paper's Fig. 2: GPipe vs 1F1B) or Chrome trace JSON.
+// paper's Fig. 2: GPipe vs 1F1B) or Chrome trace JSON. With -exec it instead
+// renders an executed trace (jaxpp-train -trace-out) as the same per-actor
+// timeline, optionally validating that every rank contributed spans.
 //
 //	jaxpp-viz -actors 3 -mb 6 -schedule 1f1b
 //	jaxpp-viz -schedule interleaved -repeat 2 -chrome trace.json
+//	jaxpp-viz -exec trace.json -expect-ranks 4
 package main
 
 import (
@@ -23,7 +26,16 @@ func main() {
 	bwd := flag.Float64("bwd", 2, "backward/forward duration ratio")
 	width := flag.Int("width", 96, "terminal columns for the timeline")
 	chrome := flag.String("chrome", "", "write Chrome trace JSON to this file")
+	execTrace := flag.String("exec", "", "render an executed Chrome trace (jaxpp-train -trace-out) instead of a simulated schedule")
+	expectRanks := flag.Int("expect-ranks", 0, "with -exec: require spans from every rank 0..N-1 (exit 1 otherwise)")
 	flag.Parse()
+
+	if *execTrace != "" {
+		if err := renderExec(*execTrace, *expectRanks, *width); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	build := func(name string) *schedule.Schedule {
 		switch name {
@@ -66,4 +78,33 @@ func main() {
 			fmt.Printf("wrote Chrome trace to %s\n", *chrome)
 		}
 	}
+}
+
+// renderExec loads an executed Chrome trace and draws the per-actor ASCII
+// timeline. With expectRanks > 0 it also validates the trace covers every
+// rank 0..N-1 — the CI multiprocess smoke's merged-trace assertion.
+func renderExec(path string, expectRanks, width int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := timeline.ReadChromeTrace(f)
+	if err != nil {
+		return err
+	}
+	timeline.RenderEventsASCII(os.Stdout, events, width)
+	if expectRanks > 0 {
+		ranks := map[int]bool{}
+		for _, e := range events {
+			ranks[e.Pid] = true
+		}
+		for r := 0; r < expectRanks; r++ {
+			if !ranks[r] {
+				return fmt.Errorf("executed trace %s: no spans from rank %d (want ranks 0..%d)", path, r, expectRanks-1)
+			}
+		}
+		fmt.Printf("trace OK: %d spans covering all %d ranks\n", len(events), expectRanks)
+	}
+	return nil
 }

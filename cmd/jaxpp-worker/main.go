@@ -28,6 +28,7 @@ func main() {
 	coordinator := flag.String("coordinator", "127.0.0.1:29400", "coordinator control address")
 	rank := flag.Int("rank", 0, "requested rank (0 = let the coordinator assign)")
 	crc := flag.Bool("crc", false, "append CRC32 trailers to wire frames")
+	profile := flag.Bool("profile", false, "log a one-line per-step compute/wire/idle summary on this rank (snapshot shipping still follows the coordinator's job spec)")
 	flag.Parse()
 
 	sess, err := dist.Join(*coordinator, dist.SessionOptions{
@@ -39,7 +40,7 @@ func main() {
 	}
 	defer sess.Close()
 	fmt.Printf("jaxpp-worker: rank %d of %d\n", sess.Rank, sess.World)
-	if err := distrun.RunJob(sess); err != nil {
+	if err := distrun.RunJobProfiled(sess, *profile); err != nil {
 		fmt.Fprintln(os.Stderr, "jaxpp-worker:", err)
 		os.Exit(1)
 	}

@@ -3,7 +3,19 @@ package collective
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
+)
+
+// Profiling scopes for the ring phases: send is chunk staging + transport
+// handoff, wait is the blocking receive (ring skew + wire latency), reduce
+// and copy are the arithmetic/memcpy consuming a received chunk. Spans carry
+// the rank as their trace lane.
+var (
+	scCollSend   = obs.Scope("coll/send")
+	scCollWait   = obs.Scope("coll/wait")
+	scCollReduce = obs.Scope("coll/reduce")
+	scCollCopy   = obs.Scope("coll/copy")
 )
 
 // Chunk transfer discipline: every chunked collective ships pooled scratch
@@ -34,39 +46,49 @@ func chunkRange(n, parts, i int) (lo, hi int) {
 // here — otherwise every ring hop would orphan a pooled chunk to GC and the
 // scratch pool could never warm on the distributed gradient-sync path.
 func (c *Communicator) sendChunk(to, tag int, data []float64, lo, hi int) {
+	h := obs.TrackTid(scCollSend, c.self())
 	chunk := tensor.GetScratch(hi - lo)
 	chunk.CopyFrom(data[lo:hi])
 	c.g.tr.Send(c.self(), to, tag, chunk)
 	if c.g.senderOwns {
 		tensor.Recycle(chunk)
 	}
+	h.StopBytes(int64(hi-lo) * 8)
 }
 
 // combineChunk receives a chunk, reduces it into dst with op, and recycles
 // the chunk's storage.
 func (c *Communicator) combineChunk(from, tag int, dst []float64, op Op) error {
+	hw := obs.TrackTid(scCollWait, c.self())
 	t, err := c.g.tr.Recv(c.self(), from, tag)
+	hw.Stop()
 	if err != nil {
 		return err
 	}
 	if t.Size() != len(dst) {
 		return fmt.Errorf("collective: rank %d received chunk of %d elements, expected %d", c.rank, t.Size(), len(dst))
 	}
+	hr := obs.TrackTid(scCollReduce, c.self())
 	op.combine(dst, t.Data())
+	hr.StopBytes(int64(len(dst)) * 8)
 	tensor.Recycle(t)
 	return nil
 }
 
 // copyChunk receives a chunk, copies it over dst, and recycles its storage.
 func (c *Communicator) copyChunk(from, tag int, dst []float64) error {
+	hw := obs.TrackTid(scCollWait, c.self())
 	t, err := c.g.tr.Recv(c.self(), from, tag)
+	hw.Stop()
 	if err != nil {
 		return err
 	}
 	if t.Size() != len(dst) {
 		return fmt.Errorf("collective: rank %d received chunk of %d elements, expected %d", c.rank, t.Size(), len(dst))
 	}
+	hc := obs.TrackTid(scCollCopy, c.self())
 	copy(dst, t.Data())
+	hc.StopBytes(int64(len(dst)) * 8)
 	tensor.Recycle(t)
 	return nil
 }
@@ -191,8 +213,12 @@ func (c *Communicator) AllGather(shard *tensor.Tensor) (*tensor.Tensor, error) {
 	// rank-s, receive the one owned by rank-s-1.
 	cur := shard
 	for s := 0; s < n-1; s++ {
+		hs := obs.TrackTid(scCollSend, c.self())
 		c.g.tr.Send(c.self(), c.next(), base+s, cur)
+		hs.StopBytes(int64(cur.Size()) * 8)
+		hw := obs.TrackTid(scCollWait, c.self())
 		in, err := c.g.tr.Recv(c.self(), c.prev(), base+s)
+		hw.Stop()
 		if err != nil {
 			return nil, err
 		}
@@ -252,11 +278,15 @@ func (c *Communicator) AllGatherInto(dst, shard *tensor.Tensor) error {
 	cur := tensor.GetScratch(stride)
 	cur.CopyFrom(shard.Data())
 	for s := 0; s < n-1; s++ {
+		hs := obs.TrackTid(scCollSend, c.self())
 		c.g.tr.Send(c.self(), c.next(), base+s, cur)
 		if c.g.senderOwns {
 			tensor.Recycle(cur) // serialized; the relayed chunk stays ours
 		}
+		hs.StopBytes(int64(stride) * 8)
+		hw := obs.TrackTid(scCollWait, c.self())
 		in, err := c.g.tr.Recv(c.self(), c.prev(), base+s)
+		hw.Stop()
 		if err != nil {
 			return err
 		}
@@ -264,7 +294,9 @@ func (c *Communicator) AllGatherInto(dst, shard *tensor.Tensor) error {
 			return fmt.Errorf("collective: rank %d received chunk of %d elements, expected %d", c.rank, in.Size(), stride)
 		}
 		owner := ((c.rank-s-1)%n + n) % n
+		hc := obs.TrackTid(scCollCopy, c.self())
 		copy(data[owner*stride:(owner+1)*stride], in.Data())
+		hc.StopBytes(int64(stride) * 8)
 		cur = in
 	}
 	tensor.Recycle(cur) // final hop: this rank is the chunk's last reader
@@ -306,14 +338,18 @@ func (c *Communicator) BroadcastInto(t *tensor.Tensor, root int) error {
 	last := dist == n-1
 	for k := 0; k < n; k++ {
 		lo, hi := chunkRange(L, n, k)
+		hw := obs.TrackTid(scCollWait, c.self())
 		in, err := c.g.tr.Recv(c.self(), c.prev(), base+k)
+		hw.Stop()
 		if err != nil {
 			return err
 		}
 		if in.Size() != hi-lo {
 			return fmt.Errorf("collective: rank %d received chunk of %d elements, expected %d", c.rank, in.Size(), hi-lo)
 		}
+		hc := obs.TrackTid(scCollCopy, c.self())
 		copy(data[lo:hi], in.Data())
+		hc.StopBytes(int64(hi-lo) * 8)
 		if !last {
 			// Forward the chunk object itself; over a reference-passing
 			// transport ownership moves on, over a serializing one we keep
@@ -417,7 +453,9 @@ func (c *Communicator) Barrier() error {
 		to := c.g.ranks[(c.rank+d)%n]
 		from := c.g.ranks[((c.rank-d)%n+n)%n]
 		c.g.tr.Send(c.self(), to, base+round, barrierToken)
+		hw := obs.TrackTid(scCollWait, c.self())
 		tok, err := c.g.tr.Recv(c.self(), from, base+round)
+		hw.Stop()
 		if err != nil {
 			return err
 		}

@@ -22,7 +22,7 @@ import (
 
 // Control-plane message. One JSON object per line.
 type ctrlMsg struct {
-	Type string `json:"type"` // hello, welcome, ready, start, ping, pong, barrier, barrier_ok, bye, fail
+	Type string `json:"type"` // hello, welcome, ready, start, ping, pong, barrier, barrier_ok, prof, bye, fail
 	Addr string `json:"addr,omitempty"`
 	Rank int    `json:"rank,omitempty"`
 	// WantRank is the worker's requested rank in a hello; -1 lets the
@@ -31,7 +31,10 @@ type ctrlMsg struct {
 	World    int             `json:"world,omitempty"`
 	Book     map[int]string  `json:"book,omitempty"`
 	Job      json.RawMessage `json:"job,omitempty"`
-	Err      string          `json:"err,omitempty"`
+	// Prof carries a worker's end-of-job profile snapshot to the coordinator
+	// (see SendProfile/GatherProfiles).
+	Prof json.RawMessage `json:"prof,omitempty"`
+	Err  string          `json:"err,omitempty"`
 }
 
 const (
@@ -529,6 +532,47 @@ func (s *Session) Barrier() error {
 	case <-time.After(timeout):
 		return fmt.Errorf("dist: barrier: coordinator silent for %v", timeout)
 	}
+}
+
+// SendProfile ships this worker's profile snapshot to the coordinator as a
+// control frame. Call it strictly after the end-of-job Barrier: the shared
+// reply channel carries both barrier and profile traffic, and the ordering
+// (everyone past the barrier, then profiles) is what keeps the two phases
+// from interleaving. Coordinator-side callers should use their snapshot
+// directly instead.
+func (s *Session) SendProfile(data []byte) error {
+	if s.Rank == 0 {
+		return fmt.Errorf("dist: SendProfile on the coordinator (rank 0 collects, it does not send)")
+	}
+	if err := s.coord.send(ctrlMsg{Type: "prof", Prof: data}); err != nil {
+		return fmt.Errorf("dist: send profile: %w", err)
+	}
+	return nil
+}
+
+// GatherProfiles collects one profile snapshot from every worker (coordinator
+// only), in no particular order — snapshots identify their rank themselves.
+// Call it strictly after the end-of-job Barrier, mirroring SendProfile.
+func (s *Session) GatherProfiles() ([][]byte, error) {
+	if s.Rank != 0 {
+		return nil, fmt.Errorf("dist: GatherProfiles on a worker (rank %d)", s.Rank)
+	}
+	timeout := s.opts.HeartbeatTimeout * 4
+	out := make([][]byte, 0, len(s.workers))
+	for _, cc := range s.workers {
+		select {
+		case m := <-cc.replies:
+			if m.Type != "prof" {
+				return nil, fmt.Errorf("dist: gather profiles: rank %d sent %q", cc.rank, m.Type)
+			}
+			out = append(out, m.Prof)
+		case <-s.Transport.dead:
+			return nil, s.Transport.Err()
+		case <-time.After(timeout):
+			return nil, fmt.Errorf("dist: gather profiles: rank %d silent for %v", cc.rank, timeout)
+		}
+	}
+	return out, nil
 }
 
 // Close tears the session down gracefully: a bye on every control conn, then

@@ -82,6 +82,14 @@ func (m *Mailbox[T]) Put(it T) {
 	}
 }
 
+// Len reports the items enqueued but not yet swapped out by the worker — the
+// sender-worker queue depth the observability layer samples.
+func (m *Mailbox[T]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
 // Stop drains remaining items through the sink, then terminates the worker.
 // It blocks until the drain completes. Idempotent.
 func (m *Mailbox[T]) Stop() {

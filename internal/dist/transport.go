@@ -8,7 +8,22 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
+)
+
+// Wire-layer profiling: frame/byte counters on both directions, encode and
+// decode spans (serialization cost, distinct from socket wait), CRC failures,
+// and the sender-worker queue depth sampled at each enqueue.
+var (
+	scWireEncode = obs.Scope("wire/encode")
+	scWireDecode = obs.Scope("wire/decode")
+	scSendQueue  = obs.Scope("wire/send_queue")
+	cFramesSent  = obs.Counter("wire/frames_sent")
+	cBytesSent   = obs.Counter("wire/bytes_sent")
+	cFramesRecvd = obs.Counter("wire/frames_recvd")
+	cBytesRecvd  = obs.Counter("wire/bytes_recvd")
+	cCRCFail     = obs.Counter("wire/crc_fail")
 )
 
 // DefaultRecvTimeout mirrors runtime.DefaultRecvTimeout: a receive whose tag
@@ -332,8 +347,15 @@ func (t *Transport) Send(from, to, tag int, ten *tensor.Tensor) {
 		return
 	}
 	h := Header{Kind: frameData, From: from, To: to, Tag: tag, DType: t.opts.DType, Shape: ten.Shape()}
+	he := obs.TrackTid(scWireEncode, self)
 	frame := EncodeFrame(&h, ten.Data(), t.opts.CRC)
+	he.StopBytes(int64(len(frame)))
+	obs.Add(cFramesSent, 1)
+	obs.Add(cBytesSent, int64(len(frame)))
 	pl.mb.Put(frame)
+	if obs.Enabled() {
+		obs.Observe(scSendQueue, int64(pl.mb.Len()))
+	}
 }
 
 // Recv implements runtime.Transport. to must be this endpoint's rank. The

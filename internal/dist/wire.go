@@ -15,6 +15,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -211,6 +212,20 @@ func (d *Decoder) ReadFrame() (Header, *tensor.Tensor, error) {
 		return Header{}, nil, err // io.EOF at a frame boundary is clean
 	}
 	frameLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	// The decode span opens after the length prefix arrives: blocking on an
+	// idle stream is wait, not decode; once a frame has started, the rest
+	// follows in the same burst.
+	hd := obs.Track(scWireDecode)
+	h, t, err := d.readFrameBody(frameLen)
+	hd.StopBytes(int64(frameLen) + 4)
+	if err == nil && h.Kind == frameData {
+		obs.Add(cFramesRecvd, 1)
+		obs.Add(cBytesRecvd, int64(frameLen)+4)
+	}
+	return h, t, err
+}
+
+func (d *Decoder) readFrameBody(frameLen int) (Header, *tensor.Tensor, error) {
 	const fixed = headerFixed - 4 // header bytes after the length prefix
 	if frameLen < fixed {
 		return Header{}, nil, corrupt("frame length %d shorter than header", frameLen)
@@ -295,6 +310,7 @@ func (d *Decoder) ReadFrame() (Header, *tensor.Tensor, error) {
 		crc := crc32.ChecksumIEEE(hdr[:fixed+4*rank])
 		crc = crc32.Update(crc, crc32.IEEETable, payload)
 		if crc != got {
+			obs.Add(cCRCFail, 1)
 			return Header{}, nil, corrupt("frame CRC mismatch: computed %08x, frame carries %08x", crc, got)
 		}
 	}

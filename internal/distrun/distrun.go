@@ -11,14 +11,29 @@ package distrun
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"math"
+	"sort"
 	"time"
 
 	jaxpp "repro"
 	"repro/internal/collective"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/tensor"
+)
+
+// Step-epilogue profiling scopes: the actor's share of the step, then the
+// exchange wall time split into its loss AllGather and gradient AllReduce
+// halves, then the SGD update. These are envelope scopes (they contain the
+// collective and wire leaf spans), so the breakdown classifier excludes them.
+var (
+	scStepActor    = obs.Scope("step/actor")
+	scLossGather   = obs.Scope("step/loss_gather")
+	scGradReduce   = obs.Scope("step/grad_allreduce")
+	scSGD          = obs.Scope("step/sgd")
+	cStepsProfiled = obs.Counter("step/count")
 )
 
 // The collective engine runs directly over the multi-process wire transport:
@@ -55,6 +70,16 @@ type JobSpec struct {
 	// cluster instead of only its own actor — test instrumentation proving
 	// the hosted-actor filter does not change numerics.
 	NoHostedFilter bool `json:"no_hosted_filter,omitempty"`
+	// Profile enables the obs registry on every rank for the job's duration:
+	// per-step one-line summaries, and an end-of-job profile snapshot per rank
+	// shipped to the coordinator (Report.Profiles on rank 0). Travels in the
+	// rendezvous payload so one flag on the coordinator profiles the world.
+	Profile bool `json:"profile,omitempty"`
+	// ProfileLocal arms the registry and per-step summaries on this rank only
+	// (jaxpp-worker -profile). Deliberately unmarshaled: the end-of-job
+	// snapshot exchange must stay symmetric across ranks, so shipping follows
+	// Profile (the payload) alone.
+	ProfileLocal bool `json:"-"`
 }
 
 // KindTrain is the JobSpec payload kind (the empty string means the same).
@@ -121,7 +146,13 @@ func worldComm(tr collective.Transport, world, rank int) (*collective.Communicat
 // to Run, wire-collective verification jobs to RunCollective. It is the
 // single entry point a jaxpp-worker needs — the payload kind, not a CLI
 // flag, selects the work.
-func RunJob(sess *dist.Session) error {
+func RunJob(sess *dist.Session) error { return RunJobProfiled(sess, false) }
+
+// RunJobProfiled is RunJob with a rank-local profiling override: when
+// localProfile is set, a training job logs per-step summaries on this rank
+// even if the coordinator's payload did not request profiling. The end-of-job
+// snapshot exchange still follows the payload alone.
+func RunJobProfiled(sess *dist.Session, localProfile bool) error {
 	var probe struct {
 		Kind string `json:"kind"`
 	}
@@ -134,6 +165,7 @@ func RunJob(sess *dist.Session) error {
 		if err != nil {
 			return err
 		}
+		spec.ProfileLocal = localProfile
 		_, err = Run(sess, spec)
 		return err
 	case KindCollective:
@@ -160,6 +192,36 @@ type Report struct {
 	// FinalParams are the post-training parameters (identical on every
 	// rank; recorded everywhere for verification).
 	FinalParams []*jaxpp.Tensor
+	// Profiles holds every rank's end-of-job obs snapshot in rank order when
+	// the spec requested profiling. Populated on rank 0 (workers ship theirs
+	// over the control plane) and on the local runner (one snapshot).
+	Profiles []*obs.Snapshot
+}
+
+// beginProfiling arms the obs registry for a profiled job and returns the
+// teardown that restores the prior gate state. The reset discards any stale
+// aggregates a previous job (or an unprofiled warmup) left behind.
+func beginProfiling() (restore func()) {
+	was := obs.Enabled()
+	obs.SnapshotAndReset()
+	obs.Enable()
+	return func() {
+		if !was {
+			obs.Disable()
+		}
+	}
+}
+
+// logStepSummary emits the one-line per-step profile: wall time plus the
+// compute/wire/idle delta since the previous step, read via Peek (no reset —
+// the end-of-job snapshot keeps the full job's spans).
+func logStepSummary(rank, step int, wall time.Duration, prev *[3]time.Duration) {
+	p := obs.Peek()
+	c, w, i := p.Breakdown()
+	log.Printf("profile rank %d step %d: wall %.3fms compute %.3fms wire %.3fms idle %.3fms",
+		rank, step, wall.Seconds()*1e3,
+		(c-prev[0]).Seconds()*1e3, (w-prev[1]).Seconds()*1e3, (i-prev[2]).Seconds()*1e3)
+	*prev = [3]time.Duration{c, w, i}
 }
 
 // InitModel builds the deterministic initial parameters and global batch
@@ -360,9 +422,18 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 	}()
 	res := &jaxpp.ActorResults{}
 
+	profiling := spec.Profile || spec.ProfileLocal
+	if profiling {
+		defer beginProfiling()()
+	}
+	var stepPrev [3]time.Duration
 	rep := &Report{Rank: rank, World: sess.World}
 	for step := 0; step < spec.Steps; step++ {
-		if err := ts.StepActor(rank, params, batch); err != nil {
+		stepStart := time.Now()
+		ha := obs.TrackTid(scStepActor, rank)
+		err := ts.StepActor(rank, params, batch)
+		ha.Stop()
+		if err != nil {
 			return nil, fmt.Errorf("distrun: rank %d step %d: %w", rank, step, err)
 		}
 		if err := ts.TakeActorResultsInto(rank, res); err != nil {
@@ -380,7 +451,10 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 			sd[i] = l.Data()[0]
 			tensor.Recycle(l)
 		}
-		if err := comm.AllGatherInto(gathered, shard); err != nil {
+		hl := obs.TrackTid(scLossGather, rank)
+		err = comm.AllGatherInto(gathered, shard)
+		hl.Stop()
+		if err != nil {
 			return nil, fmt.Errorf("distrun: rank %d step %d loss gather: %w", rank, step, err)
 		}
 		var mbLosses []float64
@@ -411,14 +485,24 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 			exch[gi].CopyFrom(res.Grads[i].Data())
 			tensor.Recycle(res.Grads[i])
 		}
-		if err := comm.AllReduceBucketsInPlace(exch, collective.OpSum, 0); err != nil {
+		hg := obs.TrackTid(scGradReduce, rank)
+		err = comm.AllReduceBucketsInPlace(exch, collective.OpSum, 0)
+		hg.Stop()
+		if err != nil {
 			return nil, fmt.Errorf("distrun: rank %d step %d grad all-reduce: %w", rank, step, err)
 		}
 
-		if err := ApplySGDInto(next, params, exch, spec.LR); err != nil {
+		hs := obs.TrackTid(scSGD, rank)
+		err = ApplySGDInto(next, params, exch, spec.LR)
+		hs.Stop()
+		if err != nil {
 			return nil, err
 		}
 		params, next = next, params
+		obs.Add(cStepsProfiled, 1)
+		if profiling {
+			logStepSummary(rank, step, time.Since(stepStart), &stepPrev)
+		}
 		if rank == 0 {
 			rep.MBLosses = append(rep.MBLosses, mbLosses)
 			var total float64
@@ -436,6 +520,36 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 	// indistinguishable from a crash to ranks still exchanging tensors.
 	if err := sess.Barrier(); err != nil {
 		return nil, fmt.Errorf("distrun: rank %d end-of-job barrier: %w", rank, err)
+	}
+	// Profile exchange, strictly after the barrier: the control plane's reply
+	// channel is free of barrier traffic, and every rank's spans are final (all
+	// instrumented goroutines are quiescent — the snapshot ownership rule).
+	if spec.Profile {
+		snap := obs.SnapshotAndReset()
+		snap.Rank = rank
+		if rank == 0 {
+			rep.Profiles = append(rep.Profiles, snap)
+			raws, err := sess.GatherProfiles()
+			if err != nil {
+				return nil, fmt.Errorf("distrun: rank 0 profile gather: %w", err)
+			}
+			for _, raw := range raws {
+				ws := &obs.Snapshot{}
+				if err := json.Unmarshal(raw, ws); err != nil {
+					return nil, fmt.Errorf("distrun: bad worker profile: %w", err)
+				}
+				rep.Profiles = append(rep.Profiles, ws)
+			}
+			sort.Slice(rep.Profiles, func(i, j int) bool { return rep.Profiles[i].Rank < rep.Profiles[j].Rank })
+		} else {
+			data, err := json.Marshal(snap)
+			if err != nil {
+				return nil, fmt.Errorf("distrun: rank %d profile marshal: %w", rank, err)
+			}
+			if err := sess.SendProfile(data); err != nil {
+				return nil, fmt.Errorf("distrun: rank %d profile send: %w", rank, err)
+			}
+		}
 	}
 	rep.FinalParams = params
 	return rep, nil
@@ -464,9 +578,17 @@ func RunLocalOn(spec JobSpec, tr runtime.Transport) (*Report, error) {
 	}
 	losses := make([]*jaxpp.Tensor, totalMB)
 	grads := make([]*jaxpp.Tensor, len(ts.Program().Grads))
+	if spec.Profile {
+		defer beginProfiling()()
+	}
+	var stepPrev [3]time.Duration
 	rep := &Report{Rank: 0, World: 1}
 	for step := 0; step < spec.Steps; step++ {
-		if err := ts.StepInto(params, batch, losses, grads); err != nil {
+		stepStart := time.Now()
+		ha := obs.Track(scStepActor)
+		err := ts.StepInto(params, batch, losses, grads)
+		ha.Stop()
+		if err != nil {
 			return nil, fmt.Errorf("distrun: local step %d: %w", step, err)
 		}
 		mbLosses := make([]float64, totalMB)
@@ -478,7 +600,10 @@ func RunLocalOn(spec JobSpec, tr runtime.Transport) (*Report, error) {
 		}
 		rep.MBLosses = append(rep.MBLosses, mbLosses)
 		rep.StepLosses = append(rep.StepLosses, total/float64(totalMB))
-		if err := ApplySGDInto(next, params, grads, spec.LR); err != nil {
+		hs := obs.Track(scSGD)
+		err = ApplySGDInto(next, params, grads, spec.LR)
+		hs.Stop()
+		if err != nil {
 			return nil, err
 		}
 		for i := range grads {
@@ -487,6 +612,15 @@ func RunLocalOn(spec JobSpec, tr runtime.Transport) (*Report, error) {
 			grads[i] = nil
 		}
 		params, next = next, params
+		obs.Add(cStepsProfiled, 1)
+		if spec.Profile {
+			logStepSummary(0, step, time.Since(stepStart), &stepPrev)
+		}
+	}
+	if spec.Profile {
+		snap := obs.SnapshotAndReset()
+		snap.Rank = 0
+		rep.Profiles = append(rep.Profiles, snap)
 	}
 	rep.FinalParams = params
 	return rep, nil

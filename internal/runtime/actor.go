@@ -5,8 +5,18 @@ import (
 	"sync"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/taskgraph"
 	"repro/internal/tensor"
+)
+
+// Profiling scopes for the actor step loop. Spans are attributed to the
+// actor's ID as the trace lane, so an executed Chrome trace reads like the
+// Fig. 2 per-actor timeline.
+var (
+	scRecv  = obs.Scope("actor/recv")
+	scAccum = obs.Scope("actor/accum")
+	scAdd   = obs.Scope("actor/add")
 )
 
 // Actor is one long-lived SPMD execution unit: it owns an object store and
@@ -60,6 +70,7 @@ type sendItem struct {
 // retained).
 type segmentExecutable struct {
 	seg     int
+	scope   obs.ScopeID // "seg/<idx>" timing scope, assigned at Load
 	runInto func(outs, inputs []*tensor.Tensor) error
 }
 
@@ -73,6 +84,11 @@ func NewActor(id int, tr Transport) *Actor {
 func (a *Actor) Load(prog []taskgraph.Instr, segs []*segmentExecutable) {
 	a.prog = prog
 	a.segs = segs
+	for _, s := range segs {
+		if s.scope == 0 {
+			s.scope = obs.Scope(fmt.Sprintf("seg/%d", s.seg))
+		}
+	}
 	maxIns, maxOuts := 0, 0
 	peers := map[int]bool{}
 	for _, in := range prog {
@@ -149,7 +165,10 @@ func (a *Actor) exec(in taskgraph.Instr) error {
 			args[i] = t
 		}
 		outs := a.outBuf[:len(in.Outs)]
-		if err := se.runInto(outs, args); err != nil {
+		h := obs.TrackTid(se.scope, a.ID)
+		err = se.runInto(outs, args)
+		h.Stop()
+		if err != nil {
 			return err
 		}
 		for i, b := range in.Outs {
@@ -177,7 +196,11 @@ func (a *Actor) exec(in taskgraph.Instr) error {
 		return nil
 
 	case taskgraph.OpRecv:
+		// Blocking receive: the span is the actor's per-microbatch idle
+		// (queue) time waiting on an upstream peer.
+		h := obs.TrackTid(scRecv, a.ID)
 		t, err := a.transport.Recv(a.ID, in.Peer, in.Tag)
+		h.Stop()
 		if err != nil {
 			return err
 		}
@@ -191,7 +214,9 @@ func (a *Actor) exec(in taskgraph.Instr) error {
 		}
 		// In-place gradient accumulation: the store mutates its private
 		// accumulator instead of allocating a fresh sum every microbatch.
+		h := obs.TrackTid(scAccum, a.ID)
 		a.Store.Accumulate(in.Dst, src)
+		h.Stop()
 		return nil
 
 	case taskgraph.OpAdd:
@@ -203,7 +228,9 @@ func (a *Actor) exec(in taskgraph.Instr) error {
 		if err != nil {
 			return err
 		}
+		h := obs.TrackTid(scAdd, a.ID)
 		a.Store.Put(in.Dst, tensor.Add(x, y))
+		h.Stop()
 		return nil
 
 	case taskgraph.OpDelete:

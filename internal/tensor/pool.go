@@ -3,6 +3,21 @@ package tensor
 import (
 	"math/bits"
 	"sync"
+
+	"repro/internal/obs"
+)
+
+// Pool accounting: hits reuse pooled storage, misses allocate (a cold bucket
+// or post-GC eviction), oversize requests bypass the pool entirely, and
+// recycle_drop counts returns the pool refuses (borrowed views, sub-minimum
+// or oversize buffers). A rising miss rate at steady state means GC is
+// evicting buckets faster than the step reuses them.
+var (
+	cPoolHit         = obs.Counter("pool/hit")
+	cPoolMiss        = obs.Counter("pool/miss")
+	cPoolOversize    = obs.Counter("pool/oversize")
+	cPoolRecycle     = obs.Counter("pool/recycle")
+	cPoolRecycleDrop = obs.Counter("pool/recycle_drop")
 )
 
 // Scratch-tensor pool. Hot paths (the IR interpreter's intermediates, the
@@ -66,12 +81,15 @@ func GetScratchZero(shape ...int) *Tensor {
 func getScratchCap(n int) *Tensor {
 	b := bucketFor(n)
 	if b > maxPoolBits {
+		obs.Add(cPoolOversize, 1)
 		return &Tensor{data: make([]float64, n)}
 	}
 	v := scratchPools[b].Get()
 	if v == nil {
+		obs.Add(cPoolMiss, 1)
 		return &Tensor{data: make([]float64, n, 1<<b)}
 	}
+	obs.Add(cPoolHit, 1)
 	t := v.(*Tensor)
 	t.data = t.data[:cap(t.data)][:n]
 	return t
@@ -86,17 +104,21 @@ func Recycle(t *Tensor) {
 		// Borrowed views never own their storage; pooling it would hand the
 		// owner's live data out as scratch. Silently dropping the view is the
 		// correct recycle for it.
+		obs.Add(cPoolRecycleDrop, 1)
 		return
 	}
 	c := cap(t.data)
 	if c < 1<<minPoolBits {
+		obs.Add(cPoolRecycleDrop, 1)
 		return
 	}
 	// Floor bucket: the buffer can serve any request up to its capacity, and
 	// every request routed to bucket b needs at most 1<<b <= c elements.
 	b := bits.Len(uint(c)) - 1
 	if b > maxPoolBits {
+		obs.Add(cPoolRecycleDrop, 1)
 		return
 	}
+	obs.Add(cPoolRecycle, 1)
 	scratchPools[b].Put(t)
 }

@@ -1,0 +1,77 @@
+package timeline
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func sampleSnapshots() []*obs.Snapshot {
+	return []*obs.Snapshot{
+		{Rank: 0, Spans: []obs.Span{
+			{Scope: "seg/0", Tid: 0, StartUs: 10, DurUs: 40},
+			{Scope: "actor/recv", Tid: 0, StartUs: 50, DurUs: 20},
+			{Scope: "step/actor", Tid: 0, StartUs: 0, DurUs: 100}, // envelope, skipped in render
+		}},
+		{Rank: 1, Spans: []obs.Span{
+			{Scope: "seg/1", Tid: 1, StartUs: 30, DurUs: 50},
+			{Scope: "coll/send", Tid: 1, StartUs: 80, DurUs: 10},
+		}},
+	}
+}
+
+func TestEventsRoundTrip(t *testing.T) {
+	events := EventsFromSnapshots(sampleSnapshots())
+	if len(events) != 5 {
+		t.Fatalf("got %d events, want 5", len(events))
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTraceEvents(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadChromeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip: got %d events, want %d", len(back), len(events))
+	}
+	for i, e := range back {
+		if e != events[i] {
+			t.Fatalf("event %d changed in round trip: %+v vs %+v", i, e, events[i])
+		}
+	}
+}
+
+func TestReadChromeTraceBareArray(t *testing.T) {
+	events, err := ReadChromeTrace(strings.NewReader(
+		`[{"name":"seg/2","ph":"X","ts":1,"dur":2,"pid":3,"tid":4},{"name":"meta","ph":"M"}]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Name != "seg/2" || events[0].Pid != 3 {
+		t.Fatalf("bare-array parse: %+v", events)
+	}
+}
+
+func TestRenderEventsASCII(t *testing.T) {
+	var buf bytes.Buffer
+	RenderEventsASCII(&buf, EventsFromSnapshots(sampleSnapshots()), 40)
+	out := buf.String()
+	for _, want := range []string{"rank 0 actor 0", "rank 1 actor 1", "0", "1", ".", "~"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "|"); got != 4 { // 2 lanes × 2 borders
+		t.Fatalf("want 2 lanes (4 pipes), got %d:\n%s", got, out)
+	}
+
+	buf.Reset()
+	RenderEventsASCII(&buf, nil, 40)
+	if !strings.Contains(buf.String(), "(no spans)") {
+		t.Fatalf("empty render: %q", buf.String())
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/collective"
 	"repro/internal/ir"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/schedule"
 	"repro/internal/stage"
@@ -238,6 +239,10 @@ func (m *RemoteMesh) Compile(spec CompileSpec) (*TrainStep, error) {
 	return t, nil
 }
 
+// scDPSync times each actor's data-parallel gradient all-reduce epilogue,
+// attributed to the actor's global ID as the trace lane.
+var scDPSync = obs.Scope("step/dp_sync")
+
 // installDPSync attaches the end-of-step data-parallel gradient all-reduce:
 // for every pipeline actor that owns gradient accumulators, a bucketed ring
 // AllReduce across its replica peers, derived from the "data" axis of the
@@ -289,6 +294,7 @@ func (t *TrainStep) installDPSync(tr runtime.Transport) error {
 			ts := make([]*tensor.Tensor, len(bufs))
 			err = t.exe.SetStepEpilogue(global, func(store *runtime.Store) error {
 				start := time.Now()
+				h := obs.TrackTid(scDPSync, global)
 				for i, b := range bufs {
 					g, err := store.Get(b)
 					if err != nil {
@@ -303,6 +309,7 @@ func (t *TrainStep) installDPSync(tr runtime.Transport) error {
 				if err := comm.AllReduceBucketsInPlace(ts, collective.OpSum, bucketBytes); err != nil {
 					return fmt.Errorf("jaxpp: dp sync: %w", err)
 				}
+				h.Stop()
 				t.dpSyncNanos[global] = time.Since(start).Nanoseconds()
 				return nil
 			})
