@@ -24,6 +24,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/ckpt"
 	"repro/internal/dist"
 	"repro/internal/distrun"
 	"repro/internal/timeline"
@@ -36,6 +37,7 @@ func main() {
 	width := flag.Int("width", 32, "hidden width")
 	steps := flag.Int("steps", 20, "training steps")
 	lr := flag.Float64("lr", 0.5, "learning rate")
+	momentum := flag.Float64("momentum", 0, "heavy-ball momentum coefficient (0 = plain SGD)")
 	schedName := flag.String("schedule", "1f1b", "gpipe or 1f1b")
 	dp := flag.Int("dp", 0, "data-parallel pipeline replicas (0/1 disables)")
 	spmd := flag.Int("spmd", 1, "virtual SPMD devices per actor")
@@ -49,6 +51,15 @@ func main() {
 	profile := flag.Bool("profile", false, "arm the obs registry and log a one-line per-step compute/wire/idle summary")
 	traceOut := flag.String("trace-out", "", "write the executed Chrome trace (all ranks merged) to this path (rank 0 / local only; implies -profile)")
 	stepSleep := flag.Int("step-sleep-ms", 0, "sleep after every step (failure-injection test hook)")
+	ckptDir := flag.String("ckpt-dir", "", "enable rank-sharded checkpointing into this directory (and resume from its newest consistent checkpoint)")
+	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint period in steps (0 = default 10 when -ckpt-dir is set)")
+	elastic := flag.Bool("elastic", false, "with -distributed rank 0: survive worker death by re-rendezvousing a smaller world and resuming from checkpoint")
+	minReplicas := flag.Int("min-replicas", 1, "elastic mode: smallest data-parallel width to keep training with")
+	maxAttempts := flag.Int("max-attempts", 3, "elastic mode: failed training attempts before giving up")
+	joinGrace := flag.Duration("join-grace", 0, "elastic mode: extra wait for late joiners once the minimum world formed (0 = default 3s)")
+	hbInterval := flag.Duration("hb-interval", 0, "heartbeat ping interval (0 = default 1s)")
+	hbMisses := flag.Int("hb-misses", 0, "missed heartbeat intervals before a peer is declared dead (0 = default 5)")
+	resume := flag.String("resume", "", "recover a restarted coordinator from this persisted cluster-state file (overrides job flags with the persisted spec)")
 	coll := flag.Bool("collective", false, "run the wire-collective verification instead of training (ring AllReduce/AllGather/Broadcast, self-checked)")
 	collWorld := flag.Int("world", 8, "collective mode: process-group size")
 	collElems := flag.Int("elems", 1<<17, "collective mode: per-rank all-reduce elements")
@@ -78,16 +89,27 @@ func main() {
 
 	spec := distrun.JobSpec{
 		Stages: *stages, NumMB: *mb, MBRows: *mbRows, Width: *width,
-		Steps: *steps, LR: *lr, Schedule: *schedName,
+		Steps: *steps, LR: *lr, Momentum: *momentum, Schedule: *schedName,
 		DataParallel: *dp, SPMD: *spmd, Seed: *seed, StepSleepMs: *stepSleep,
+		CkptDir: *ckptDir, CkptEvery: *ckptEvery,
 		Profile: *profile || *traceOut != "",
+	}
+	sessOpts := dist.SessionOptions{
+		Transport:         dist.Options{CRC: *crc},
+		HeartbeatInterval: *hbInterval,
+		HeartbeatMisses:   *hbMisses,
+		JoinGrace:         *joinGrace,
 	}
 
 	var rep *distrun.Report
 	var err error
 	switch {
+	case *resume != "":
+		rep, err = runResumed(*resume, sessOpts, *minReplicas, *maxAttempts)
+	case *distributed && *elastic:
+		rep, err = runElastic(spec, *rank, *coordinator, sessOpts, *minReplicas, *maxAttempts)
 	case *distributed:
-		rep, err = runDistributed(spec, *rank, *coordinator, *crc)
+		rep, err = runDistributed(spec, *rank, *coordinator, *crc, sessOpts)
 	case *tcp:
 		var mesh *dist.LocalMesh
 		mesh, err = dist.NewLocalMesh(spec.World(), dist.Options{CRC: *crc})
@@ -107,12 +129,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if rep.Rank != 0 {
+	if rep == nil || rep.Rank != 0 {
 		return // non-coordinator rank: losses live on rank 0
 	}
 	for s, loss := range rep.StepLosses {
+		// Loss histories cover steps StartStep..Steps-1; print absolute
+		// step numbers so a resumed run's output aligns with the original.
 		if s%5 == 0 || s == len(rep.StepLosses)-1 {
-			fmt.Printf("step %3d  loss %.4f\n", s, loss)
+			fmt.Printf("step %3d  loss %.4f\n", rep.StartStep+s, loss)
 		}
 	}
 	if *lossesOut != "" {
@@ -178,10 +202,57 @@ func runCollective(cs distrun.CollectiveSpec, distributed bool, rank int, coordi
 	return distrun.RunJob(sess)
 }
 
+// runElastic runs the coordinator's rendezvous–train–recover loop (rank 0) —
+// non-zero ranks of an elastic job are jaxpp-worker -reconnect daemons, but a
+// rank flag is accepted and routed to the equivalent worker loop for symmetry
+// with -distributed.
+func runElastic(spec distrun.JobSpec, rank int, coordinator string, sessOpts dist.SessionOptions, minReplicas, maxAttempts int) (*distrun.Report, error) {
+	if rank != 0 {
+		sessOpts.WantRank = rank
+		return nil, distrun.RunElasticWorker(coordinator, distrun.WorkerOptions{Session: sessOpts})
+	}
+	opt := distrun.ElasticOptions{
+		CtrlAddr:    coordinator,
+		MinReplicas: minReplicas,
+		MaxAttempts: maxAttempts,
+		Session:     sessOpts,
+		StatePath:   ckpt.DefaultStatePath(spec.CkptDir),
+	}
+	fmt.Printf("elastic coordinator up: world <= %d (min %d replicas × %d stages) at %s\n",
+		spec.World(), minReplicas, spec.Stages, coordinator)
+	return distrun.RunElasticCoordinator(spec, opt, 0)
+}
+
+// runResumed recovers a restarted coordinator from a persisted cluster state:
+// the saved spec and control address override the command line, and the
+// elastic loop continues from the recorded attempt count. Workers running
+// with -reconnect re-join as soon as the rendezvous listener is back.
+func runResumed(statePath string, sessOpts dist.SessionOptions, minReplicas, maxAttempts int) (*distrun.Report, error) {
+	st, err := ckpt.LoadState(statePath)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := distrun.UnmarshalJobSpec(st.Spec)
+	if err != nil {
+		return nil, err
+	}
+	opt := distrun.ElasticOptions{
+		CtrlAddr:    st.CtrlAddr,
+		MinReplicas: minReplicas,
+		MaxAttempts: maxAttempts,
+		Session:     sessOpts,
+		StatePath:   statePath,
+	}
+	fmt.Printf("resuming coordinator from %s: attempt %d, world <= %d at %s\n",
+		statePath, st.Attempt, spec.World(), st.CtrlAddr)
+	return distrun.RunElasticCoordinator(spec, opt, st.Attempt)
+}
+
 // runDistributed bootstraps this process's rank: rank 0 coordinates (and
 // hosts actor 0), other ranks join exactly like a jaxpp-worker would.
-func runDistributed(spec distrun.JobSpec, rank int, coordinator string, crc bool) (*distrun.Report, error) {
-	opts := dist.SessionOptions{Transport: dist.Options{CRC: crc}, WantRank: rank}
+func runDistributed(spec distrun.JobSpec, rank int, coordinator string, crc bool, opts dist.SessionOptions) (*distrun.Report, error) {
+	opts.Transport = dist.Options{CRC: crc}
+	opts.WantRank = rank
 	if rank == 0 {
 		sess, err := dist.Coordinate(coordinator, spec.World(), spec.Marshal(), opts)
 		if err != nil {

@@ -9,16 +9,22 @@
 //
 //	jaxpp-worker -coordinator 127.0.0.1:29400
 //
-// The process exits 0 on job completion, 1 on any error — including a
-// poisoned transport after a peer dies, which surfaces here as an error
-// instead of a hang.
+// With -reconnect the worker is elastic: a job poisoned by a peer's death
+// sends it back to the rendezvous with backoff instead of exiting, and a
+// coordinator release ("world formed without you") is a clean exit 0.
+//
+// The process exits 0 on job completion or release, 1 on any error —
+// including a poisoned transport after a peer dies in non-elastic mode,
+// which surfaces here as an error instead of a hang.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/distrun"
@@ -29,13 +35,40 @@ func main() {
 	rank := flag.Int("rank", 0, "requested rank (0 = let the coordinator assign)")
 	crc := flag.Bool("crc", false, "append CRC32 trailers to wire frames")
 	profile := flag.Bool("profile", false, "log a one-line per-step compute/wire/idle summary on this rank (snapshot shipping still follows the coordinator's job spec)")
+	reconnect := flag.Bool("reconnect", false, "elastic mode: on job failure, re-join the rendezvous instead of exiting")
+	backoff := flag.Duration("reconnect-backoff", 500*time.Millisecond, "elastic mode: initial re-join delay (failed joins back off exponentially to 8x)")
+	maxJoinFailures := flag.Int("max-join-failures", 5, "elastic mode: consecutive failed joins before giving up on the coordinator")
+	hbInterval := flag.Duration("hb-interval", 0, "heartbeat ping interval (0 = default 1s)")
+	hbMisses := flag.Int("hb-misses", 0, "missed heartbeat intervals before a peer is declared dead (0 = default 5)")
 	flag.Parse()
 
-	sess, err := dist.Join(*coordinator, dist.SessionOptions{
-		Transport: dist.Options{CRC: *crc},
-		WantRank:  *rank,
-	})
+	opts := dist.SessionOptions{
+		Transport:         dist.Options{CRC: *crc},
+		WantRank:          *rank,
+		HeartbeatInterval: *hbInterval,
+		HeartbeatMisses:   *hbMisses,
+	}
+	if *reconnect {
+		err := distrun.RunElasticWorker(*coordinator, distrun.WorkerOptions{
+			Session:         opts,
+			Backoff:         *backoff,
+			MaxJoinFailures: *maxJoinFailures,
+			Profile:         *profile,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jaxpp-worker:", err)
+			os.Exit(1)
+		}
+		fmt.Println("jaxpp-worker: done")
+		return
+	}
+
+	sess, err := dist.Join(*coordinator, opts)
 	if err != nil {
+		if errors.Is(err, dist.ErrReleased) {
+			fmt.Println("jaxpp-worker: released by coordinator; exiting")
+			return
+		}
 		log.Fatal(err)
 	}
 	defer sess.Close()

@@ -1,0 +1,279 @@
+package ckpt
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// testState builds a deterministic entry list with awkward values a sloppy
+// codec would mangle: negative zero, denormals, NaN payloads survive only a
+// bit-exact round trip.
+func testState(entries, elems int) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, entries)
+	for e := range out {
+		t := tensor.New(elems)
+		d := t.Data()
+		for i := range d {
+			switch i % 4 {
+			case 0:
+				d[i] = float64(e*1000+i) * 1.25
+			case 1:
+				d[i] = math.Copysign(0, -1)
+			case 2:
+				d[i] = 5e-324 // smallest denormal
+			default:
+				d[i] = -float64(i) / 3
+			}
+		}
+		out[e] = t
+	}
+	return out
+}
+
+// writeWorld writes one complete committed checkpoint as a world of the given
+// size would: every rank's shard, then the manifest.
+func writeWorld(t *testing.T, dir string, step, world int, entries []*tensor.Tensor) {
+	t.Helper()
+	for r := 0; r < world; r++ {
+		if err := WriteShard(dir, step, r, entries, Owned(r, world, len(entries))); err != nil {
+			t.Fatalf("shard %d: %v", r, err)
+		}
+	}
+	m := NewManifest(step, world, 2, 16, len(entries), 0)
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatalf("manifest: %v", err)
+	}
+}
+
+func requireBitEqual(t *testing.T, got, want []*tensor.Tensor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d entries, want %d", len(got), len(want))
+	}
+	for e := range want {
+		gd, wd := got[e].Data(), want[e].Data()
+		if len(gd) != len(wd) {
+			t.Fatalf("entry %d: %d elems, want %d", e, len(gd), len(wd))
+		}
+		for i := range wd {
+			if math.Float64bits(gd[i]) != math.Float64bits(wd[i]) {
+				t.Fatalf("entry %d elem %d: %x != %x", e, i, math.Float64bits(gd[i]), math.Float64bits(wd[i]))
+			}
+		}
+	}
+}
+
+// TestOwnershipPartition pins the round-robin map: every entry has exactly
+// one owner, and the per-rank Owned lists partition the entry range.
+func TestOwnershipPartition(t *testing.T) {
+	const world, entries = 3, 10
+	seen := make([]int, entries)
+	for r := 0; r < world; r++ {
+		for _, e := range Owned(r, world, entries) {
+			if OwnerOf(e, world) != r {
+				t.Fatalf("entry %d owned by rank %d but OwnerOf says %d", e, r, OwnerOf(e, world))
+			}
+			seen[e]++
+		}
+	}
+	for e, n := range seen {
+		if n != 1 {
+			t.Fatalf("entry %d covered %d times", e, n)
+		}
+	}
+}
+
+// TestShardedRoundTripBitIdentical is the core property: a checkpoint written
+// rank-sharded by a world of 3 restores bit-identical, whatever process reads
+// it back.
+func TestShardedRoundTripBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	state := testState(7, 12)
+	writeWorld(t, dir, 42, 3, state)
+
+	m, got, skipped, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped %v on a clean restore", skipped)
+	}
+	if m == nil || m.Step != 42 || m.World != 3 || m.Entries != 7 {
+		t.Fatalf("manifest %+v", m)
+	}
+	requireBitEqual(t, got, state)
+	for _, g := range got {
+		tensor.Recycle(g)
+	}
+}
+
+// TestRestoreDetectsCorruptionAndFallsBack flips one payload byte in the
+// newest checkpoint: the CRC trailer must catch it, and Restore must fall
+// back to the older consistent step instead of returning damaged state.
+func TestRestoreDetectsCorruptionAndFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	old := testState(5, 8)
+	writeWorld(t, dir, 10, 2, old)
+	newer := testState(5, 8)
+	newer[0].Data()[0] = 999 // make the two steps distinguishable
+	writeWorld(t, dir, 20, 2, newer)
+
+	shard := filepath.Join(StepDir(dir, 20), ShardFile(1))
+	data, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40 // flip a bit mid-file (header, dims, or payload)
+	if err := os.WriteFile(shard, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, got, skipped, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || m.Step != 10 {
+		t.Fatalf("restored step %v, want fallback to 10", m)
+	}
+	if len(skipped) != 1 || skipped[0] != 20 {
+		t.Fatalf("skipped %v, want [20]", skipped)
+	}
+	requireBitEqual(t, got, old)
+	for _, g := range got {
+		tensor.Recycle(g)
+	}
+}
+
+// TestRestoreSkipsUncommitted: a step directory with shards but no manifest
+// (the writer died mid-checkpoint) is invisible to recovery.
+func TestRestoreSkipsUncommitted(t *testing.T) {
+	dir := t.TempDir()
+	committed := testState(4, 6)
+	writeWorld(t, dir, 5, 2, committed)
+	torn := testState(4, 6)
+	// Newer step: every shard written, manifest never committed.
+	for r := 0; r < 2; r++ {
+		if err := WriteShard(dir, 9, r, torn, Owned(r, 2, len(torn))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m, got, skipped, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || m.Step != 5 {
+		t.Fatalf("restored %v, want committed step 5", m)
+	}
+	if len(skipped) != 1 || skipped[0] != 9 {
+		t.Fatalf("skipped %v, want [9]", skipped)
+	}
+	requireBitEqual(t, got, committed)
+	for _, g := range got {
+		tensor.Recycle(g)
+	}
+}
+
+// TestRestoreEmptyAndAllCorrupt: no directory and no usable checkpoint both
+// mean "start fresh", not an error.
+func TestRestoreEmptyAndAllCorrupt(t *testing.T) {
+	m, got, skipped, err := Restore(filepath.Join(t.TempDir(), "nonexistent"))
+	if err != nil || m != nil || got != nil || len(skipped) != 0 {
+		t.Fatalf("empty restore: %v %v %v %v", m, got, skipped, err)
+	}
+
+	dir := t.TempDir()
+	writeWorld(t, dir, 3, 1, testState(2, 4))
+	if err := os.Remove(filepath.Join(StepDir(dir, 3), ShardFile(0))); err != nil {
+		t.Fatal(err)
+	}
+	m, got, skipped, err = Restore(dir)
+	if err != nil || m != nil || got != nil {
+		t.Fatalf("all-corrupt restore: %v %v %v", m, got, err)
+	}
+	if len(skipped) != 1 || skipped[0] != 3 {
+		t.Fatalf("skipped %v, want [3]", skipped)
+	}
+}
+
+// TestManifestCompatibility pins what restores across worlds: a different
+// world size is fine (elastic resume), a different model shape or a
+// missing/extra optimizer state is not.
+func TestManifestCompatibility(t *testing.T) {
+	m := NewManifest(7, 4, 2, 16, 3, 0.9)
+	if err := m.Compatible(2, 16, 3, 0.5); err != nil {
+		t.Fatalf("momentum coefficient change rejected: %v", err)
+	}
+	if err := m.Compatible(2, 16, 3, 0); err == nil {
+		t.Fatal("momentum->plain accepted; velocity entries would be orphaned")
+	}
+	if err := m.Compatible(3, 16, 3, 0.9); err == nil {
+		t.Fatal("stage mismatch accepted")
+	}
+	if err := m.Compatible(2, 32, 3, 0.9); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	if m.Entries != 6 {
+		t.Fatalf("momentum manifest has %d entries for 3 params, want 6", m.Entries)
+	}
+}
+
+// TestPruneKeepsFallbackAndInFlight: prune retains the newest keep committed
+// checkpoints plus any newer uncommitted (in-flight) step directory.
+func TestPruneKeepsFallbackAndInFlight(t *testing.T) {
+	dir := t.TempDir()
+	state := testState(2, 4)
+	for _, step := range []int{10, 20, 30} {
+		writeWorld(t, dir, step, 1, state)
+	}
+	// In-flight newest step: shard only.
+	if err := WriteShard(dir, 40, 0, state, Owned(0, 1, len(state))); err != nil {
+		t.Fatal(err)
+	}
+	if err := Prune(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	for step, want := range map[int]bool{10: false, 20: true, 30: true, 40: true} {
+		_, err := os.Stat(StepDir(dir, step))
+		if got := err == nil; got != want {
+			t.Fatalf("step %d present=%v, want %v", step, got, want)
+		}
+	}
+}
+
+// TestClusterStateRoundTrip pins the coordinator recovery record.
+func TestClusterStateRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), StateFileName)
+	st := &ClusterState{
+		CtrlAddr: "127.0.0.1:29400",
+		World:    5, MinWorld: 2, Attempt: 3,
+		Book:    map[int]string{0: "a:1", 1: "b:2"},
+		Pinned:  []int{1},
+		Spec:    []byte(`{"stages":1}`),
+		CkptDir: "/tmp/ckpt",
+	}
+	if err := SaveState(path, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CtrlAddr != st.CtrlAddr || got.World != 5 || got.Attempt != 3 || got.Book[1] != "b:2" || got.CkptDir != st.CkptDir {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if got.Version != Version || got.UpdatedAtUnix == 0 {
+		t.Fatalf("stamps missing: %+v", got)
+	}
+	// Damaged or incomplete states are rejected, not half-loaded.
+	if err := os.WriteFile(path, []byte(`{"world":3}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadState(path); err == nil {
+		t.Fatal("state without ctrl_addr/spec accepted")
+	}
+}

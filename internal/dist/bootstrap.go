@@ -3,8 +3,10 @@ package dist
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,7 +24,7 @@ import (
 
 // Control-plane message. One JSON object per line.
 type ctrlMsg struct {
-	Type string `json:"type"` // hello, welcome, ready, start, ping, pong, barrier, barrier_ok, prof, bye, fail
+	Type string `json:"type"` // hello, welcome, ready, start, ping, pong, barrier, barrier_ok, prof, bye, fail, release
 	Addr string `json:"addr,omitempty"`
 	Rank int    `json:"rank,omitempty"`
 	// WantRank is the worker's requested rank in a hello; -1 lets the
@@ -40,10 +42,23 @@ type ctrlMsg struct {
 const (
 	// HeartbeatInterval is how often liveness pings travel each control conn.
 	HeartbeatInterval = 1 * time.Second
-	// HeartbeatTimeout is how long a silent peer stays trusted. Three missed
-	// intervals plus slack: slow CI machines jitter, dead processes don't.
-	HeartbeatTimeout = 5 * time.Second
+	// DefaultHeartbeatMisses is how many silent intervals a peer is granted
+	// before it is declared dead: slow CI machines jitter, dead processes
+	// don't. The effective timeout is interval × misses.
+	DefaultHeartbeatMisses = 5
+	// HeartbeatTimeout is the default silence budget
+	// (HeartbeatInterval × DefaultHeartbeatMisses).
+	HeartbeatTimeout = HeartbeatInterval * DefaultHeartbeatMisses
+	// DefaultJoinGrace is how long a flexible rendezvous keeps admitting
+	// late joiners once the minimum world has formed; the window restarts on
+	// every join, so a steadily arriving pool is never cut off mid-stream.
+	DefaultJoinGrace = 3 * time.Second
 )
+
+// ErrReleased is returned by Join when the coordinator formed a smaller world
+// than the joined pool and this worker was not seated — a clean "not needed",
+// not a failure. Elastic workers exit 0 on it.
+var ErrReleased = errors.New("dist: released by coordinator (not needed in the formed world)")
 
 // SessionOptions configures bootstrap.
 type SessionOptions struct {
@@ -52,13 +67,23 @@ type SessionOptions struct {
 	// RendezvousTimeout bounds the whole bootstrap (default 60s).
 	RendezvousTimeout time.Duration
 	// HeartbeatInterval / HeartbeatTimeout override the defaults (tests use
-	// short ones). Zero keeps the package defaults.
+	// short ones). Zero keeps the package defaults; a zero HeartbeatTimeout
+	// is derived as HeartbeatInterval × HeartbeatMisses.
 	HeartbeatInterval time.Duration
 	HeartbeatTimeout  time.Duration
+	// HeartbeatMisses is the miss threshold the timeout is derived from when
+	// HeartbeatTimeout is zero (default DefaultHeartbeatMisses).
+	HeartbeatMisses int
 	// WantRank requests a specific rank when joining (-1 or 0-value accepts
 	// coordinator assignment; Join treats 0 as "any" since rank 0 is the
 	// coordinator itself).
 	WantRank int
+	// MinWorld is the smallest world a flexible rendezvous may form
+	// (CoordinateFlexible only; zero means the full requested world, i.e.
+	// strict). JoinGrace is how long to keep admitting joiners once MinWorld
+	// is met, restarted on every join (zero = DefaultJoinGrace).
+	MinWorld  int
+	JoinGrace time.Duration
 }
 
 func (o *SessionOptions) fill() {
@@ -68,8 +93,14 @@ func (o *SessionOptions) fill() {
 	if o.HeartbeatInterval == 0 {
 		o.HeartbeatInterval = HeartbeatInterval
 	}
+	if o.HeartbeatMisses <= 0 {
+		o.HeartbeatMisses = DefaultHeartbeatMisses
+	}
 	if o.HeartbeatTimeout == 0 {
-		o.HeartbeatTimeout = HeartbeatTimeout
+		o.HeartbeatTimeout = o.HeartbeatInterval * time.Duration(o.HeartbeatMisses)
+	}
+	if o.JoinGrace == 0 {
+		o.JoinGrace = DefaultJoinGrace
 	}
 }
 
@@ -80,9 +111,15 @@ type Session struct {
 	Rank      int
 	World     int
 	Transport *Transport
-	// Job is the coordinator-provided job payload (nil on the coordinator,
-	// which already has it).
+	// Job is the coordinator-provided job payload (on the coordinator, the
+	// payload it distributed — flexible rendezvous sizes it to the world that
+	// actually formed).
 	Job json.RawMessage
+	// Book is the data-plane address book the mesh formed with, and Pinned
+	// lists the operator-pinned ranks — both recorded for cluster-state
+	// persistence (populated on the coordinator).
+	Book   map[int]string
+	Pinned []int
 
 	opts SessionOptions
 
@@ -170,9 +207,26 @@ func (cc *ctrlConn) silentFor() time.Duration {
 // distributes the address book and job payload, and runs the start barrier.
 // The returned session's transport is connected and ready for traffic.
 func Coordinate(ctrlAddr string, world int, job []byte, opts SessionOptions) (*Session, error) {
+	opts.MinWorld = world // strict: the full world or nothing
+	return CoordinateFlexible(ctrlAddr, world, opts, func(int) (int, []byte) { return world, job })
+}
+
+// CoordinateFlexible is the elastic rendezvous: it admits up to maxWorld-1
+// workers, but once opts.MinWorld-1 have joined and no new joiner arrives
+// within opts.JoinGrace, it forms the world from whoever is present. jobFor
+// receives the final process count (joined workers + this coordinator) and
+// returns the world size to seat (≤ procs; the remainder are released with a
+// clean "not needed") plus the job payload for that world — the hook that
+// lets a shrinking training job re-derive its data-parallel width. jobFor
+// returning world < 1 aborts the rendezvous (no viable topology).
+func CoordinateFlexible(ctrlAddr string, maxWorld int, opts SessionOptions, jobFor func(procs int) (int, []byte)) (*Session, error) {
 	opts.fill()
-	if world < 1 {
-		return nil, fmt.Errorf("dist: world size %d", world)
+	if maxWorld < 1 {
+		return nil, fmt.Errorf("dist: world size %d", maxWorld)
+	}
+	minJoin := opts.MinWorld - 1
+	if opts.MinWorld <= 0 || minJoin > maxWorld-1 {
+		minJoin = maxWorld - 1
 	}
 	tr, err := NewTransport(0, opts.Transport)
 	if err != nil {
@@ -183,10 +237,9 @@ func Coordinate(ctrlAddr string, world int, job []byte, opts SessionOptions) (*S
 		tr.Close()
 		return nil, fmt.Errorf("dist: coordinator listen %s: %w", ctrlAddr, err)
 	}
-	s := &Session{Rank: 0, World: world, Transport: tr, opts: opts, ctrlLn: ln}
+	s := &Session{Rank: 0, Transport: tr, opts: opts, ctrlLn: ln}
 	deadline := time.Now().Add(opts.RendezvousTimeout)
 
-	book := map[int]string{0: tr.Addr()}
 	pinned := map[int]bool{0: true}
 	var pending []*ctrlConn
 	addrs := map[*ctrlConn]string{}
@@ -202,14 +255,28 @@ func Coordinate(ctrlAddr string, world int, job []byte, opts SessionOptions) (*S
 		}
 		s.close(nil)
 	}
-	for len(pending) < world-1 {
+	lastJoin := time.Now()
+	for len(pending) < maxWorld-1 {
+		// Past the minimum, each accept only waits out the join-grace window
+		// (measured from the last join): an elastic reform proceeds with the
+		// survivors instead of blocking the full rendezvous timeout on a
+		// worker that is never coming back.
+		accDeadline := deadline
+		if len(pending) >= minJoin {
+			if g := lastJoin.Add(opts.JoinGrace); g.Before(accDeadline) {
+				accDeadline = g
+			}
+		}
 		if tcpLn, ok := ln.(*net.TCPListener); ok {
-			tcpLn.SetDeadline(deadline)
+			tcpLn.SetDeadline(accDeadline)
 		}
 		conn, err := ln.Accept()
 		if err != nil {
-			failPending(fmt.Sprintf("rendezvous aborted: %d of %d workers joined before timeout", len(pending), world-1))
-			return nil, fmt.Errorf("dist: rendezvous accept: %w (joined %d of %d workers)", err, len(pending), world-1)
+			if len(pending) >= minJoin {
+				break // grace expired with a viable pool: form the world
+			}
+			failPending(fmt.Sprintf("rendezvous aborted: %d of %d workers joined before timeout", len(pending), maxWorld-1))
+			return nil, fmt.Errorf("dist: rendezvous accept: %w (joined %d of %d workers)", err, len(pending), maxWorld-1)
 		}
 		cc := newCtrlConn(conn)
 		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
@@ -219,13 +286,13 @@ func Coordinate(ctrlAddr string, world int, job []byte, opts SessionOptions) (*S
 			continue // not a worker hello; ignore strays
 		}
 		conn.SetReadDeadline(time.Time{})
-		if m.WantRank > 0 && (m.WantRank >= world || pinned[m.WantRank]) {
+		if m.WantRank > 0 && (m.WantRank >= maxWorld || pinned[m.WantRank]) {
 			// An explicitly requested rank that conflicts with another pin or
 			// lies outside the world is an operator error (two processes
 			// pinned to the same rank) — reject loudly rather than silently
 			// reassigning and running a topology the operator did not ask
 			// for.
-			cc.send(ctrlMsg{Type: "fail", Err: fmt.Sprintf("requested rank %d unavailable (world %d)", m.WantRank, world)})
+			cc.send(ctrlMsg{Type: "fail", Err: fmt.Sprintf("requested rank %d unavailable (world %d)", m.WantRank, maxWorld)})
 			conn.Close()
 			continue
 		}
@@ -239,7 +306,44 @@ func Coordinate(ctrlAddr string, world int, job []byte, opts SessionOptions) (*S
 		}
 		addrs[cc] = m.Addr
 		pending = append(pending, cc)
+		lastJoin = time.Now()
 	}
+
+	world, job := jobFor(len(pending) + 1)
+	if world < 1 || world > len(pending)+1 {
+		failPending(fmt.Sprintf("rendezvous aborted: no viable world for %d processes", len(pending)+1))
+		return nil, fmt.Errorf("dist: no viable world for %d processes (job reported %d)", len(pending)+1, world)
+	}
+	// Seat world-1 workers: pinned ranks that fit the formed world first
+	// (their slots are reserved), then unpinned joiners in arrival order.
+	// Everyone else is released — a clean "not needed", not a failure — and
+	// told so before the welcomes go out.
+	var seated, released []*ctrlConn
+	for _, cc := range pending {
+		if cc.rank > 0 && cc.rank < world {
+			seated = append(seated, cc)
+		}
+	}
+	for _, cc := range pending {
+		if cc.rank < 0 && len(seated) < world-1 {
+			seated = append(seated, cc)
+		} else if cc.rank < 0 || cc.rank >= world {
+			released = append(released, cc)
+		}
+	}
+	if len(seated) != world-1 {
+		failPending(fmt.Sprintf("rendezvous aborted: %d seatable workers for world %d", len(seated), world))
+		return nil, fmt.Errorf("dist: %d seatable workers for world %d (conflicting rank pins?)", len(seated), world)
+	}
+	for _, cc := range released {
+		cc.send(ctrlMsg{Type: "release", Err: fmt.Sprintf("world formed at %d; not needed", world)})
+		cc.c.Close()
+	}
+	pending = seated
+	s.World = world
+	s.Job = job
+
+	book := map[int]string{0: tr.Addr()}
 	next := 1
 	for _, cc := range pending {
 		if cc.rank < 0 {
@@ -251,6 +355,13 @@ func Coordinate(ctrlAddr string, world int, job []byte, opts SessionOptions) (*S
 		}
 		book[cc.rank] = addrs[cc]
 	}
+	s.Book = book
+	for r := range pinned {
+		if r != 0 {
+			s.Pinned = append(s.Pinned, r)
+		}
+	}
+	sort.Ints(s.Pinned)
 	// Welcome every worker with the complete book, collect readiness, start.
 	for _, cc := range pending {
 		if err := cc.send(ctrlMsg{Type: "welcome", Rank: cc.rank, World: world, Book: book, Job: job}); err != nil {
@@ -324,6 +435,11 @@ func Join(ctrlAddr string, opts SessionOptions) (*Session, error) {
 		conn.Close()
 		tr.Close()
 		return nil, fmt.Errorf("dist: coordinator rejected join: %s", m.Err)
+	}
+	if m.Type == "release" {
+		conn.Close()
+		tr.Close()
+		return nil, fmt.Errorf("%w: %s", ErrReleased, m.Err)
 	}
 	if m.Type != "welcome" {
 		conn.Close()

@@ -1,0 +1,267 @@
+package dist
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// TestSessionOptionDefaults pins the tuning contract flags and JobSpecs rely
+// on: the package defaults themselves, and the interval×misses derivation of
+// the heartbeat timeout.
+func TestSessionOptionDefaults(t *testing.T) {
+	var o SessionOptions
+	o.fill()
+	if o.HeartbeatInterval != 1*time.Second {
+		t.Fatalf("default heartbeat interval %v, want 1s", o.HeartbeatInterval)
+	}
+	if o.HeartbeatMisses != 5 {
+		t.Fatalf("default heartbeat misses %d, want 5", o.HeartbeatMisses)
+	}
+	if o.HeartbeatTimeout != 5*time.Second {
+		t.Fatalf("default heartbeat timeout %v, want 5s (interval × misses)", o.HeartbeatTimeout)
+	}
+	if o.JoinGrace != 3*time.Second {
+		t.Fatalf("default join grace %v, want 3s", o.JoinGrace)
+	}
+	if o.RendezvousTimeout != 60*time.Second {
+		t.Fatalf("default rendezvous timeout %v, want 60s", o.RendezvousTimeout)
+	}
+
+	o = SessionOptions{HeartbeatInterval: 100 * time.Millisecond, HeartbeatMisses: 3}
+	o.fill()
+	if o.HeartbeatTimeout != 300*time.Millisecond {
+		t.Fatalf("derived heartbeat timeout %v, want interval × misses = 300ms", o.HeartbeatTimeout)
+	}
+	// An explicit timeout wins over the derivation.
+	o = SessionOptions{HeartbeatTimeout: 2 * time.Second, HeartbeatMisses: 100}
+	o.fill()
+	if o.HeartbeatTimeout != 2*time.Second {
+		t.Fatalf("explicit heartbeat timeout overridden: %v", o.HeartbeatTimeout)
+	}
+}
+
+// flexOpts is the fast tuning the flexible-rendezvous tests share.
+func flexOpts() SessionOptions {
+	return SessionOptions{
+		RendezvousTimeout: 20 * time.Second,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+		JoinGrace:         300 * time.Millisecond,
+		Transport:         Options{RecvTimeout: 10 * time.Second},
+	}
+}
+
+func joinRetry(addr string, o SessionOptions) (*Session, error) {
+	var s *Session
+	var err error
+	for i := 0; i < 150; i++ {
+		s, err = Join(addr, o)
+		if err == nil || !strings.Contains(err.Error(), "connect") {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return s, err
+}
+
+// TestFlexibleRendezvousFormsSmallerWorld: a coordinator asking for up to 4
+// processes but accepting 2 forms a 2-world once the join-grace window
+// expires with only one worker present — the elastic reform path.
+func TestFlexibleRendezvousFormsSmallerWorld(t *testing.T) {
+	opts := flexOpts()
+	opts.MinWorld = 2
+	addr := freeAddr(t)
+
+	var worker *Session
+	var workerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		worker, workerErr = joinRetry(addr, opts)
+	}()
+	var sawProcs int
+	sess, err := CoordinateFlexible(addr, 4, opts, func(procs int) (int, []byte) {
+		sawProcs = procs
+		return procs, []byte(`{"n":1}`)
+	})
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("flexible coordinate: %v", err)
+	}
+	defer sess.Close()
+	if workerErr != nil {
+		t.Fatalf("worker join: %v", workerErr)
+	}
+	defer worker.Close()
+	if sawProcs != 2 || sess.World != 2 || worker.World != 2 {
+		t.Fatalf("formed world %d/%d (jobFor saw %d procs), want 2", sess.World, worker.World, sawProcs)
+	}
+	if len(sess.Book) != 2 || sess.Book[0] == "" || sess.Book[1] == "" {
+		t.Fatalf("address book %v, want both ranks", sess.Book)
+	}
+	if string(sess.Job) != `{"n":1}` || string(worker.Job) != `{"n":1}` {
+		t.Fatalf("job payloads %q / %q", sess.Job, worker.Job)
+	}
+}
+
+// TestFlexibleRendezvousReleasesSurplus: when jobFor sizes the world below
+// the joined pool, the unseated workers get a clean release (ErrReleased),
+// not a failure, and the seated world trains normally.
+func TestFlexibleRendezvousReleasesSurplus(t *testing.T) {
+	opts := flexOpts()
+	opts.MinWorld = 4
+	addr := freeAddr(t)
+
+	const joiners = 3
+	errs := make([]error, joiners)
+	var wg sync.WaitGroup
+	for w := 0; w < joiners; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := joinRetry(addr, opts)
+			errs[w] = err
+			if s != nil {
+				t.Cleanup(func() { s.Close() })
+			}
+		}(w)
+	}
+	sess, err := CoordinateFlexible(addr, 4, opts, func(procs int) (int, []byte) {
+		if procs != 4 {
+			t.Errorf("jobFor saw %d procs, want 4", procs)
+		}
+		return 2, nil // seat half the pool
+	})
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("flexible coordinate: %v", err)
+	}
+	defer sess.Close()
+	if sess.World != 2 {
+		t.Fatalf("world %d, want 2", sess.World)
+	}
+	released := 0
+	for w, jerr := range errs {
+		if jerr == nil {
+			continue
+		}
+		if !errors.Is(jerr, ErrReleased) {
+			t.Fatalf("worker %d join failed with %v, want ErrReleased", w, jerr)
+		}
+		released++
+	}
+	if released != 2 {
+		t.Fatalf("%d workers released, want 2", released)
+	}
+}
+
+// TestCoordinatorFailureFanOutOrdering pins the fan-out sequence a worker
+// death triggers: the coordinator poisons its own data plane first (fail sees
+// Transport.Poison before any control sends), then relays the failure to
+// every surviving worker, whose transports poison with the coordinator-
+// reported cause even though no data-plane stream from the victim exists.
+func TestCoordinatorFailureFanOutOrdering(t *testing.T) {
+	sessions := testWorld(t, 4, nil)
+	coord := sessions[0]
+
+	sessions[3].Abort() // SIGKILL-faithful: both planes slam shut, no goodbye
+
+	waitPoisoned := func(s *Session, who string) error {
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if err := s.Transport.Err(); err != nil {
+				return err
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("%s transport never poisoned after worker death", who)
+		return nil
+	}
+	coordErr := waitPoisoned(coord, "coordinator")
+	if !strings.Contains(coordErr.Error(), "rank 3") {
+		t.Fatalf("coordinator poison cause %q does not name the dead rank", coordErr)
+	}
+	// Survivors 1 and 2 have no direct data-plane stream from rank 3; only
+	// the coordinator's fail relay can poison them — and because fail poisons
+	// the coordinator before sending, the relayed cause must already carry
+	// the dead rank's identity.
+	for _, r := range []int{1, 2} {
+		err := waitPoisoned(sessions[r], "survivor")
+		if !strings.Contains(err.Error(), "coordinator reported failure") && !strings.Contains(err.Error(), "rank 3") {
+			t.Fatalf("rank %d poison cause %q is neither a relay nor names the dead rank", r, err)
+		}
+	}
+}
+
+// TestPoisonPropagationUnderConcurrentSends hammers a transport with
+// concurrent senders while the peer dies abruptly, under the race detector:
+// sends must stay safe (no panic, no race) against the asynchronous poison,
+// every pending and future receive must error, and the poison cause must
+// stick (first writer wins, not last).
+func TestPoisonPropagationUnderConcurrentSends(t *testing.T) {
+	a, err := NewTransport(0, Options{RecvTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTransport(1, Options{RecvTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	book := map[int]string{0: a.Addr(), 1: b.Addr()}
+	a.Connect(book)
+	b.Connect(book)
+
+	// Establish the a→b stream so the senders write into a live conn.
+	a.Send(0, 1, 1, tensor.Scalar(1))
+	if got, err := b.Recv(1, 0, 1); err != nil {
+		t.Fatal(err)
+	} else {
+		tensor.Recycle(got)
+	}
+
+	const senders, perSender = 8, 200
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perSender; i++ {
+				// Unique tags: nothing ever receives these; the point is the
+				// sender worker racing the poison.
+				a.Send(0, 1, 10_000+g*perSender+i, tensor.Scalar(float64(i)))
+			}
+		}(g)
+	}
+	close(start)
+	b.Abort() // peer dies mid-hammer
+	wg.Wait()
+
+	// A send into a dead peer must have poisoned a (the sender worker's write
+	// fails); poll briefly since the mailbox drains asynchronously.
+	deadline := time.Now().Add(10 * time.Second)
+	for a.Err() == nil && time.Now().Before(deadline) {
+		a.Send(0, 1, 5, tensor.Scalar(9)) // keep traffic flowing at the broken conn
+		time.Sleep(10 * time.Millisecond)
+	}
+	first := a.Err()
+	if first == nil {
+		t.Fatal("transport never poisoned despite sends into a dead peer")
+	}
+	if _, err := a.Recv(0, 1, 99); err == nil {
+		t.Fatal("recv succeeded on a poisoned transport")
+	}
+	// Poison cause is stable: later failures must not overwrite the first.
+	a.Poison(errors.New("late cause"))
+	if got := a.Err(); got == nil || got.Error() != first.Error() {
+		t.Fatalf("poison cause changed from %q to %q", first, got)
+	}
+}

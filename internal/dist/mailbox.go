@@ -62,12 +62,25 @@ func NewMailboxDrain[T any](bound int, sink func(T), onDrain func()) *Mailbox[T]
 
 // Put enqueues an item. It never blocks; ordering is FIFO per mailbox.
 // Put panics if the mailbox has been stopped or the bound is exceeded —
-// both are programming errors, not load conditions.
+// both are programming errors, not load conditions. Producers that can
+// legitimately race a teardown use TryPut instead.
 func (m *Mailbox[T]) Put(it T) {
+	if !m.TryPut(it) {
+		panic("dist: Put on a stopped mailbox")
+	}
+}
+
+// TryPut is Put for producers that race a teardown: it reports false instead
+// of panicking when the mailbox has already been stopped (the caller owns the
+// item again and must release it). A transport send in flight while the
+// endpoint shuts down lands here — the frame can never reach the wire, so
+// dropping it is the correct outcome, not a bug. Overflow is still a
+// programming error and still panics.
+func (m *Mailbox[T]) TryPut(it T) bool {
 	m.mu.Lock()
 	if m.stopped {
 		m.mu.Unlock()
-		panic("dist: Put on a stopped mailbox")
+		return false
 	}
 	if len(m.queue) >= m.bound {
 		n := len(m.queue)
@@ -80,6 +93,7 @@ func (m *Mailbox[T]) Put(it T) {
 	case m.wake <- struct{}{}:
 	default:
 	}
+	return true
 }
 
 // Len reports the items enqueued but not yet swapped out by the worker — the

@@ -352,7 +352,13 @@ func (t *Transport) Send(from, to, tag int, ten *tensor.Tensor) {
 	he.StopBytes(int64(len(frame)))
 	obs.Add(cFramesSent, 1)
 	obs.Add(cBytesSent, int64(len(frame)))
-	pl.mb.Put(frame)
+	if !pl.mb.TryPut(frame) {
+		// Teardown raced this send: the endpoint is shutting down and the
+		// frame can never reach the wire. Drop it — the peer's broken stream
+		// (or the poison that triggered the close) carries the failure.
+		recycleFrameBuf(frame)
+		return
+	}
 	if obs.Enabled() {
 		obs.Observe(scSendQueue, int64(pl.mb.Len()))
 	}

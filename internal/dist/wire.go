@@ -61,6 +61,22 @@ const (
 	headerFixed = 4 + 1 + 1 + 1 + 1 + 4 + 4 + 8 + 1 + 1 // through rank byte
 )
 
+// KindData is the data-frame kind, exported for non-transport users of the
+// codec (checkpoint shard files reuse the wire format verbatim, so a shard
+// gets the same CRC coverage and zero-copy pooled decode as a socket frame).
+const KindData = frameData
+
+// WriteFrame encodes header + data and writes the complete frame to w in one
+// call, returning the staging buffer to the frame pool afterwards. It is the
+// io.Writer counterpart of the transport's send path, shared by checkpoint
+// shard writers.
+func WriteFrame(w io.Writer, h *Header, data []float64, withCRC bool) error {
+	buf := EncodeFrame(h, data, withCRC)
+	_, err := w.Write(buf)
+	putFrameBuf(buf)
+	return err
+}
+
 // DType identifies the element encoding of a frame payload.
 type DType uint8
 

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	jaxpp "repro"
+	"repro/internal/ckpt"
 	"repro/internal/collective"
 	"repro/internal/dist"
 	"repro/internal/obs"
@@ -51,17 +52,33 @@ var (
 type JobSpec struct {
 	// Kind discriminates rendezvous job payloads ("" or "train" is a
 	// training job); RunJob dispatches on it.
-	Kind         string  `json:"kind,omitempty"`
-	Stages       int     `json:"stages"`
-	NumMB        int     `json:"num_mb"`
-	MBRows       int     `json:"mb_rows"`
-	Width        int     `json:"width"`
-	Steps        int     `json:"steps"`
-	LR           float64 `json:"lr"`
+	Kind   string  `json:"kind,omitempty"`
+	Stages int     `json:"stages"`
+	NumMB  int     `json:"num_mb"`
+	MBRows int     `json:"mb_rows"`
+	Width  int     `json:"width"`
+	Steps  int     `json:"steps"`
+	LR     float64 `json:"lr"`
+	// Momentum enables heavy-ball SGD (v ← μ·v + g; p ← p − lr·v) when
+	// nonzero — real optimizer state for checkpoints to carry alongside the
+	// parameters. Zero keeps plain SGD.
+	Momentum     float64 `json:"momentum,omitempty"`
 	Schedule     string  `json:"schedule"`      // "gpipe" or "1f1b"
 	DataParallel int     `json:"data_parallel"` // replicas; 0 or 1 disables
 	SPMD         int     `json:"spmd"`          // virtual SPMD devices per actor; 0/1 disables
 	Seed         uint64  `json:"seed"`
+	// CkptDir enables rank-sharded checkpointing when nonempty: every
+	// CkptEvery completed steps each rank writes its owned slice of the
+	// training state (round-robin over the world) as wire-codec frames, a
+	// barrier fences durability, and rank 0 commits the step with a manifest
+	// (see package ckpt). On start, every rank independently restores the
+	// newest consistent checkpoint and the job resumes at its step. The
+	// directory must be reachable by every rank (one host, or a shared
+	// filesystem).
+	CkptDir string `json:"ckpt_dir,omitempty"`
+	// CkptEvery is the checkpoint period in steps (default 0 = only if
+	// CkptDir is set, every 10 steps).
+	CkptEvery int `json:"ckpt_every,omitempty"`
 	// StepSleepMs inserts an artificial pause after every step on every
 	// rank — test instrumentation that stretches a job out so failure
 	// injection (worker kill) has a stable window to land in.
@@ -179,10 +196,25 @@ func RunJobProfiled(sess *dist.Session, localProfile bool) error {
 	}
 }
 
+// ckptEvery resolves the checkpoint period: explicit when set, a default of
+// 10 steps when checkpointing is enabled without one, 0 when disabled.
+func (s JobSpec) ckptEvery() int {
+	if s.CkptDir == "" {
+		return 0
+	}
+	if s.CkptEvery > 0 {
+		return s.CkptEvery
+	}
+	return 10
+}
+
 // Report is a job's outcome on one rank.
 type Report struct {
 	Rank  int
 	World int
+	// StartStep is the optimizer step the job resumed from (0 for a fresh
+	// start): the loss/param histories below cover steps StartStep..Steps-1.
+	StartStep int
 	// MBLosses[step] holds the per-microbatch losses of that step in global
 	// (replica-major) microbatch order. Populated on rank 0 only — workers
 	// ship their losses to the coordinator.
@@ -325,6 +357,137 @@ func ApplySGDInto(dst, params, grads []*jaxpp.Tensor, lr float64) error {
 	return nil
 }
 
+// ApplyMomentumInto runs one fused heavy-ball step elementwise: velocity
+// updates in place (v ← mu·v + g) and dst receives params − lr·v. Every rank
+// runs this identical loop over identical inputs, so parameter and velocity
+// trajectories agree bit for bit — the property that lets checkpoints of
+// either be rank-sharded arbitrarily.
+func ApplyMomentumInto(dst, params, grads, vel []*jaxpp.Tensor, lr, mu float64) error {
+	if len(dst) != len(params) || len(grads) != len(params) || len(vel) != len(params) {
+		return fmt.Errorf("distrun: momentum arity mismatch: %d dst, %d params, %d grads, %d vel", len(dst), len(params), len(grads), len(vel))
+	}
+	for i := range params {
+		pd, gd, dd, vd := params[i].Data(), grads[i].Data(), dst[i].Data(), vel[i].Data()
+		if len(pd) != len(gd) || len(pd) != len(dd) || len(pd) != len(vd) {
+			return fmt.Errorf("distrun: momentum size mismatch at %d", i)
+		}
+		for j, g := range gd {
+			v := mu*vd[j] + g
+			vd[j] = v
+			dd[j] = pd[j] - lr*v
+		}
+	}
+	return nil
+}
+
+// applyUpdate dispatches the optimizer step the spec selects.
+func applyUpdate(spec JobSpec, dst, params, grads, vel []*jaxpp.Tensor) error {
+	if spec.Momentum != 0 {
+		return ApplyMomentumInto(dst, params, grads, vel, spec.LR, spec.Momentum)
+	}
+	return ApplySGDInto(dst, params, grads, spec.LR)
+}
+
+// newVelocity allocates zeroed momentum buffers (nil when momentum is off —
+// plain SGD carries no optimizer state).
+func newVelocity(spec JobSpec, params []*jaxpp.Tensor) []*jaxpp.Tensor {
+	if spec.Momentum == 0 {
+		return nil
+	}
+	vel := make([]*jaxpp.Tensor, len(params))
+	for i, p := range params {
+		vel[i] = jaxpp.NewTensor(p.Shape()...)
+	}
+	return vel
+}
+
+// stateEntries flattens the driver-held training state into the checkpoint
+// entry list: parameters first, then velocities when momentum is on. The
+// order is part of the on-disk contract (manifest Entries counts it).
+func stateEntries(params, vel []*jaxpp.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, 0, len(params)+len(vel))
+	out = append(out, params...)
+	return append(out, vel...)
+}
+
+// restoreState loads the newest consistent checkpoint under spec.CkptDir into
+// the already-allocated params/vel buffers and returns the step to resume at
+// (0 when no usable checkpoint exists — fresh start). Every rank calls this
+// independently; the caller is responsible for cross-rank agreement on the
+// returned step.
+func restoreState(spec JobSpec, rank int, params, vel []*jaxpp.Tensor) (int, error) {
+	m, entries, skipped, err := ckpt.Restore(spec.CkptDir)
+	if err != nil {
+		return 0, fmt.Errorf("distrun: rank %d restore: %w", rank, err)
+	}
+	for _, s := range skipped {
+		log.Printf("distrun: rank %d skipped unusable checkpoint step %d under %s", rank, s, spec.CkptDir)
+	}
+	if m == nil {
+		return 0, nil
+	}
+	defer func() {
+		for _, t := range entries {
+			tensor.Recycle(t)
+		}
+	}()
+	if err := m.Compatible(spec.Stages, spec.Width, len(params), spec.Momentum); err != nil {
+		return 0, fmt.Errorf("distrun: rank %d: %w", rank, err)
+	}
+	for i, p := range params {
+		p.CopyFrom(entries[i].Data())
+	}
+	for i, v := range vel {
+		v.CopyFrom(entries[len(params)+i].Data())
+	}
+	log.Printf("distrun: rank %d restored checkpoint step %d (world %d wrote it)", rank, m.Step, m.World)
+	return m.Step, nil
+}
+
+// saveCheckpoint writes this rank's shard of the state at the given completed
+// step, barriers so every shard is durable, and has rank 0 commit the step
+// with its manifest and prune old checkpoints. A checkpoint failure is a job
+// failure: half-checkpointing silently would turn the next recovery into a
+// rollback surprise.
+func saveCheckpoint(sess *dist.Session, spec JobSpec, step int, params, vel []*jaxpp.Tensor) error {
+	entries := stateEntries(params, vel)
+	owned := ckpt.Owned(sess.Rank, sess.World, len(entries))
+	if err := ckpt.WriteShard(spec.CkptDir, step, sess.Rank, entries, owned); err != nil {
+		return fmt.Errorf("distrun: rank %d checkpoint step %d: %w", sess.Rank, step, err)
+	}
+	if err := sess.Barrier(); err != nil {
+		return fmt.Errorf("distrun: rank %d checkpoint barrier step %d: %w", sess.Rank, step, err)
+	}
+	if sess.Rank != 0 {
+		return nil
+	}
+	m := ckpt.NewManifest(step, sess.World, spec.Stages, spec.Width, len(params), spec.Momentum)
+	if err := ckpt.WriteManifest(spec.CkptDir, m); err != nil {
+		return fmt.Errorf("distrun: commit checkpoint step %d: %w", step, err)
+	}
+	if err := ckpt.Prune(spec.CkptDir, 0); err != nil {
+		return fmt.Errorf("distrun: prune checkpoints: %w", err)
+	}
+	return nil
+}
+
+// saveCheckpointLocal is saveCheckpoint for the single-process runner: one
+// shard (rank 0 owns every entry), immediately committed.
+func saveCheckpointLocal(spec JobSpec, step int, params, vel []*jaxpp.Tensor) error {
+	entries := stateEntries(params, vel)
+	if err := ckpt.WriteShard(spec.CkptDir, step, 0, entries, ckpt.Owned(0, 1, len(entries))); err != nil {
+		return fmt.Errorf("distrun: local checkpoint step %d: %w", step, err)
+	}
+	m := ckpt.NewManifest(step, 1, spec.Stages, spec.Width, len(params), spec.Momentum)
+	if err := ckpt.WriteManifest(spec.CkptDir, m); err != nil {
+		return fmt.Errorf("distrun: commit local checkpoint step %d: %w", step, err)
+	}
+	if err := ckpt.Prune(spec.CkptDir, 0); err != nil {
+		return fmt.Errorf("distrun: prune checkpoints: %w", err)
+	}
+	return nil
+}
+
 // negZero fills the slots a rank does not own in the gradient exchange:
 // IEEE-754 addition has x + (-0.0) == x bit for bit for every x (including
 // x == -0.0, which x + (+0.0) would flip to +0.0), so a ring all-reduce over
@@ -393,6 +556,34 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 	if len(prog.Grads) != len(params) {
 		return nil, fmt.Errorf("distrun: program has %d gradients for %d parameters", len(prog.Grads), len(params))
 	}
+	vel := newVelocity(spec, params)
+	startStep := 0
+	if spec.CkptDir != "" {
+		if startStep, err = restoreState(spec, rank, params, vel); err != nil {
+			return nil, err
+		}
+		// Start-step agreement: every rank restored independently from disk,
+		// and a rank that locally fell back to an older checkpoint (corrupt
+		// shard only it can see) must not silently train from different state.
+		// One 1-element-per-rank AllGather compares the resume steps.
+		mine := tensor.GetScratch(1)
+		all := tensor.GetScratch(sess.World)
+		mine.Data()[0] = float64(startStep)
+		gerr := comm.AllGatherInto(all, mine)
+		if gerr == nil {
+			for r, v := range all.Data() {
+				if int(v) != startStep {
+					gerr = fmt.Errorf("distrun: rank %d resumes at step %d but rank %d at step %d: checkpoint disagreement, refusing to train", rank, startStep, r, int(v))
+					break
+				}
+			}
+		}
+		tensor.Recycle(mine)
+		tensor.Recycle(all)
+		if gerr != nil {
+			return nil, gerr
+		}
+	}
 	// Gradient owners are the replica-0 actors, whose global IDs equal
 	// their per-replica IDs — derived from metadata once, so the per-step
 	// fill below skips the tensors this rank overwrites with real payloads.
@@ -427,8 +618,8 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 		defer beginProfiling()()
 	}
 	var stepPrev [3]time.Duration
-	rep := &Report{Rank: rank, World: sess.World}
-	for step := 0; step < spec.Steps; step++ {
+	rep := &Report{Rank: rank, World: sess.World, StartStep: startStep}
+	for step := startStep; step < spec.Steps; step++ {
 		stepStart := time.Now()
 		ha := obs.TrackTid(scStepActor, rank)
 		err := ts.StepActor(rank, params, batch)
@@ -493,12 +684,17 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 		}
 
 		hs := obs.TrackTid(scSGD, rank)
-		err = ApplySGDInto(next, params, exch, spec.LR)
+		err = applyUpdate(spec, next, params, exch, vel)
 		hs.Stop()
 		if err != nil {
 			return nil, err
 		}
 		params, next = next, params
+		if every := spec.ckptEvery(); every > 0 && (step+1)%every == 0 && step+1 < spec.Steps {
+			if err := saveCheckpoint(sess, spec, step+1, params, vel); err != nil {
+				return nil, err
+			}
+		}
 		obs.Add(cStepsProfiled, 1)
 		if profiling {
 			logStepSummary(rank, step, time.Since(stepStart), &stepPrev)
@@ -578,12 +774,19 @@ func RunLocalOn(spec JobSpec, tr runtime.Transport) (*Report, error) {
 	}
 	losses := make([]*jaxpp.Tensor, totalMB)
 	grads := make([]*jaxpp.Tensor, len(ts.Program().Grads))
+	vel := newVelocity(spec, params)
+	startStep := 0
+	if spec.CkptDir != "" {
+		if startStep, err = restoreState(spec, 0, params, vel); err != nil {
+			return nil, err
+		}
+	}
 	if spec.Profile {
 		defer beginProfiling()()
 	}
 	var stepPrev [3]time.Duration
-	rep := &Report{Rank: 0, World: 1}
-	for step := 0; step < spec.Steps; step++ {
+	rep := &Report{Rank: 0, World: 1, StartStep: startStep}
+	for step := startStep; step < spec.Steps; step++ {
 		stepStart := time.Now()
 		ha := obs.Track(scStepActor)
 		err := ts.StepInto(params, batch, losses, grads)
@@ -601,7 +804,7 @@ func RunLocalOn(spec JobSpec, tr runtime.Transport) (*Report, error) {
 		rep.MBLosses = append(rep.MBLosses, mbLosses)
 		rep.StepLosses = append(rep.StepLosses, total/float64(totalMB))
 		hs := obs.Track(scSGD)
-		err = ApplySGDInto(next, params, grads, spec.LR)
+		err = applyUpdate(spec, next, params, grads, vel)
 		hs.Stop()
 		if err != nil {
 			return nil, err
@@ -612,6 +815,11 @@ func RunLocalOn(spec JobSpec, tr runtime.Transport) (*Report, error) {
 			grads[i] = nil
 		}
 		params, next = next, params
+		if every := spec.ckptEvery(); every > 0 && (step+1)%every == 0 && step+1 < spec.Steps {
+			if err := saveCheckpointLocal(spec, step+1, params, vel); err != nil {
+				return nil, err
+			}
+		}
 		obs.Add(cStepsProfiled, 1)
 		if spec.Profile {
 			logStepSummary(0, step, time.Since(stepStart), &stepPrev)

@@ -197,3 +197,96 @@ func TestKilledWorkerProcessFailsDriver(t *testing.T) {
 		t.Fatal("coordinator exited cleanly despite a SIGKILLed worker")
 	}
 }
+
+// TestElasticOSProcessesSurviveSIGKILL is the chaos acceptance test: a
+// 4-process elastic job (1 jaxpp-train -elastic coordinator + 3 jaxpp-worker
+// -reconnect daemons) loses one worker to SIGKILL mid-training, and the
+// survivors must re-rendezvous into a smaller world, resume from the newest
+// committed checkpoint, and run the job to completion with exit 0 all round.
+func TestElasticOSProcessesSurviveSIGKILL(t *testing.T) {
+	bins, err := buildCmds()
+	if err != nil {
+		t.Skipf("cannot build cmd binaries in this environment: %v", err)
+	}
+	addr := procFreeAddr(t)
+	ckptDir := t.TempDir()
+	lossesPath := filepath.Join(t.TempDir(), "losses.json")
+
+	coord := exec.Command(bins["jaxpp-train"],
+		"-distributed", "-elastic", "-coordinator", addr,
+		"-stages", "1", "-dp", "4", "-mb", "2", "-mbrows", "4", "-width", "16",
+		"-steps", "250", "-lr", "0.1", "-momentum", "0.9", "-schedule", "1f1b",
+		"-seed", "7", "-step-sleep-ms", "20",
+		"-ckpt-dir", ckptDir, "-ckpt-every", "5", "-min-replicas", "2",
+		"-hb-interval", "50ms", "-hb-misses", "10", "-join-grace", "1s",
+		"-losses-out", lossesPath,
+	)
+	var coordOut strings.Builder
+	coord.Stdout, coord.Stderr = &coordOut, &coordOut
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if coord.Process != nil {
+			coord.Process.Kill()
+		}
+		coord.Wait()
+		t.Logf("coordinator output:\n%s", coordOut.String())
+	})
+
+	workers := make([]*exec.Cmd, 3)
+	outs := make([]*strings.Builder, 3)
+	for w := range workers {
+		wk := exec.Command(bins["jaxpp-worker"],
+			"-coordinator", addr, "-reconnect", "-reconnect-backoff", "100ms",
+			"-hb-interval", "50ms", "-hb-misses", "10",
+		)
+		outs[w] = &strings.Builder{}
+		wk.Stdout, wk.Stderr = outs[w], outs[w]
+		if err := wk.Start(); err != nil {
+			t.Fatal(err)
+		}
+		workers[w] = wk
+		w := w
+		t.Cleanup(func() {
+			if wk.Process != nil {
+				wk.Process.Kill()
+			}
+			wk.Wait()
+			t.Logf("worker %d output:\n%s", w, outs[w].String())
+		})
+	}
+
+	// Let the world form and train past several checkpoint commits (250
+	// steps at 20ms/step is >= 5s of training; the step-5 checkpoint lands
+	// within the first few hundred ms), then kill -9 a worker.
+	time.Sleep(3 * time.Second)
+	victim := workers[1]
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := waitWithTimeout(t, coord, 120*time.Second, "coordinator"); err != nil {
+		t.Fatalf("elastic coordinator failed to recover: %v\n%s", err, coordOut.String())
+	}
+	for w, wk := range workers {
+		if wk == victim {
+			wk.Wait() // reaps the SIGKILLed process; error expected
+			continue
+		}
+		if err := waitWithTimeout(t, wk, 30*time.Second, fmt.Sprintf("worker %d", w)); err != nil {
+			t.Fatalf("surviving worker %d failed: %v\n%s", w, err, outs[w].String())
+		}
+	}
+
+	out := coordOut.String()
+	if !strings.Contains(out, "elastic attempt 2") {
+		t.Fatalf("coordinator never re-rendezvoused:\n%s", out)
+	}
+	if !strings.Contains(out, "restored checkpoint step") {
+		t.Fatalf("coordinator resumed without restoring a checkpoint:\n%s", out)
+	}
+	if _, err := os.Stat(lossesPath); err != nil {
+		t.Fatalf("recovered run wrote no losses: %v", err)
+	}
+}

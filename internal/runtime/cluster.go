@@ -183,6 +183,20 @@ func (c *Cluster) Load(prog *taskgraph.Program, opts LoadOptions) (*Executable, 
 // Replicas returns the data-parallel replica count.
 func (e *Executable) Replicas() int { return e.replicas }
 
+// transportErr probes the cluster transport for poisoning before a step
+// begins. Poisonable transports (the dist wire transport after a peer death)
+// expose Err(); failing fast here turns "every send and recv of the doomed
+// step times out one by one" into an immediate, attributable step error —
+// the drain an elastic recovery needs before it can re-rendezvous.
+func (e *Executable) transportErr() error {
+	if p, ok := e.cluster.Transport.(interface{ Err() error }); ok {
+		if err := p.Err(); err != nil {
+			return fmt.Errorf("runtime: transport poisoned: %w", err)
+		}
+	}
+	return nil
+}
+
 // Hosts reports whether this load materialized the given global actor (true
 // for every actor on an unfiltered load).
 func (e *Executable) Hosts(actor int) bool {
@@ -291,6 +305,9 @@ func (e *Executable) StepInto(inputs, losses, grads []*tensor.Tensor) error {
 	}
 	if e.hosted != nil {
 		return fmt.Errorf("runtime: executable loaded with a hosted-actor filter; a filtered rank steps only its own actor via StepActor")
+	}
+	if err := e.transportErr(); err != nil {
+		return err
 	}
 	if err := e.validateInputs(inputs); err != nil {
 		return err
@@ -449,6 +466,9 @@ func (e *Executable) StepActor(actor int, inputs []*tensor.Tensor) error {
 	}
 	if !e.Hosts(actor) {
 		return fmt.Errorf("runtime: actor %d is not hosted by this load (hosted-actor filter); its store and programs were never materialized", actor)
+	}
+	if err := e.transportErr(); err != nil {
+		return err
 	}
 	if err := e.validateInputs(inputs); err != nil {
 		return err

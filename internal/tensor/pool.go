@@ -37,9 +37,11 @@ var (
 //     simply drops it to the garbage collector.
 
 const (
-	// minPoolBits is the smallest bucket (64 elements): tinier tensors are
-	// cheaper to allocate than to pool.
-	minPoolBits = 6
+	// minPoolBits is the smallest bucket (a single element). Scalars are the
+	// hottest scratch size of all — every microbatch loss is one — so the
+	// pool tiers go all the way down: a per-step churn of ~100 scalar tensors
+	// recycles instead of allocating.
+	minPoolBits = 0
 	// maxPoolBits is the largest bucket (2^24 elements, 128 MiB): beyond it
 	// tensors are allocated directly.
 	maxPoolBits = 24
