@@ -238,6 +238,7 @@ type snapshot struct {
 	RuntimeSteps            *runtimeStepStats     `json:"runtime_steps"`
 	Collective              *collectiveValidation `json:"collective_validation"`
 	Wire                    *wireStats            `json:"wire"`
+	Sharded                 *shardedStats         `json:"sharded"`
 	Profile                 *profileBlock         `json:"profile"`
 }
 
@@ -300,6 +301,10 @@ func buildSnapshot() (*snapshot, error) {
 		return nil, err
 	}
 	s.Wire, err = measureWire()
+	if err != nil {
+		return nil, err
+	}
+	s.Sharded, err = measureSharded()
 	if err != nil {
 		return nil, err
 	}
@@ -371,7 +376,7 @@ func checkStepAllocs(rs *runtimeStepStats, maxAllocs float64) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, fig9, fig10, table1, ablations, validate, wire")
+	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, fig9, fig10, table1, ablations, validate, wire, sharded")
 	jsonPath := flag.String("json", "", "write a machine-readable perf snapshot to this path and exit")
 	maxStepAllocs := flag.Float64("max-step-allocs", 0, "fail (exit 1) if a steady-state runtime step allocates more than this many objects; without -json only the step measurement runs")
 	baselinePath := flag.String("baseline", "", "committed snapshot to diff runtime_steps against; step time or allocs more than -max-regress percent worse fail (exit 1)")
@@ -505,6 +510,16 @@ func main() {
 			} else {
 				fmt.Printf("  TCP across 2 processes:    %6.2f GB/s\n", w.TCPMultiProcGBs)
 			}
+		case "sharded":
+			sh, err := measureSharded()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("ZeRO-sharded epilogue: %d ranks × %d elems over TCP endpoints\n", sh.Ranks, sh.Elems)
+			fmt.Printf("  optimizer state per rank: dense %d B, sharded %d B (%.1f%%)\n",
+				sh.DenseOptStateBytes, sh.ShardedOptStateBytes, sh.ShardedOptStatePct)
+			fmt.Printf("  dense AllReduce:          %6.2f bus GB/s\n", sh.DenseAllReduceBusGBs)
+			fmt.Printf("  ReduceScatterV+AllGatherV:%6.2f bus GB/s (same wire volume)\n", sh.ExchangeBusGBs)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -514,7 +529,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1", "ablations", "validate", "wire"}
+		names = []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1", "ablations", "validate", "wire", "sharded"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

@@ -61,9 +61,21 @@ type Manifest struct {
 	Width  int `json:"width"`
 	Params int `json:"params"`
 	// Entries is the total serialized tensor count: Params parameters,
-	// followed by Params velocity tensors when Momentum is nonzero.
+	// followed by the optimizer state — Params velocity tensors in the dense
+	// layout, or len(OptShardCounts) flat velocity shards in the owner-major
+	// sharded layout.
 	Entries  int     `json:"entries"`
 	Momentum float64 `json:"momentum,omitempty"`
+	// OptShardCounts, when non-empty, marks the owner-major sharded optimizer
+	// layout: entry Params+r is rank r's slice of the owner-major flat
+	// velocity vector (OptShardCounts[r] elements, the balanced partition of
+	// the writing world). The flat vector itself — gradient tensors
+	// concatenated in producing-actor order — is a function of the compiled
+	// program only, so a reader of any world size reassembles it and re-slices
+	// (or unpacks to dense per-tensor state) for its own layout: sharded
+	// checkpoints restore across world-size changes and across layout changes
+	// in both directions.
+	OptShardCounts []int `json:"opt_shard_counts,omitempty"`
 	// Owners[e] is the rank that wrote entry e (round-robin: e mod World).
 	Owners []int `json:"owners"`
 	// Shards lists every rank's shard file and the entries it carries.
@@ -124,6 +136,41 @@ func NewManifest(step, world, stages, width, params int, momentum float64) *Mani
 	}
 	return m
 }
+
+// NewManifestSharded fills a manifest for the owner-major sharded optimizer
+// layout: Params replicated parameter entries (round-robin ownership, as in
+// the dense layout) followed by one flat velocity-shard entry per writing
+// rank — entry Params+r is written by rank r alone, since rank r is the only
+// process that holds that slice of the optimizer state.
+func NewManifestSharded(step, world, stages, width, params int, momentum float64, optCounts []int) *Manifest {
+	entries := params + len(optCounts)
+	m := &Manifest{
+		Version: Version, Step: step, World: world,
+		Stages: stages, Width: width, Params: params,
+		Entries: entries, Momentum: momentum,
+		OptShardCounts: append([]int(nil), optCounts...),
+		Owners:         make([]int, entries),
+		SavedAtUnix:    time.Now().Unix(),
+	}
+	for e := 0; e < params; e++ {
+		m.Owners[e] = OwnerOf(e, world)
+	}
+	for r := range optCounts {
+		m.Owners[params+r] = r
+	}
+	for r := 0; r < world; r++ {
+		ents := Owned(r, world, params)
+		if r < len(optCounts) {
+			ents = append(ents, params+r)
+		}
+		m.Shards = append(m.Shards, ShardInfo{Rank: r, File: ShardFile(r), Entries: ents})
+	}
+	return m
+}
+
+// Sharded reports whether the manifest uses the owner-major sharded
+// optimizer layout.
+func (m *Manifest) Sharded() bool { return len(m.OptShardCounts) > 0 }
 
 // Compatible reports whether a manifest's state restores into a job with the
 // given model shape. The world size deliberately does not participate: elastic

@@ -277,3 +277,80 @@ func TestClusterStateRoundTrip(t *testing.T) {
 		t.Fatal("state without ctrl_addr/spec accepted")
 	}
 }
+
+// TestOwnerMajorShardedManifestRoundTrip pins the PR-8 sharded optimizer
+// layout: each rank's shard carries its round-robin parameter share plus the
+// single flat velocity-shard entry only it holds (entry params+rank, sparse
+// in every other rank's entry list), and Restore reassembles the full entry
+// list bit-identically with the manifest advertising the writing partition.
+func TestOwnerMajorShardedManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	const params, world, step = 4, 3, 17
+	pstate := testState(params, 10)
+	// Uneven flat velocity partition, one shard per rank.
+	counts := []int{9, 0, 5}
+	vshards := make([]*tensor.Tensor, world)
+	for r, c := range counts {
+		v := tensor.New(c)
+		for i := range v.Data() {
+			v.Data()[i] = float64(r*100+i) - 0.5
+		}
+		vshards[r] = v
+	}
+
+	for r := 0; r < world; r++ {
+		entries := make([]*tensor.Tensor, params+world)
+		copy(entries, pstate)
+		entries[params+r] = vshards[r] // the only velocity entry this rank holds
+		owned := append(Owned(r, world, params), params+r)
+		if err := WriteShard(dir, step, r, entries, owned); err != nil {
+			t.Fatalf("shard %d: %v", r, err)
+		}
+	}
+	m := NewManifestSharded(step, world, 2, 16, params, 0.9, counts)
+	if !m.Sharded() {
+		t.Fatal("sharded manifest does not report Sharded()")
+	}
+	if err := WriteManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+
+	got, entries, skipped, err := Restore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped %v on a clean restore", skipped)
+	}
+	if got == nil || !got.Sharded() || got.Entries != params+world {
+		t.Fatalf("manifest %+v", got)
+	}
+	for r, c := range counts {
+		if got.OptShardCounts[r] != c {
+			t.Fatalf("OptShardCounts %v, want %v", got.OptShardCounts, counts)
+		}
+		if got.Owners[params+r] != r {
+			t.Fatalf("velocity entry %d owned by %d, want %d", params+r, got.Owners[params+r], r)
+		}
+	}
+	want := append(append([]*tensor.Tensor(nil), pstate...), vshards...)
+	requireBitEqual(t, entries, want)
+	for _, e := range entries {
+		tensor.Recycle(e)
+	}
+}
+
+// TestShardedManifestRejectsMissingVelocityEntry pins WriteShard's guard: a
+// rank asked to write a velocity shard it does not hold (nil entry) must fail
+// loudly instead of committing a checkpoint with a silent hole.
+func TestShardedManifestRejectsMissingVelocityEntry(t *testing.T) {
+	dir := t.TempDir()
+	const params, world = 2, 2
+	entries := make([]*tensor.Tensor, params+world)
+	copy(entries, testState(params, 4))
+	// Rank 0's own velocity shard deliberately absent.
+	owned := append(Owned(0, world, params), params+0)
+	if err := WriteShard(dir, 3, 0, entries, owned); err == nil {
+		t.Fatal("WriteShard accepted a nil velocity entry")
+	}
+}

@@ -206,6 +206,10 @@ type Communicator struct {
 	planSizes  []int
 	planBounds [][2]int
 	planBytes  int
+
+	// vcounts is the reusable per-bucket shard-counts scratch of the
+	// variable-shard collectives (vshard.go).
+	vcounts []int
 }
 
 // bucketPlan returns the fusion-bucket boundaries for ts, recomputing only

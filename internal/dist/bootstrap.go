@@ -740,3 +740,45 @@ func (s *Session) close(cause error) error {
 	}
 	return err
 }
+
+// ReleaseStragglers re-opens the control address after a job has finished
+// and answers any worker still dialing the rendezvous with a clean release.
+// An elastic world that reformed without a slow-to-rejoin survivor leaves
+// that survivor retrying joins against an address nobody will ever listen on
+// again once the job completes — it would burn MaxJoinFailures full
+// RendezvousTimeout join attempts before concluding the coordinator is gone,
+// and exit with an error for a world that finished fine without it. The
+// coordinator instead lingers here for the drain window, releasing each
+// straggler the moment its next dial lands (they retry on sub-second
+// cadence, so the window only has to cover one retry gap). Best-effort by
+// design: a listen failure or a straggler that never dials inside the window
+// degrades to the old give-up path. Returns the number of workers released.
+func ReleaseStragglers(ctrlAddr string, window time.Duration) int {
+	ln, err := net.Listen("tcp", ctrlAddr)
+	if err != nil {
+		return 0
+	}
+	defer ln.Close()
+	deadline := time.Now().Add(window)
+	released := 0
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return released
+		}
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			return released // window elapsed (or the listener died)
+		}
+		cc := newCtrlConn(conn)
+		conn.SetReadDeadline(deadline)
+		if m, rerr := cc.read(); rerr == nil && m.Type == "hello" {
+			cc.send(ctrlMsg{Type: "release", Err: "job already complete"})
+			released++
+		}
+		conn.Close()
+	}
+}

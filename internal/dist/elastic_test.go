@@ -265,3 +265,46 @@ func TestPoisonPropagationUnderConcurrentSends(t *testing.T) {
 		t.Fatalf("poison cause changed from %q to %q", first, got)
 	}
 }
+
+// TestReleaseStragglersAnswersLateJoiner: a worker still dialing the
+// rendezvous after the job finished gets a clean release (ErrReleased) from
+// the coordinator's post-completion drain window, instead of grinding
+// through failed joins against a dead address. This is the straggler path of
+// the elastic reform: a survivor that missed the join-grace window when the
+// world reformed smaller.
+func TestReleaseStragglersAnswersLateJoiner(t *testing.T) {
+	opts := flexOpts()
+	addr := freeAddr(t)
+
+	var joinErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// joinRetry keeps dialing while the drain listener comes up, exactly
+		// like a straggler's in-Join retry loop.
+		var s *Session
+		s, joinErr = joinRetry(addr, opts)
+		if s != nil {
+			s.Close()
+		}
+	}()
+
+	released := ReleaseStragglers(addr, 2*time.Second)
+	wg.Wait()
+	if released != 1 {
+		t.Fatalf("released %d workers, want 1", released)
+	}
+	if !errors.Is(joinErr, ErrReleased) {
+		t.Fatalf("straggler join error %v, want ErrReleased", joinErr)
+	}
+
+	// An empty window (nobody dials) returns promptly with zero releases.
+	start := time.Now()
+	if n := ReleaseStragglers(addr, 200*time.Millisecond); n != 0 {
+		t.Fatalf("idle drain released %d workers, want 0", n)
+	}
+	if since := time.Since(start); since > 2*time.Second {
+		t.Fatalf("idle drain took %v, want ~the 200ms window", since)
+	}
+}

@@ -132,11 +132,27 @@ func TestDistributedResumeBitIdentical(t *testing.T) {
 // rendezvous, the coordinator reforms a smaller world, and training resumes
 // from the newest committed checkpoint instead of step 0.
 func TestElasticRecoveryResumesFromCheckpoint(t *testing.T) {
+	elasticRecoveryScenario(t, false)
+}
+
+// TestElasticRecoveryShardedResumesAcrossShrink runs the same chaos scenario
+// with the ZeRO-sharded epilogue: the owner-major checkpoints written by the
+// 4-rank world must restore into the reformed smaller world, whose ranks
+// re-derive the owner tables and shard partition for their new size. (The
+// bit-identity of a 4→3 sharded restore against the dense path is pinned
+// deterministically by TestShardedCheckpointRestoresAcrossWorlds; this test
+// proves the same machinery under real failure-driven re-rendezvous.)
+func TestElasticRecoveryShardedResumesAcrossShrink(t *testing.T) {
+	elasticRecoveryScenario(t, true)
+}
+
+func elasticRecoveryScenario(t *testing.T, sharded bool) {
+	t.Helper()
 	dir := t.TempDir()
 	spec := JobSpec{
 		Stages: 1, DataParallel: 4, NumMB: 2, MBRows: 4, Width: 16,
 		Steps: 80, LR: 0.1, Momentum: 0.9, Schedule: "1f1b", Seed: 7,
-		StepSleepMs: 20, CkptDir: dir, CkptEvery: 5,
+		StepSleepMs: 20, CkptDir: dir, CkptEvery: 5, Sharded: sharded,
 	}
 	opts := dist.SessionOptions{
 		RendezvousTimeout: 30 * time.Second,

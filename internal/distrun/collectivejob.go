@@ -137,6 +137,21 @@ func RunCollectiveLocal(spec CollectiveSpec, opts dist.Options) error {
 	return nil
 }
 
+// vShardCounts is the deliberately uneven variable-shard partition the
+// verification job exercises: the balanced split with the middle rank's
+// allotment handed to its successor, so every world of two or more ranks
+// walks the empty-shard edge case (zero-size ring chunks must still keep the
+// tag windows in lockstep).
+func vShardCounts(elems, n int) []int {
+	counts := collective.EvenCounts(elems, n)
+	if n >= 2 {
+		z := n / 2
+		counts[(z+1)%n] += counts[z]
+		counts[z] = 0
+	}
+	return counts
+}
+
 // rankValue is the deterministic integer-valued payload element for (rank,
 // element, iteration): small enough that world-size sums stay far below
 // 2^53, so floating-point addition is exact in every order.
@@ -186,6 +201,22 @@ func RunCollectiveOn(tr collective.Transport, rank int, spec CollectiveSpec) err
 	defer tensor.Recycle(gathered)
 	defer tensor.Recycle(bcast)
 
+	// Variable-shard pair: uneven counts (one deliberately empty shard for
+	// n >= 2 — see vShardCounts), a full per-rank vector reduced-scattered
+	// down to this rank's slice, then gathered back, which must reproduce
+	// the all-reduce sum bit for bit on every rank.
+	vcounts := vShardCounts(spec.Elems, n)
+	vfull := tensor.GetScratch(spec.Elems)
+	vshard := tensor.GetScratch(vcounts[rank])
+	vout := tensor.GetScratch(spec.Elems)
+	defer tensor.Recycle(vfull)
+	defer tensor.Recycle(vshard)
+	defer tensor.Recycle(vout)
+	vstart := 0
+	for r := 0; r < rank; r++ {
+		vstart += vcounts[r]
+	}
+
 	for iter := 0; iter < spec.Iters; iter++ {
 		// Bucketed ring AllReduce: verify the element-wise sum over ranks.
 		off := 0
@@ -225,6 +256,38 @@ func RunCollectiveOn(tr collective.Transport, rank int, spec CollectiveSpec) err
 				if math.Float64bits(got) != math.Float64bits(want) {
 					return fmt.Errorf("rank %d iter %d all-gather slot (%d,%d): got %v, want %v", rank, iter, r, j, got, want)
 				}
+			}
+		}
+
+		// ReduceScatterV → AllGatherV: the ZeRO epilogue's exchange pair over
+		// uneven shards (including an empty one). The reduce-scatter consumes
+		// the full input as scratch and delivers only this rank's slice; the
+		// gather of the variable-size slices must equal the all-reduce sum.
+		for j := range vfull.Data() {
+			vfull.Data()[j] = rankValue(spec, rank, j, iter)
+		}
+		if err := comm.ReduceScatterVInto(vshard, vfull, vcounts, collective.OpSum, spec.BucketBytes); err != nil {
+			return fmt.Errorf("rank %d iter %d reduce-scatterv: %w", rank, iter, err)
+		}
+		for j, got := range vshard.Data() {
+			var want float64
+			for r := 0; r < n; r++ {
+				want += rankValue(spec, r, vstart+j, iter)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				return fmt.Errorf("rank %d iter %d reduce-scatterv elem %d: got %v, want %v", rank, iter, j, got, want)
+			}
+		}
+		if err := comm.AllGatherVInto(vout, vshard, vcounts); err != nil {
+			return fmt.Errorf("rank %d iter %d all-gatherv: %w", rank, iter, err)
+		}
+		for j, got := range vout.Data() {
+			var want float64
+			for r := 0; r < n; r++ {
+				want += rankValue(spec, r, j, iter)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				return fmt.Errorf("rank %d iter %d all-gatherv elem %d: got %v, want %v", rank, iter, j, got, want)
 			}
 		}
 

@@ -20,6 +20,7 @@ import (
 	"repro/internal/ckpt"
 	"repro/internal/collective"
 	"repro/internal/dist"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/tensor"
@@ -62,11 +63,21 @@ type JobSpec struct {
 	// Momentum enables heavy-ball SGD (v ← μ·v + g; p ← p − lr·v) when
 	// nonzero — real optimizer state for checkpoints to carry alongside the
 	// parameters. Zero keeps plain SGD.
-	Momentum     float64 `json:"momentum,omitempty"`
-	Schedule     string  `json:"schedule"`      // "gpipe" or "1f1b"
-	DataParallel int     `json:"data_parallel"` // replicas; 0 or 1 disables
-	SPMD         int     `json:"spmd"`          // virtual SPMD devices per actor; 0/1 disables
-	Seed         uint64  `json:"seed"`
+	Momentum float64 `json:"momentum,omitempty"`
+	// Sharded switches the step epilogue from "AllReduce everything, every
+	// rank updates everything" to ZeRO-1-style owner-major sharding: a
+	// bucketed ring ReduceScatter delivers each rank only the gradient slice
+	// it owns, the fused optimizer update runs on that slice against
+	// shard-local optimizer state (~1/world of the replicated footprint), and
+	// a ring AllGatherV of the variable-size updated slices redistributes the
+	// parameters. Bit-identical losses and parameters to the dense path;
+	// checkpoints switch to the owner-major shard layout, which restores
+	// across world-size changes (elastic shrink included).
+	Sharded      bool   `json:"sharded,omitempty"`
+	Schedule     string `json:"schedule"`      // "gpipe" or "1f1b"
+	DataParallel int    `json:"data_parallel"` // replicas; 0 or 1 disables
+	SPMD         int    `json:"spmd"`          // virtual SPMD devices per actor; 0/1 disables
+	Seed         uint64 `json:"seed"`
 	// CkptDir enables rank-sharded checkpointing when nonempty: every
 	// CkptEvery completed steps each rank writes its owned slice of the
 	// training state (round-robin over the world) as wire-codec frames, a
@@ -336,11 +347,12 @@ func ApplySGD(params, grads []*jaxpp.Tensor, lr float64) ([]*jaxpp.Tensor, error
 	return next, nil
 }
 
-// ApplySGDInto writes params - lr·grads into dst elementwise. Both the
-// in-process reference and every distributed rank run this exact loop, so
-// parameter trajectories agree bit for bit; drivers double-buffer dst and
-// params and swap after each step, so steady-state training allocates no
-// parameter tensors.
+// ApplySGDInto writes params - lr·grads into dst elementwise via the shared
+// model.SGDRange kernel. Both the in-process reference and every distributed
+// rank (dense or sharded) run this exact arithmetic, so parameter
+// trajectories agree bit for bit; drivers double-buffer dst and params and
+// swap after each step, so steady-state training allocates no parameter
+// tensors.
 func ApplySGDInto(dst, params, grads []*jaxpp.Tensor, lr float64) error {
 	if len(dst) != len(params) || len(grads) != len(params) {
 		return fmt.Errorf("distrun: SGD arity mismatch: %d dst, %d params, %d grads", len(dst), len(params), len(grads))
@@ -350,18 +362,17 @@ func ApplySGDInto(dst, params, grads []*jaxpp.Tensor, lr float64) error {
 		if len(pd) != len(gd) || len(pd) != len(dd) {
 			return fmt.Errorf("distrun: SGD size mismatch at %d: %d params, %d grads, %d dst", i, len(pd), len(gd), len(dd))
 		}
-		for j, g := range gd {
-			dd[j] = pd[j] - lr*g
-		}
+		model.SGDRange(dd, pd, gd, lr)
 	}
 	return nil
 }
 
-// ApplyMomentumInto runs one fused heavy-ball step elementwise: velocity
-// updates in place (v ← mu·v + g) and dst receives params − lr·v. Every rank
-// runs this identical loop over identical inputs, so parameter and velocity
-// trajectories agree bit for bit — the property that lets checkpoints of
-// either be rank-sharded arbitrarily.
+// ApplyMomentumInto runs one fused heavy-ball step elementwise via the
+// shared model.MomentumRange kernel: velocity updates in place (v ← mu·v + g)
+// and dst receives params − lr·v. Every rank runs this identical arithmetic
+// over identical inputs, so parameter and velocity trajectories agree bit for
+// bit — the property that lets checkpoints of either be rank-sharded
+// arbitrarily and lets the sharded epilogue update disjoint slices.
 func ApplyMomentumInto(dst, params, grads, vel []*jaxpp.Tensor, lr, mu float64) error {
 	if len(dst) != len(params) || len(grads) != len(params) || len(vel) != len(params) {
 		return fmt.Errorf("distrun: momentum arity mismatch: %d dst, %d params, %d grads, %d vel", len(dst), len(params), len(grads), len(vel))
@@ -371,11 +382,27 @@ func ApplyMomentumInto(dst, params, grads, vel []*jaxpp.Tensor, lr, mu float64) 
 		if len(pd) != len(gd) || len(pd) != len(dd) || len(pd) != len(vd) {
 			return fmt.Errorf("distrun: momentum size mismatch at %d", i)
 		}
-		for j, g := range gd {
-			v := mu*vd[j] + g
-			vd[j] = v
-			dd[j] = pd[j] - lr*v
+		model.MomentumRange(dd, pd, gd, vd, lr, mu)
+	}
+	return nil
+}
+
+// ApplyAdamInto runs one fused bias-corrected Adam step elementwise via the
+// shared model.AdamRange kernel: moments m and v update in place and dst
+// receives the updated parameters. step is the 1-based optimizer step. Like
+// the other kernels it is shard-decomposable: applying it to disjoint
+// owner-major slices with shard-local m/v reproduces the full update bit for
+// bit (pinned by TestAdamRangeShardDecomposition).
+func ApplyAdamInto(dst, params, grads, m, v []*jaxpp.Tensor, cfg model.AdamConfig, lr float64, step int) error {
+	if len(dst) != len(params) || len(grads) != len(params) || len(m) != len(params) || len(v) != len(params) {
+		return fmt.Errorf("distrun: adam arity mismatch: %d dst, %d params, %d grads, %d m, %d v", len(dst), len(params), len(grads), len(m), len(v))
+	}
+	for i := range params {
+		pd, gd, dd, md, vd := params[i].Data(), grads[i].Data(), dst[i].Data(), m[i].Data(), v[i].Data()
+		if len(pd) != len(gd) || len(pd) != len(dd) || len(pd) != len(md) || len(pd) != len(vd) {
+			return fmt.Errorf("distrun: adam size mismatch at %d", i)
 		}
+		model.AdamRange(dd, pd, gd, md, vd, cfg, lr, step)
 	}
 	return nil
 }
@@ -410,12 +437,49 @@ func stateEntries(params, vel []*jaxpp.Tensor) []*tensor.Tensor {
 	return append(out, vel...)
 }
 
+// velFlat reassembles a checkpoint's optimizer velocity state into the
+// owner-major flat vector, whichever on-disk layout the manifest uses: a
+// sharded manifest's per-rank flat slices concatenate in rank order (the
+// writing world's partition, recorded in OptShardCounts), a dense manifest's
+// per-tensor velocities pack through the plan's order. Because the flat
+// layout is a function of the compiled program only, this is the pivot that
+// lets any (layout, world) checkpoint restore into any (layout, world) job.
+func velFlat(m *ckpt.Manifest, entries []*tensor.Tensor, nparams int, plan *shardPlan, flat []float64) error {
+	if m.Sharded() {
+		off := 0
+		for r, cnt := range m.OptShardCounts {
+			t := entries[nparams+r]
+			if t.Size() != cnt {
+				return fmt.Errorf("distrun: checkpoint velocity shard %d has %d elements, manifest promises %d", r, t.Size(), cnt)
+			}
+			copy(flat[off:off+cnt], t.Data())
+			off += cnt
+		}
+		if off != plan.total {
+			return fmt.Errorf("distrun: checkpoint velocity vector has %d elements, program wants %d", off, plan.total)
+		}
+		return nil
+	}
+	for k, gi := range plan.order {
+		t := entries[nparams+gi]
+		if t.Size() != plan.off[k+1]-plan.off[k] {
+			return fmt.Errorf("distrun: checkpoint velocity %d has %d elements, parameter wants %d", gi, t.Size(), plan.off[k+1]-plan.off[k])
+		}
+		copy(flat[plan.off[k]:plan.off[k+1]], t.Data())
+	}
+	return nil
+}
+
 // restoreState loads the newest consistent checkpoint under spec.CkptDir into
-// the already-allocated params/vel buffers and returns the step to resume at
-// (0 when no usable checkpoint exists — fresh start). Every rank calls this
-// independently; the caller is responsible for cross-rank agreement on the
-// returned step.
-func restoreState(spec JobSpec, rank int, params, vel []*jaxpp.Tensor) (int, error) {
+// the already-allocated training state and returns the step to resume at (0
+// when no usable checkpoint exists — fresh start). Parameters restore
+// directly (replicated in every layout); momentum state pivots through the
+// plan's owner-major flat vector, so dense and sharded checkpoints restore
+// into dense (vel) and sharded (velShard — this rank's slice of the current
+// partition) jobs in any combination and across world-size changes. Every
+// rank calls this independently; the caller is responsible for cross-rank
+// agreement on the returned step.
+func restoreState(spec JobSpec, rank int, params, vel []*jaxpp.Tensor, plan *shardPlan, velShard *tensor.Tensor) (int, error) {
 	m, entries, skipped, err := ckpt.Restore(spec.CkptDir)
 	if err != nil {
 		return 0, fmt.Errorf("distrun: rank %d restore: %w", rank, err)
@@ -437,10 +501,20 @@ func restoreState(spec JobSpec, rank int, params, vel []*jaxpp.Tensor) (int, err
 	for i, p := range params {
 		p.CopyFrom(entries[i].Data())
 	}
-	for i, v := range vel {
-		v.CopyFrom(entries[len(params)+i].Data())
+	if spec.Momentum != 0 {
+		flat := tensor.GetScratch(plan.total)
+		defer tensor.Recycle(flat)
+		if err := velFlat(m, entries, len(params), plan, flat.Data()); err != nil {
+			return 0, fmt.Errorf("distrun: rank %d: %w", rank, err)
+		}
+		if velShard != nil {
+			lo := plan.starts[rank]
+			copy(velShard.Data(), flat.Data()[lo:lo+plan.counts[rank]])
+		} else {
+			plan.scatter(vel, flat.Data())
+		}
 	}
-	log.Printf("distrun: rank %d restored checkpoint step %d (world %d wrote it)", rank, m.Step, m.World)
+	log.Printf("distrun: rank %d restored checkpoint step %d (world %d wrote it, sharded=%v)", rank, m.Step, m.World, m.Sharded())
 	return m.Step, nil
 }
 
@@ -464,6 +538,35 @@ func saveCheckpoint(sess *dist.Session, spec JobSpec, step int, params, vel []*j
 	m := ckpt.NewManifest(step, sess.World, spec.Stages, spec.Width, len(params), spec.Momentum)
 	if err := ckpt.WriteManifest(spec.CkptDir, m); err != nil {
 		return fmt.Errorf("distrun: commit checkpoint step %d: %w", step, err)
+	}
+	if err := ckpt.Prune(spec.CkptDir, 0); err != nil {
+		return fmt.Errorf("distrun: prune checkpoints: %w", err)
+	}
+	return nil
+}
+
+// saveCheckpointSharded writes a checkpoint in the owner-major sharded
+// optimizer layout: each rank's shard carries its round-robin share of the
+// replicated parameters plus the one flat velocity-shard entry only it holds
+// (entry len(params)+rank). Rank 0 commits with a sharded manifest recording
+// the writing world's partition, which any future world re-slices on restore.
+func saveCheckpointSharded(sess *dist.Session, spec JobSpec, step int, params []*jaxpp.Tensor, sh *shardedState) error {
+	entries := make([]*tensor.Tensor, len(params)+sh.plan.world)
+	copy(entries, params)
+	entries[len(params)+sess.Rank] = sh.vel
+	owned := append(ckpt.Owned(sess.Rank, sess.World, len(params)), len(params)+sess.Rank)
+	if err := ckpt.WriteShard(spec.CkptDir, step, sess.Rank, entries, owned); err != nil {
+		return fmt.Errorf("distrun: rank %d sharded checkpoint step %d: %w", sess.Rank, step, err)
+	}
+	if err := sess.Barrier(); err != nil {
+		return fmt.Errorf("distrun: rank %d checkpoint barrier step %d: %w", sess.Rank, step, err)
+	}
+	if sess.Rank != 0 {
+		return nil
+	}
+	m := ckpt.NewManifestSharded(step, sess.World, spec.Stages, spec.Width, len(params), spec.Momentum, sh.plan.counts)
+	if err := ckpt.WriteManifest(spec.CkptDir, m); err != nil {
+		return fmt.Errorf("distrun: commit sharded checkpoint step %d: %w", step, err)
 	}
 	if err := ckpt.Prune(spec.CkptDir, 0); err != nil {
 		return fmt.Errorf("distrun: prune checkpoints: %w", err)
@@ -556,10 +659,29 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 	if len(prog.Grads) != len(params) {
 		return nil, fmt.Errorf("distrun: program has %d gradients for %d parameters", len(prog.Grads), len(params))
 	}
-	vel := newVelocity(spec, params)
+	// The owner-major shard plan is derived from program metadata on every
+	// rank identically. Built even for dense jobs: the restore path pivots
+	// momentum state through it, so dense jobs resume from sharded
+	// checkpoints (and vice versa).
+	plan, err := planForStep(ts, params, sess.World)
+	if err != nil {
+		return nil, err
+	}
+	var sh *shardedState
+	var vel []*jaxpp.Tensor
+	if spec.Sharded {
+		sh = newShardedState(spec, plan, rank)
+		defer sh.release()
+	} else {
+		vel = newVelocity(spec, params)
+	}
 	startStep := 0
 	if spec.CkptDir != "" {
-		if startStep, err = restoreState(spec, rank, params, vel); err != nil {
+		var velShard *tensor.Tensor
+		if sh != nil {
+			velShard = sh.vel
+		}
+		if startStep, err = restoreState(spec, rank, params, vel, plan, velShard); err != nil {
 			return nil, err
 		}
 		// Start-step agreement: every rank restored independently from disk,
@@ -591,14 +713,23 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 	for gi, g := range prog.Grads {
 		ownedGrad[gi] = g.Actor == rank
 	}
-	// Steady-state buffers, reused every step: the SGD double buffer, the
-	// gradient-exchange tensors the ring reduces in place, the loss shard
-	// and gather destination, and the per-step result struct.
-	next := make([]*jaxpp.Tensor, len(params))
-	exch := make([]*tensor.Tensor, len(params))
-	for i, p := range params {
-		next[i] = jaxpp.NewTensor(p.Shape()...)
-		exch[i] = tensor.GetScratchShaped(p.Shape()...)
+	// Steady-state buffers, reused every step: the SGD double buffer and the
+	// gradient-exchange tensors the ring reduces in place (dense path only —
+	// the sharded epilogue carries its own flat buffer set in shardedState,
+	// with the update landing in a persistent ~1/world shard buffer instead
+	// of a full-size double buffer), the loss shard and gather destination,
+	// and the per-step result struct.
+	var next []*jaxpp.Tensor
+	var exch []*tensor.Tensor
+	if sh == nil {
+		next = make([]*jaxpp.Tensor, len(params))
+		exch = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			next[i] = jaxpp.NewTensor(p.Shape()...)
+			exch[i] = tensor.GetScratchShaped(p.Shape()...)
+		}
+	} else {
+		sh.syncParams(params)
 	}
 	shard := tensor.GetScratch(lossSlots)
 	gathered := tensor.GetScratch(sess.World * lossSlots)
@@ -659,39 +790,51 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 			}
 		}
 
-		// Gradients: the owning ranks (replica-0 actors) hold the already
-		// DP-all-reduced sums; everyone else contributes negative zeros,
-		// the IEEE additive identity (see negZero), so the bucketed ring
-		// AllReduce delivers every gradient to every rank bit-exactly.
-		for gi, t := range exch {
-			if ownedGrad[gi] {
-				continue // overwritten with the real payload below
+		if sh != nil {
+			// Sharded epilogue: ReduceScatterV → shard-local update →
+			// AllGatherV, bit-identical to the dense path (see exchange).
+			if err := sh.exchange(comm, spec, res, ownedGrad, params); err != nil {
+				return nil, fmt.Errorf("distrun: rank %d step %d %w", rank, step, err)
 			}
-			d := t.Data()
-			for i := range d {
-				d[i] = negZero
+		} else {
+			// Gradients: the owning ranks (replica-0 actors) hold the already
+			// DP-all-reduced sums; everyone else contributes negative zeros,
+			// the IEEE additive identity (see negZero), so the bucketed ring
+			// AllReduce delivers every gradient to every rank bit-exactly.
+			for gi, t := range exch {
+				if ownedGrad[gi] {
+					continue // overwritten with the real payload below
+				}
+				d := t.Data()
+				for i := range d {
+					d[i] = negZero
+				}
 			}
-		}
-		for i, gi := range res.GradIdx {
-			exch[gi].CopyFrom(res.Grads[i].Data())
-			tensor.Recycle(res.Grads[i])
-		}
-		hg := obs.TrackTid(scGradReduce, rank)
-		err = comm.AllReduceBucketsInPlace(exch, collective.OpSum, 0)
-		hg.Stop()
-		if err != nil {
-			return nil, fmt.Errorf("distrun: rank %d step %d grad all-reduce: %w", rank, step, err)
-		}
+			for i, gi := range res.GradIdx {
+				exch[gi].CopyFrom(res.Grads[i].Data())
+				tensor.Recycle(res.Grads[i])
+			}
+			hg := obs.TrackTid(scGradReduce, rank)
+			err = comm.AllReduceBucketsInPlace(exch, collective.OpSum, 0)
+			hg.Stop()
+			if err != nil {
+				return nil, fmt.Errorf("distrun: rank %d step %d grad all-reduce: %w", rank, step, err)
+			}
 
-		hs := obs.TrackTid(scSGD, rank)
-		err = applyUpdate(spec, next, params, exch, vel)
-		hs.Stop()
-		if err != nil {
-			return nil, err
+			hs := obs.TrackTid(scSGD, rank)
+			err = applyUpdate(spec, next, params, exch, vel)
+			hs.Stop()
+			if err != nil {
+				return nil, err
+			}
+			params, next = next, params
 		}
-		params, next = next, params
 		if every := spec.ckptEvery(); every > 0 && (step+1)%every == 0 && step+1 < spec.Steps {
-			if err := saveCheckpoint(sess, spec, step+1, params, vel); err != nil {
+			if sh != nil && sh.vel != nil {
+				if err := saveCheckpointSharded(sess, spec, step+1, params, sh); err != nil {
+					return nil, err
+				}
+			} else if err := saveCheckpoint(sess, spec, step+1, params, vel); err != nil {
 				return nil, err
 			}
 		}
@@ -777,7 +920,13 @@ func RunLocalOn(spec JobSpec, tr runtime.Transport) (*Report, error) {
 	vel := newVelocity(spec, params)
 	startStep := 0
 	if spec.CkptDir != "" {
-		if startStep, err = restoreState(spec, 0, params, vel); err != nil {
+		// World-1 plan: the owner-major flat order is world-independent, so
+		// the single-process runner restores sharded checkpoints too.
+		plan, perr := planForStep(ts, params, 1)
+		if perr != nil {
+			return nil, perr
+		}
+		if startStep, err = restoreState(spec, 0, params, vel, plan, nil); err != nil {
 			return nil, err
 		}
 	}

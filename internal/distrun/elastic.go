@@ -94,8 +94,23 @@ func RunElasticCoordinator(spec JobSpec, opt ElasticOptions, prevAttempts int) (
 		}
 		log.Printf("distrun: elastic attempt %d: world %d (%d replicas × %d stages)", attempt, sess.World, cur.Replicas(), cur.Stages)
 		rep, runErr := Run(sess, cur)
+		world := sess.World
 		sess.Close()
 		if runErr == nil {
+			// A world that finished below full strength may have left a
+			// survivor mid-rejoin (it missed the join-grace window when the
+			// world reformed). Linger on the control address long enough to
+			// answer its next dial with a clean release instead of letting it
+			// grind through failed joins against a dead coordinator.
+			if world < maxWorld {
+				grace := opt.Session.JoinGrace
+				if grace <= 0 {
+					grace = dist.DefaultJoinGrace
+				}
+				if n := dist.ReleaseStragglers(opt.CtrlAddr, 2*grace); n > 0 {
+					log.Printf("distrun: released %d straggler worker(s) after job completion", n)
+				}
+			}
 			return rep, nil
 		}
 		lastErr = runErr

@@ -170,6 +170,60 @@ func TestFourOSProcessesMatchInProcessLosses(t *testing.T) {
 	}
 }
 
+// TestShardedFourOSProcessesMatchInProcessLosses is the sharded-epilogue
+// variant of the 4-process acceptance test: the same 2×2 DP×PP job with
+// momentum trains with -sharded (ReduceScatterV → shard-local update →
+// AllGatherV over real sockets) and every per-microbatch loss must stay
+// bit-identical to the dense single-process run.
+func TestShardedFourOSProcessesMatchInProcessLosses(t *testing.T) {
+	bins, err := buildCmds()
+	if err != nil {
+		t.Skipf("cannot build cmd binaries in this environment: %v", err)
+	}
+	spec := JobSpec{
+		Stages: 2, NumMB: 4, MBRows: 4, Width: 16,
+		Steps: 5, LR: 0.5, Momentum: 0.9, Schedule: "1f1b", DataParallel: 2, Seed: 11,
+	}
+	local, err := RunLocal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, workers, lossesPath := launchProcesses(t, bins, spec,
+		"-momentum", fmt.Sprint(spec.Momentum), "-sharded")
+	if err := waitWithTimeout(t, coord, 90*time.Second, "coordinator"); err != nil {
+		t.Fatalf("coordinator failed: %v", err)
+	}
+	for i, wk := range workers {
+		if err := waitWithTimeout(t, wk, 30*time.Second, fmt.Sprintf("worker %d", i+1)); err != nil {
+			t.Fatalf("worker %d failed: %v", i+1, err)
+		}
+	}
+
+	data, err := os.ReadFile(lossesPath)
+	if err != nil {
+		t.Fatalf("coordinator wrote no losses: %v", err)
+	}
+	var got struct {
+		StepLosses []float64   `json:"step_losses"`
+		MBLosses   [][]float64 `json:"mb_losses"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.MBLosses) != len(local.MBLosses) {
+		t.Fatalf("steps: %d vs %d", len(got.MBLosses), len(local.MBLosses))
+	}
+	for s := range local.MBLosses {
+		for mb := range local.MBLosses[s] {
+			g, w := got.MBLosses[s][mb], local.MBLosses[s][mb]
+			if math.Float64bits(g) != math.Float64bits(w) {
+				t.Fatalf("step %d mb %d: sharded process loss %v != in-process %v", s, mb, g, w)
+			}
+		}
+	}
+}
+
 // TestKilledWorkerProcessFailsDriver SIGKILLs one worker process mid-job and
 // requires the coordinator process to exit nonzero (transport poisoned)
 // instead of hanging.

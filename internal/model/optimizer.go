@@ -29,7 +29,8 @@ func (SGD) Apply(params, grads []*tensor.Tensor, lr float64) ([]*tensor.Tensor, 
 	}
 	out := make([]*tensor.Tensor, len(params))
 	for i := range params {
-		out[i] = tensor.Sub(params[i], tensor.Scale(grads[i], lr))
+		out[i] = tensor.New(params[i].Shape()...)
+		SGDRange(out[i].Data(), params[i].Data(), grads[i].Data(), lr)
 	}
 	return out, nil
 }
@@ -56,8 +57,8 @@ func (m *Momentum) Apply(params, grads []*tensor.Tensor, lr float64) ([]*tensor.
 	}
 	out := make([]*tensor.Tensor, len(params))
 	for i := range params {
-		m.velocity[i] = tensor.Add(tensor.Scale(m.velocity[i], m.Beta), grads[i])
-		out[i] = tensor.Sub(params[i], tensor.Scale(m.velocity[i], lr))
+		out[i] = tensor.New(params[i].Shape()...)
+		MomentumRange(out[i].Data(), params[i].Data(), grads[i].Data(), m.velocity[i].Data(), lr, m.Beta)
 	}
 	return out, nil
 }
@@ -106,25 +107,11 @@ func (a *Adam) Apply(params, grads []*tensor.Tensor, lr float64) ([]*tensor.Tens
 		}
 	}
 	a.step++
-	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
-	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	cfg := AdamConfig{Beta1: a.Beta1, Beta2: a.Beta2, Eps: a.Eps, WeightDecay: a.WeightDecay}
 	out := make([]*tensor.Tensor, len(params))
 	for i := range params {
-		g := grads[i]
-		a.m[i] = tensor.Add(tensor.Scale(a.m[i], a.Beta1), tensor.Scale(g, 1-a.Beta1))
-		a.v[i] = tensor.Add(tensor.Scale(a.v[i], a.Beta2), tensor.Scale(tensor.Mul(g, g), 1-a.Beta2))
-		upd := tensor.New(g.Shape()...)
-		md, vd, ud := a.m[i].Data(), a.v[i].Data(), upd.Data()
-		for j := range ud {
-			mhat := md[j] / bc1
-			vhat := vd[j] / bc2
-			ud[j] = mhat / (math.Sqrt(vhat) + a.Eps)
-		}
-		p := tensor.Sub(params[i], tensor.Scale(upd, lr))
-		if a.WeightDecay != 0 {
-			p = tensor.Sub(p, tensor.Scale(params[i], lr*a.WeightDecay))
-		}
-		out[i] = p
+		out[i] = tensor.New(params[i].Shape()...)
+		AdamRange(out[i].Data(), params[i].Data(), grads[i].Data(), a.m[i].Data(), a.v[i].Data(), cfg, lr, a.step)
 	}
 	return out, nil
 }

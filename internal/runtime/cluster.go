@@ -197,6 +197,20 @@ func (e *Executable) transportErr() error {
 	return nil
 }
 
+// GradOwners returns the producing actor of each gradient output in program
+// order (replica-0 global actor IDs). It is derived purely from the shared
+// program metadata every rank compiles identically, so under the hosted-actor
+// filter a rank learns the full owner table — who produces which gradient —
+// without any peer actor existing locally. The sharded optimizer epilogue
+// lays its owner-major flat layout out from exactly this table.
+func (e *Executable) GradOwners() []int {
+	out := make([]int, len(e.prog.Grads))
+	for i, g := range e.prog.Grads {
+		out[i] = g.Actor
+	}
+	return out
+}
+
 // Hosts reports whether this load materialized the given global actor (true
 // for every actor on an unfiltered load).
 func (e *Executable) Hosts(actor int) bool {

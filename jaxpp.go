@@ -434,3 +434,9 @@ func (t *TrainStep) MemoryStats() []runtime.StoreStats { return t.exe.StoreStats
 
 // Program exposes the compiled MPMD program (for inspection and tests).
 func (t *TrainStep) Program() *taskgraph.Program { return t.prog }
+
+// GradOwners returns the producing actor of each gradient output in program
+// order — the owner table the ZeRO-sharded step epilogue derives its
+// owner-major layout from. Available on every rank under the hosted-actor
+// filter (it reads shared program metadata, not peer state).
+func (t *TrainStep) GradOwners() []int { return t.exe.GradOwners() }
