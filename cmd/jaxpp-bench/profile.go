@@ -32,9 +32,16 @@ type profileBlock struct {
 	DPxPP           *tierProfile `json:"dpxpp"`
 	WireCollective  *tierProfile `json:"wire_collective"`
 	DisabledTrackNs float64      `json:"disabled_track_ns"`
+	// Disabled/EnabledStepRecordNs measure the per-step telemetry publish:
+	// one obs.RecordStep into the lock-free step ring with the gate off
+	// (one atomic load) and on (a seqlock slot publish). Both are
+	// allocation-free; the disabled cost joins the overhead estimate below.
+	DisabledStepRecordNs float64 `json:"disabled_step_record_ns"`
+	EnabledStepRecordNs  float64 `json:"enabled_step_record_ns"`
 	// DisabledOverheadPct estimates the disabled registry's share of a
 	// pipeline step: tracked scope hits per step × the measured disabled
-	// Track/Stop cost, over the gated step time. CI pins this ≤ 1%.
+	// Track/Stop cost, plus one disabled per-step telemetry record, over
+	// the gated step time. CI pins this ≤ 1%.
 	DisabledOverheadPct float64 `json:"disabled_overhead_pct"`
 	PoolHitRatePct      float64 `json:"pool_hit_rate_pct"`
 }
@@ -89,6 +96,23 @@ func measureProfile(pipelineStepMs float64) (*profileBlock, error) {
 	}
 	pb.DisabledTrackNs = time.Since(t0).Seconds() * 1e9 / gateIters
 
+	// Per-step telemetry publish cost, both sides of the gate. The sample is
+	// stack-built each iteration like the real call site (stepSampler.record
+	// assembles it from live aggregates).
+	obs.DisableSteps()
+	t0 = time.Now()
+	for i := 0; i < gateIters; i++ {
+		obs.RecordStep(obs.StepSample{Rank: 1, Step: int64(i)})
+	}
+	pb.DisabledStepRecordNs = time.Since(t0).Seconds() * 1e9 / gateIters
+	obs.EnableSteps()
+	t0 = time.Now()
+	for i := 0; i < gateIters; i++ {
+		obs.RecordStep(obs.StepSample{Rank: 1, Step: int64(i)})
+	}
+	pb.EnabledStepRecordNs = time.Since(t0).Seconds() * 1e9 / gateIters
+	obs.DisableSteps()
+
 	var hit, miss float64
 	countPool := func(snap *obs.Snapshot) {
 		hit += float64(snap.CounterValue("pool/hit"))
@@ -133,7 +157,7 @@ func measureProfile(pipelineStepMs float64) (*profileBlock, error) {
 			calls += sc.Count
 		}
 		callsPerStep := float64(calls) / profileSteps
-		pb.DisabledOverheadPct = 100 * callsPerStep * pb.DisabledTrackNs / (pipelineStepMs * 1e6)
+		pb.DisabledOverheadPct = 100 * (callsPerStep*pb.DisabledTrackNs + pb.DisabledStepRecordNs) / (pipelineStepMs * 1e6)
 	}
 	if pb.DPxPP, _, err = tier(4, 8, 4, 32, 2); err != nil {
 		return nil, err

@@ -52,6 +52,8 @@ func main() {
 	profile := flag.Bool("profile", false, "arm the obs registry and log a one-line per-step compute/wire/idle summary")
 	traceOut := flag.String("trace-out", "", "write the executed Chrome trace (all ranks merged) to this path (rank 0 / local only; implies -profile)")
 	stepSleep := flag.Int("step-sleep-ms", 0, "sleep after every step (failure-injection test hook)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics, /healthz, and /debug/cluster on this address; in -distributed mode the coordinator aggregates heartbeat-streamed per-step samples from every rank and arms per-step telemetry for the whole world")
+	flightDir := flag.String("flight-dir", "", "record rendezvous/checkpoint/failure events into a crash-surviving flight-recorder ring in this directory (replay with jaxpp-viz -flight)")
 	ckptDir := flag.String("ckpt-dir", "", "enable rank-sharded checkpointing into this directory (and resume from its newest consistent checkpoint)")
 	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint period in steps (0 = default 10 when -ckpt-dir is set)")
 	elastic := flag.Bool("elastic", false, "with -distributed rank 0: survive worker death by re-rendezvousing a smaller world and resuming from checkpoint")
@@ -93,13 +95,19 @@ func main() {
 		Steps: *steps, LR: *lr, Momentum: *momentum, Sharded: *sharded, Schedule: *schedName,
 		DataParallel: *dp, SPMD: *spmd, Seed: *seed, StepSleepMs: *stepSleep,
 		CkptDir: *ckptDir, CkptEvery: *ckptEvery,
-		Profile: *profile || *traceOut != "",
+		Profile:   *profile || *traceOut != "",
+		Telemetry: *metricsAddr != "",
 	}
 	sessOpts := dist.SessionOptions{
 		Transport:         dist.Options{CRC: *crc},
 		HeartbeatInterval: *hbInterval,
 		HeartbeatMisses:   *hbMisses,
 		JoinGrace:         *joinGrace,
+	}
+	tl, telDone := setupTelemetry(*metricsAddr, *flightDir)
+	defer telDone()
+	if tl != nil {
+		sessOpts.OnMetrics = tl.IngestFrame
 	}
 
 	var rep *distrun.Report

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
+
+// setupTelemetry wires this process's slice of the live telemetry plane: a
+// crash-surviving flight recorder when flightDir is set (installed globally,
+// so distrun/dist event sites log into it), and an HTTP metrics listener
+// backed by a ClusterTimeline when metricsAddr is set. The returned timeline
+// is non-nil iff the listener is up — the coordinator feeds
+// heartbeat-piggybacked worker frames into it via SessionOptions.OnMetrics,
+// while the process's own ring drains through SyncLocal on every scrape.
+// cleanup tears both down in reverse order.
+func setupTelemetry(metricsAddr, flightDir string) (*obs.ClusterTimeline, func()) {
+	var closers []func()
+	if flightDir != "" {
+		rec, err := flight.Open(flightDir, flight.Options{})
+		if err != nil {
+			log.Fatalf("flight recorder %s: %v", flightDir, err)
+		}
+		flight.Install(rec)
+		closers = append(closers, func() { rec.Close() })
+	}
+	var tl *obs.ClusterTimeline
+	if metricsAddr != "" {
+		tl = obs.NewClusterTimeline(obs.StragglerConfig{})
+		srv, err := obs.StartMetricsServer(metricsAddr, tl)
+		if err != nil {
+			log.Fatalf("metrics listener %s: %v", metricsAddr, err)
+		}
+		fmt.Printf("metrics: http://%s/metrics\n", srv.Addr())
+		closers = append(closers, func() { srv.Close() })
+	}
+	return tl, func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+}

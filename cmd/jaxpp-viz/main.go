@@ -3,9 +3,14 @@
 // renders an executed trace (jaxpp-train -trace-out) as the same per-actor
 // timeline, optionally validating that every rank contributed spans.
 //
+// With -flight it renders a flight-recorder directory (jaxpp-train/-worker
+// -flight-dir) as a chronological post-mortem event timeline — readable even
+// after a SIGKILL mid-write, since replay stops at the first torn frame.
+//
 //	jaxpp-viz -actors 3 -mb 6 -schedule 1f1b
 //	jaxpp-viz -schedule interleaved -repeat 2 -chrome trace.json
 //	jaxpp-viz -exec trace.json -expect-ranks 4
+//	jaxpp-viz -flight ./flight-coord
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/obs/flight"
 	"repro/internal/schedule"
 	"repro/internal/timeline"
 )
@@ -28,7 +34,15 @@ func main() {
 	chrome := flag.String("chrome", "", "write Chrome trace JSON to this file")
 	execTrace := flag.String("exec", "", "render an executed Chrome trace (jaxpp-train -trace-out) instead of a simulated schedule")
 	expectRanks := flag.Int("expect-ranks", 0, "with -exec: require spans from every rank 0..N-1 (exit 1 otherwise)")
+	flightDir := flag.String("flight", "", "render a flight-recorder directory (jaxpp-train/-worker -flight-dir) as a post-mortem event timeline")
 	flag.Parse()
+
+	if *flightDir != "" {
+		if err := renderFlight(*flightDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *execTrace != "" {
 		if err := renderExec(*execTrace, *expectRanks, *width); err != nil {
@@ -105,6 +119,39 @@ func renderExec(path string, expectRanks, width int) error {
 			}
 		}
 		fmt.Printf("trace OK: %d spans covering all %d ranks\n", len(events), expectRanks)
+	}
+	return nil
+}
+
+// renderFlight replays a flight-recorder directory as one chronological line
+// per event, timestamped relative to the first event. Torn or corrupt tail
+// frames (a recorder killed mid-write) are silently dropped by the decoder,
+// so the timeline always renders whatever was durably committed.
+func renderFlight(dir string) error {
+	events, err := flight.Replay(dir)
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		fmt.Printf("flight %s: no events\n", dir)
+		return nil
+	}
+	base := events[0].WallNs
+	fmt.Printf("flight %s: %d events\n", dir, len(events))
+	for _, ev := range events {
+		rank := "-"
+		if ev.Rank >= 0 {
+			rank = fmt.Sprintf("%d", ev.Rank)
+		}
+		step := "-"
+		if ev.Step >= 0 {
+			step = fmt.Sprintf("%d", ev.Step)
+		}
+		line := fmt.Sprintf("+%9.3fs  rank %-3s step %-5s %-14s", float64(ev.WallNs-base)/1e9, rank, step, ev.Kind)
+		if ev.Detail != "" {
+			line += " " + ev.Detail
+		}
+		fmt.Println(line)
 	}
 	return nil
 }

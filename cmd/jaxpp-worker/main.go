@@ -40,7 +40,12 @@ func main() {
 	maxJoinFailures := flag.Int("max-join-failures", 5, "elastic mode: consecutive failed joins before giving up on the coordinator")
 	hbInterval := flag.Duration("hb-interval", 0, "heartbeat ping interval (0 = default 1s)")
 	hbMisses := flag.Int("hb-misses", 0, "missed heartbeat intervals before a peer is declared dead (0 = default 5)")
+	metricsAddr := flag.String("metrics-addr", "", "serve this rank's local Prometheus /metrics, /healthz, and /debug/cluster on this address (arms per-step telemetry locally)")
+	flightDir := flag.String("flight-dir", "", "record this rank's job/failure events into a crash-surviving flight-recorder ring in this directory (replay with jaxpp-viz -flight)")
 	flag.Parse()
+
+	telDone := setupTelemetry(*metricsAddr, *flightDir)
+	defer telDone()
 
 	opts := dist.SessionOptions{
 		Transport:         dist.Options{CRC: *crc},

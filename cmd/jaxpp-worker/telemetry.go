@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/obs"
+	"repro/internal/obs/flight"
+)
+
+// setupTelemetry wires this worker's slice of the live telemetry plane: a
+// crash-surviving flight recorder when flightDir is set (installed globally,
+// so distrun/dist event sites log into it), and a local-view HTTP metrics
+// listener when metricsAddr is set — it serves this rank's own step ring
+// (drained via SyncLocal on every scrape), not the cluster aggregate; that
+// lives on the coordinator. Because the worker takes its JobSpec from the
+// coordinator, a local -metrics-addr arms the step gates directly so the
+// local view works even when the coordinator did not request telemetry.
+// cleanup tears both down in reverse order.
+func setupTelemetry(metricsAddr, flightDir string) func() {
+	var closers []func()
+	if flightDir != "" {
+		rec, err := flight.Open(flightDir, flight.Options{})
+		if err != nil {
+			log.Fatalf("flight recorder %s: %v", flightDir, err)
+		}
+		flight.Install(rec)
+		closers = append(closers, func() { rec.Close() })
+	}
+	if metricsAddr != "" {
+		obs.Enable()
+		obs.EnableSteps()
+		tl := obs.NewClusterTimeline(obs.StragglerConfig{})
+		srv, err := obs.StartMetricsServer(metricsAddr, tl)
+		if err != nil {
+			log.Fatalf("metrics listener %s: %v", metricsAddr, err)
+		}
+		fmt.Printf("jaxpp-worker: metrics: http://%s/metrics\n", srv.Addr())
+		closers = append(closers, func() { srv.Close() })
+	}
+	return func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+}

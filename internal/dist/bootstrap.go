@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Rendezvous: one process is elected coordinator (by convention the rank-0
@@ -36,7 +38,12 @@ type ctrlMsg struct {
 	// Prof carries a worker's end-of-job profile snapshot to the coordinator
 	// (see SendProfile/GatherProfiles).
 	Prof json.RawMessage `json:"prof,omitempty"`
-	Err  string          `json:"err,omitempty"`
+	// Metrics piggybacks a compact step-frame (obs.AppendStepFrame) onto a
+	// worker's heartbeat ping — the telemetry plane streams without a new
+	// message kind or extra round trips. Absent unless telemetry is armed
+	// and new samples exist (JSON []byte rides as base64).
+	Metrics []byte `json:"metrics,omitempty"`
+	Err     string `json:"err,omitempty"`
 }
 
 const (
@@ -84,6 +91,11 @@ type SessionOptions struct {
 	// is met, restarted on every join (zero = DefaultJoinGrace).
 	MinWorld  int
 	JoinGrace time.Duration
+	// OnMetrics, set on the coordinator, receives each worker's
+	// heartbeat-piggybacked telemetry frame (see ctrlMsg.Metrics). Called
+	// from the per-worker serve goroutine; implementations must be
+	// concurrency-safe and quick (ClusterTimeline.IngestFrame qualifies).
+	OnMetrics func(rank int, frame []byte)
 }
 
 func (o *SessionOptions) fill() {
@@ -129,6 +141,13 @@ type Session struct {
 
 	// Worker side.
 	coord *ctrlConn
+
+	// Telemetry piggyback state, touched only by the worker's pinger
+	// goroutine: the ring cursor, a drain scratch, and the reused frame
+	// buffer (heartbeats with no new samples attach nothing).
+	metricsCursor  int64
+	metricsScratch [64]obs.StepSample
+	metricsBuf     []byte
 
 	// closing marks a locally initiated teardown, so the serve loops can
 	// tell "we closed our own sockets" from "the peer's process died".
@@ -477,7 +496,7 @@ func (t *Transport) setRank(rank int) {
 // worker process died) poisons the data plane immediately.
 func (s *Session) coordinatorServe(cc *ctrlConn) {
 	cc.touch() // heartbeat accounting starts now, not at conn creation
-	stopPing := startPinger(cc, s.opts.HeartbeatInterval)
+	stopPing := startPinger(cc, s.opts.HeartbeatInterval, nil)
 	defer stopPing()
 	for {
 		m, err := cc.read()
@@ -490,6 +509,9 @@ func (s *Session) coordinatorServe(cc *ctrlConn) {
 		cc.touch()
 		switch m.Type {
 		case "ping":
+			if s.opts.OnMetrics != nil && len(m.Metrics) > 0 {
+				s.opts.OnMetrics(cc.rank, m.Metrics)
+			}
 			cc.send(ctrlMsg{Type: "pong"})
 		case "pong":
 		case "bye":
@@ -537,7 +559,7 @@ func (s *Session) coordinatorMonitor() {
 func (s *Session) workerServe() {
 	cc := s.coord
 	cc.touch() // heartbeat accounting starts now, not at conn creation
-	stopPing := startPinger(cc, s.opts.HeartbeatInterval)
+	stopPing := startPinger(cc, s.opts.HeartbeatInterval, s.collectMetrics)
 	defer stopPing()
 	for {
 		m, err := cc.read()
@@ -570,8 +592,11 @@ func (s *Session) workerServe() {
 }
 
 // startPinger sends liveness pings on cc until the returned stop function
-// runs (when the serve loop exits, on conn error or shutdown).
-func startPinger(cc *ctrlConn, interval time.Duration) func() {
+// runs (when the serve loop exits, on conn error or shutdown). A non-nil
+// attach is called before each ping and its result rides along as the
+// Metrics payload — the telemetry piggyback (workers attach, the
+// coordinator pings plain).
+func startPinger(cc *ctrlConn, interval time.Duration, attach func() []byte) func() {
 	done := make(chan struct{})
 	go func() {
 		tick := time.NewTicker(interval)
@@ -581,13 +606,44 @@ func startPinger(cc *ctrlConn, interval time.Duration) func() {
 			case <-done:
 				return
 			case <-tick.C:
-				if cc.send(ctrlMsg{Type: "ping"}) != nil {
+				m := ctrlMsg{Type: "ping"}
+				if attach != nil {
+					m.Metrics = attach()
+				}
+				if cc.send(m) != nil {
 					return
 				}
 			}
 		}
 	}()
 	return func() { close(done) }
+}
+
+// collectMetrics drains newly published step samples into a reusable frame
+// buffer for the next heartbeat, or returns nil when telemetry is off or
+// idle. Runs only on the worker's pinger goroutine, so the cursor and
+// buffers need no locking.
+func (s *Session) collectMetrics() []byte {
+	if !obs.StepsEnabled() {
+		return nil
+	}
+	total := 0
+	buf := s.metricsBuf[:0]
+	var samples []obs.StepSample
+	for {
+		n := obs.ReadStepsSince(&s.metricsCursor, s.metricsScratch[:])
+		if n == 0 {
+			break
+		}
+		samples = append(samples, s.metricsScratch[:n]...)
+		total += n
+	}
+	if total == 0 {
+		return nil
+	}
+	buf = obs.AppendStepFrame(buf, samples)
+	s.metricsBuf = buf
+	return buf
 }
 
 // workerMonitor poisons the data plane when the coordinator goes silent.

@@ -241,9 +241,30 @@ func TestPoisonPropagationUnderConcurrentSends(t *testing.T) {
 			}
 		}(g)
 	}
+	// The queue-depth gauge must stay readable while TryPut races the
+	// teardown: hammer QueueDepth concurrently with the senders and the
+	// poison (the race detector turns an unsynchronized read into a failure).
+	depthStop := make(chan struct{})
+	depthDone := make(chan struct{})
+	go func() {
+		defer close(depthDone)
+		for {
+			if d := a.QueueDepth(); d < 0 {
+				t.Error("negative queue depth")
+				return
+			}
+			select {
+			case <-depthStop:
+				return
+			default:
+			}
+		}
+	}()
 	close(start)
 	b.Abort() // peer dies mid-hammer
 	wg.Wait()
+	close(depthStop)
+	<-depthDone
 
 	// A send into a dead peer must have poisoned a (the sender worker's write
 	// fails); poll briefly since the mailbox drains asynchronously.

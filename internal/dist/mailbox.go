@@ -3,6 +3,7 @@ package dist
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Mailbox is the sender-worker primitive behind the §4.2 deadlock-freedom
@@ -27,6 +28,12 @@ type Mailbox[T any] struct {
 	done    chan struct{}
 	stopped bool
 	bound   int
+	// inflight counts items the worker has swapped out of queue but not yet
+	// pushed through the sink. Set under mu at swap time, decremented per
+	// item without mu — so Len (queue + inflight) never momentarily drops to
+	// zero while a drained batch is still being sunk, and the queue-depth
+	// gauge reads consistently under the race detector during teardown.
+	inflight atomic.Int64
 }
 
 // DefaultMailboxBound is the outstanding-item cap: far above any real
@@ -96,12 +103,14 @@ func (m *Mailbox[T]) TryPut(it T) bool {
 	return true
 }
 
-// Len reports the items enqueued but not yet swapped out by the worker — the
-// sender-worker queue depth the observability layer samples.
+// Len reports the items enqueued or swapped out but not yet sunk by the
+// worker — the sender-worker queue depth the observability layer samples.
+// Including the in-flight batch means a drain burst shows as depth falling
+// item by item, not as an instantaneous drop to zero at swap time.
 func (m *Mailbox[T]) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.queue)
+	return len(m.queue) + int(m.inflight.Load())
 }
 
 // Stop drains remaining items through the sink, then terminates the worker.
@@ -131,10 +140,12 @@ func (m *Mailbox[T]) run(sink func(T), onDrain func()) {
 			// swap empties the queue for good.
 			m.mu.Lock()
 			batch, m.queue = m.queue, batch[:0]
+			m.inflight.Store(int64(len(batch)))
 			m.mu.Unlock()
 			for i := range batch {
 				sink(batch[i])
 				batch[i] = zero
+				m.inflight.Add(-1)
 			}
 			if onDrain != nil && len(batch) > 0 {
 				onDrain()
@@ -147,6 +158,7 @@ func (m *Mailbox[T]) run(sink func(T), onDrain func()) {
 			// retain capacity, so the steady state recycles two arrays.
 			m.mu.Lock()
 			batch, m.queue, m.standby = m.queue, m.standby[:0], nil
+			m.inflight.Store(int64(len(batch)))
 			m.mu.Unlock()
 			if len(batch) == 0 {
 				m.mu.Lock()
@@ -161,6 +173,7 @@ func (m *Mailbox[T]) run(sink func(T), onDrain func()) {
 			for i := range batch {
 				sink(batch[i])
 				batch[i] = zero // release the payload reference promptly
+				m.inflight.Add(-1)
 			}
 			m.mu.Lock()
 			m.standby = batch[:0]

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/tensor"
 )
 
@@ -408,8 +409,27 @@ func (t *Transport) Poison(err error) {
 		return
 	}
 	if t.err.CompareAndSwap(nil, &err) {
+		flight.Log("poison", t.Rank(), -1, err.Error())
 		close(t.dead)
 	}
+}
+
+// QueueDepth reports the deepest sender-worker mailbox across peers — the
+// per-step queue-depth gauge the telemetry plane samples (a persistently
+// growing depth marks this rank's downstream as a straggler suspect).
+func (t *Transport) QueueDepth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	depth := 0
+	for _, pl := range t.peers {
+		if pl == nil || pl.mb == nil {
+			continue
+		}
+		if n := pl.mb.Len(); n > depth {
+			depth = n
+		}
+	}
+	return depth
 }
 
 // Err returns the poison error, or nil while the transport is healthy.

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
 
@@ -370,5 +371,103 @@ func TestJoinRejectsUnavailableRank(t *testing.T) {
 	}
 	for _, s := range []*Session{coordSess, first, last} {
 		s.Close()
+	}
+}
+
+// TestHeartbeatMetricsPiggyback pins the telemetry streaming path end to
+// end: a worker's pinger drains the step ring, encodes a frame, attaches it
+// to a heartbeat ping, and the coordinator's OnMetrics hook receives samples
+// that decode back bit-for-bit.
+func TestHeartbeatMetricsPiggyback(t *testing.T) {
+	var mu sync.Mutex
+	got := map[int64]obs.StepSample{} // step -> sample
+	total := 0                        // every delivered sample, re-deliveries included
+	fromRank := -1
+
+	opts := SessionOptions{
+		RendezvousTimeout: 20 * time.Second,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatTimeout:  2 * time.Second,
+		Transport:         Options{RecvTimeout: 10 * time.Second},
+	}
+	coordOpts := opts
+	coordOpts.OnMetrics = func(rank int, frame []byte) {
+		samples, err := obs.DecodeStepFrame(frame)
+		if err != nil {
+			t.Errorf("coordinator received corrupt telemetry frame: %v", err)
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		fromRank = rank
+		for _, s := range samples {
+			got[s.Step] = s
+			total++
+		}
+	}
+
+	addr := freeAddr(t)
+	var coord, worker *Session
+	var coordErr, workerErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		coord, coordErr = Coordinate(addr, 2, nil, coordOpts)
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			worker, workerErr = Join(addr, opts)
+			if workerErr == nil || !strings.Contains(workerErr.Error(), "connect") {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	if coordErr != nil || workerErr != nil {
+		t.Fatalf("bootstrap: coord %v worker %v", coordErr, workerErr)
+	}
+	defer coord.Close()
+	defer worker.Close()
+
+	obs.EnableSteps()
+	defer obs.DisableSteps()
+	want := obs.StepSample{Rank: 1, Step: 3, WallNs: 7e6, ComputeNs: 5e6,
+		WireNs: 1e6, IdleNs: 1e6, BytesSent: 4096, QueueDepth: 2, PoolHit: 8, PoolMiss: 2, Allocs: 44}
+	obs.RecordStep(want)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		s, ok := got[want.Step]
+		rank := fromRank
+		mu.Unlock()
+		if ok {
+			if s != want {
+				t.Fatalf("streamed sample = %+v, want %+v", s, want)
+			}
+			if rank != 1 {
+				t.Fatalf("frame attributed to rank %d, want 1", rank)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("coordinator never received the piggybacked telemetry frame")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Idle heartbeats (no new samples) must not re-deliver old frames.
+	mu.Lock()
+	before := total
+	mu.Unlock()
+	time.Sleep(5 * opts.HeartbeatInterval)
+	mu.Lock()
+	after := total
+	mu.Unlock()
+	if after != before {
+		t.Fatalf("idle heartbeats re-delivered %d samples", after-before)
 	}
 }

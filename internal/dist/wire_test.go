@@ -6,7 +6,9 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/tensor"
 )
@@ -229,4 +231,73 @@ func TestMailboxPutNeverBlocks(t *testing.T) {
 	<-doneAll // would hang here if Put blocked on the stalled sink
 	close(release)
 	m.Stop()
+}
+
+// TestMailboxLenIncludesInflight pins the queue-depth gauge's contract: a
+// batch the worker has swapped out but not yet sunk still counts, so depth
+// falls item by item through a drain burst instead of snapping to zero the
+// moment the worker claims the batch.
+func TestMailboxLenIncludesInflight(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 16)
+	m := NewMailbox[int](0, func(int) {
+		started <- struct{}{}
+		<-gate
+	})
+	defer m.Stop()
+	const items = 5
+	for i := 0; i < items; i++ {
+		m.Put(i)
+	}
+	<-started // worker swapped the batch out and is blocked in the sink
+	if got := m.Len(); got != items {
+		t.Fatalf("Len during in-flight batch = %d, want %d", got, items)
+	}
+	gate <- struct{}{} // release exactly one item
+	<-started
+	if got := m.Len(); got != items-1 {
+		t.Fatalf("Len after one sunk item = %d, want %d", got, items-1)
+	}
+	close(gate)
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Len() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.Len(); got != 0 {
+		t.Fatalf("Len after full drain = %d, want 0", got)
+	}
+}
+
+// TestMailboxLenConcurrent reads Len while producers and teardown race —
+// meaningful mostly under -race, where an unsynchronized depth read fails.
+func TestMailboxLenConcurrent(t *testing.T) {
+	m := NewMailbox[int](0, func(int) {})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if m.Len() < 0 {
+				t.Error("negative mailbox depth")
+				return
+			}
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		if !m.TryPut(i) {
+			t.Fatal("TryPut refused before stop")
+		}
+	}
+	m.Stop()
+	if m.TryPut(1) {
+		t.Fatal("TryPut accepted after stop")
+	}
+	close(stop)
+	wg.Wait()
 }

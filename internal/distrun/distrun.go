@@ -22,6 +22,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/runtime"
 	"repro/internal/tensor"
 )
@@ -108,6 +109,12 @@ type JobSpec struct {
 	// snapshot exchange must stay symmetric across ranks, so shipping follows
 	// Profile (the payload) alone.
 	ProfileLocal bool `json:"-"`
+	// Telemetry arms the live telemetry plane on every rank: one
+	// obs.StepSample per step into the process-local ring, streamed to the
+	// coordinator piggybacked on control-plane heartbeats. Travels in the
+	// rendezvous payload so the coordinator's -metrics-addr flag lights up
+	// the whole world without per-worker flags.
+	Telemetry bool `json:"telemetry,omitempty"`
 }
 
 // KindTrain is the JobSpec payload kind (the empty string means the same).
@@ -616,6 +623,7 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 	}
 	tr := sess.Transport
 	rank := sess.Rank
+	flight.Log("run_start", rank, -1, fmt.Sprintf("world %d sharded=%v telemetry=%v", sess.World, spec.Sharded, spec.Telemetry))
 	host := []int{rank}
 	if spec.NoHostedFilter {
 		host = nil
@@ -705,6 +713,9 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 		if gerr != nil {
 			return nil, gerr
 		}
+		if startStep > 0 {
+			flight.Log("restore", rank, startStep, "resumed from checkpoint")
+		}
 	}
 	// Gradient owners are the replica-0 actors, whose global IDs equal
 	// their per-replica IDs — derived from metadata once, so the per-step
@@ -748,6 +759,13 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 	if profiling {
 		defer beginProfiling()()
 	}
+	// Telemetry arms after profiling: beginProfiling's SnapshotAndReset must
+	// run before the sampler primes its baselines, or the first step's deltas
+	// go negative.
+	if spec.Telemetry {
+		defer beginTelemetry()()
+	}
+	sampler := newStepSampler(rank, tr)
 	var stepPrev [3]time.Duration
 	rep := &Report{Rank: rank, World: sess.World, StartStep: startStep}
 	for step := startStep; step < spec.Steps; step++ {
@@ -837,8 +855,10 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 			} else if err := saveCheckpoint(sess, spec, step+1, params, vel); err != nil {
 				return nil, err
 			}
+			flight.Log("ckpt_commit", rank, step+1, "")
 		}
 		obs.Add(cStepsProfiled, 1)
+		sampler.record(step, time.Since(stepStart))
 		if profiling {
 			logStepSummary(rank, step, time.Since(stepStart), &stepPrev)
 		}

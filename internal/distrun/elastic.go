@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/ckpt"
 	"repro/internal/dist"
+	"repro/internal/obs/flight"
 )
 
 // Elastic training: the coordinator runs a rendezvous–train–recover loop.
@@ -93,6 +94,7 @@ func RunElasticCoordinator(spec JobSpec, opt ElasticOptions, prevAttempts int) (
 			}
 		}
 		log.Printf("distrun: elastic attempt %d: world %d (%d replicas × %d stages)", attempt, sess.World, cur.Replicas(), cur.Stages)
+		flight.Log("rendezvous", -1, -1, fmt.Sprintf("attempt %d world %d (%d replicas × %d stages)", attempt, sess.World, cur.Replicas(), cur.Stages))
 		rep, runErr := Run(sess, cur)
 		world := sess.World
 		sess.Close()
@@ -111,9 +113,11 @@ func RunElasticCoordinator(spec JobSpec, opt ElasticOptions, prevAttempts int) (
 					log.Printf("distrun: released %d straggler worker(s) after job completion", n)
 				}
 			}
+			flight.Log("job_done", -1, -1, fmt.Sprintf("attempt %d complete", attempt))
 			return rep, nil
 		}
 		lastErr = runErr
+		flight.Log("attempt_fail", -1, -1, fmt.Sprintf("attempt %d: %v", attempt, runErr))
 		log.Printf("distrun: elastic attempt %d failed: %v; returning to rendezvous at %s", attempt, runErr, opt.CtrlAddr)
 	}
 	return nil, fmt.Errorf("distrun: elastic job failed %d attempts, giving up: %w", opt.MaxAttempts, lastErr)
@@ -193,6 +197,7 @@ func RunElasticWorker(ctrlAddr string, opt WorkerOptions) error {
 		if runErr == nil {
 			return nil
 		}
+		flight.Log("rejoin", sess.Rank, -1, runErr.Error())
 		log.Printf("distrun: rank %d job failed (%v); rejoining %s in %v", sess.Rank, runErr, ctrlAddr, opt.Backoff)
 		time.Sleep(opt.Backoff)
 	}

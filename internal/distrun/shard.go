@@ -188,13 +188,45 @@ func (s *shardedState) syncParams(params []*jaxpp.Tensor) {
 func (s *shardedState) exchange(comm *collective.Communicator, spec JobSpec, res *jaxpp.ActorResults, ownedGrad []bool, params []*jaxpp.Tensor) error {
 	p := s.plan
 	fg := s.flatG.Data()
+	// Contributed flat range: the union of this rank's owned gradient
+	// segments. The owner-major layout makes the union contiguous, so the
+	// sparse ReduceScatterV can skip the −0.0 filler writes — and the wire
+	// traffic — for every shard this rank contributes nothing to, sending a
+	// zero-length identity marker instead. If the owner table is ever
+	// non-contiguous (or a payload lands outside it), fall back to the dense
+	// filler path; both produce bit-identical shards.
+	contribLo, contribHi, ownedElems := p.total, 0, 0
 	for k, gi := range p.order {
-		if ownedGrad[gi] {
-			continue // overwritten with the real payload below
+		if !ownedGrad[gi] {
+			continue
 		}
-		seg := fg[p.off[k]:p.off[k+1]]
-		for i := range seg {
-			seg[i] = negZero
+		if p.off[k] < contribLo {
+			contribLo = p.off[k]
+		}
+		if p.off[k+1] > contribHi {
+			contribHi = p.off[k+1]
+		}
+		ownedElems += p.off[k+1] - p.off[k]
+	}
+	if contribLo > contribHi {
+		contribLo, contribHi = 0, 0
+	}
+	sparse := ownedElems == contribHi-contribLo
+	for _, gi := range res.GradIdx {
+		if !ownedGrad[gi] {
+			sparse = false
+			break
+		}
+	}
+	if !sparse {
+		for k, gi := range p.order {
+			if ownedGrad[gi] {
+				continue // overwritten with the real payload below
+			}
+			seg := fg[p.off[k]:p.off[k+1]]
+			for i := range seg {
+				seg[i] = negZero
+			}
 		}
 	}
 	for i, gi := range res.GradIdx {
@@ -204,7 +236,12 @@ func (s *shardedState) exchange(comm *collective.Communicator, spec JobSpec, res
 	}
 
 	hg := obs.TrackTid(scGradRS, s.rank)
-	err := comm.ReduceScatterVInto(s.gShard, s.flatG, p.counts, collective.OpSum, 0)
+	var err error
+	if sparse {
+		err = comm.ReduceScatterVSparseInto(s.gShard, s.flatG, p.counts, contribLo, contribHi, collective.OpSum, 0)
+	} else {
+		err = comm.ReduceScatterVInto(s.gShard, s.flatG, p.counts, collective.OpSum, 0)
+	}
 	hg.Stop()
 	if err != nil {
 		return fmt.Errorf("grad reduce-scatter: %w", err)

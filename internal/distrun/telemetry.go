@@ -1,0 +1,120 @@
+package distrun
+
+import (
+	"runtime/metrics"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Per-step telemetry sampling: at each step boundary the sampler reads the
+// live obs aggregates (allocation-free BreakdownNow/CounterNow), the runtime
+// allocation count, and the transport's sender-queue depth, differences them
+// against the previous boundary, and publishes one obs.StepSample into the
+// process-global ring — where the control-plane heartbeat picks it up for
+// streaming to the coordinator. Everything here is gated on
+// obs.StepsEnabled(): an unarmed job pays one atomic load per step.
+
+// Registered (or looked up) once; the wire and pool layers own the actual
+// counting, the sampler only reads.
+var (
+	ctBytesSent  = obs.Counter("wire/bytes_sent")
+	ctBytesRecvd = obs.Counter("wire/bytes_recvd")
+	ctPoolHit    = obs.Counter("pool/hit")
+	ctPoolMiss   = obs.Counter("pool/miss")
+)
+
+// queueDepther is the optional transport probe: the TCP transport reports
+// its deepest sender mailbox; transports without queues report nothing.
+type queueDepther interface{ QueueDepth() int }
+
+// stepSampler differences cumulative aggregates into per-step deltas.
+type stepSampler struct {
+	rank int
+	qd   queueDepther // nil when the transport has no sender queues
+
+	prevCompute, prevWire, prevIdle int64
+	prevSent, prevRecvd             int64
+	prevHit, prevMiss               int64
+	prevAllocs                      uint64
+	allocSamples                    []metrics.Sample
+}
+
+// newStepSampler primes the baselines so the first step's deltas do not
+// absorb bootstrap-time traffic. tr may be anything; only transports
+// implementing QueueDepth are probed.
+func newStepSampler(rank int, tr any) *stepSampler {
+	s := &stepSampler{rank: rank}
+	s.qd, _ = tr.(queueDepther)
+	s.allocSamples = []metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	if obs.StepsEnabled() {
+		s.prime()
+	}
+	return s
+}
+
+func (s *stepSampler) prime() {
+	s.prevCompute, s.prevWire, s.prevIdle = obs.BreakdownNow()
+	s.prevSent = obs.CounterNow(ctBytesSent)
+	s.prevRecvd = obs.CounterNow(ctBytesRecvd)
+	s.prevHit = obs.CounterNow(ctPoolHit)
+	s.prevMiss = obs.CounterNow(ctPoolMiss)
+	metrics.Read(s.allocSamples)
+	s.prevAllocs = s.allocSamples[0].Value.Uint64()
+}
+
+// record publishes one sample for a completed step. No-op (one atomic load)
+// when the telemetry plane is off.
+func (s *stepSampler) record(step int, wall time.Duration) {
+	if !obs.StepsEnabled() {
+		return
+	}
+	compute, wire, idle := obs.BreakdownNow()
+	sent := obs.CounterNow(ctBytesSent)
+	recvd := obs.CounterNow(ctBytesRecvd)
+	hit := obs.CounterNow(ctPoolHit)
+	miss := obs.CounterNow(ctPoolMiss)
+	metrics.Read(s.allocSamples)
+	allocs := s.allocSamples[0].Value.Uint64()
+	depth := 0
+	if s.qd != nil {
+		depth = s.qd.QueueDepth()
+	}
+	obs.RecordStep(obs.StepSample{
+		Rank:       int64(s.rank),
+		Step:       int64(step),
+		WallNs:     int64(wall),
+		ComputeNs:  compute - s.prevCompute,
+		WireNs:     wire - s.prevWire,
+		IdleNs:     idle - s.prevIdle,
+		BytesSent:  sent - s.prevSent,
+		BytesRecvd: recvd - s.prevRecvd,
+		QueueDepth: int64(depth),
+		PoolHit:    hit - s.prevHit,
+		PoolMiss:   miss - s.prevMiss,
+		Allocs:     int64(allocs - s.prevAllocs),
+	})
+	s.prevCompute, s.prevWire, s.prevIdle = compute, wire, idle
+	s.prevSent, s.prevRecvd = sent, recvd
+	s.prevHit, s.prevMiss = hit, miss
+	s.prevAllocs = allocs
+}
+
+// beginTelemetry arms the per-step telemetry plane (and the obs registry it
+// reads through) for a job's duration, returning the teardown that restores
+// prior gate state. Composes with beginProfiling: both may arm the registry,
+// each restores only what it changed.
+func beginTelemetry() (restore func()) {
+	wasSteps := obs.StepsEnabled()
+	wasObs := obs.Enabled()
+	obs.EnableSteps()
+	obs.Enable()
+	return func() {
+		if !wasSteps {
+			obs.DisableSteps()
+		}
+		if !wasObs {
+			obs.Disable()
+		}
+	}
+}

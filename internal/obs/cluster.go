@@ -1,0 +1,261 @@
+package obs
+
+import (
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs/flight"
+)
+
+// ClusterTimeline is the coordinator-side aggregate of the telemetry plane:
+// every rank's step samples (streamed in over the control-plane heartbeat,
+// or drained locally for the coordinator's own rank) land here, and each
+// ingest re-evaluates the straggler detectors. It backs /metrics,
+// /debug/cluster, and the one-line WARNs an operator actually reads.
+
+// StragglerConfig tunes detection. Zero values take the noted defaults.
+type StragglerConfig struct {
+	// Factor flags a rank whose step wall time exceeds Factor × the median
+	// of the latest wall times across ranks (default 2.0).
+	Factor float64
+	// Strikes is how many consecutive over-threshold steps it takes to flag
+	// (default 3) — one slow step is noise, three in a row is a straggler.
+	Strikes int
+	// MinWall ignores steps faster than this (default 1ms): at microsecond
+	// step times scheduler jitter swamps any real signal.
+	MinWall time.Duration
+	// QueueStrikes flags persistent sender-queue growth: this many
+	// consecutive samples with strictly increasing depth above QueueFloor
+	// (default 5 samples above a floor of 4).
+	QueueStrikes int
+	QueueFloor   int64
+}
+
+func (c *StragglerConfig) defaults() {
+	if c.Factor <= 1 {
+		c.Factor = 2.0
+	}
+	if c.Strikes <= 0 {
+		c.Strikes = 3
+	}
+	if c.MinWall <= 0 {
+		c.MinWall = time.Millisecond
+	}
+	if c.QueueStrikes <= 0 {
+		c.QueueStrikes = 5
+	}
+	if c.QueueFloor <= 0 {
+		c.QueueFloor = 4
+	}
+}
+
+// RankState is one rank's latest telemetry as the coordinator sees it.
+type RankState struct {
+	Last       StepSample `json:"last"`
+	Samples    int64      `json:"samples"`
+	LastSeenNs int64      `json:"last_seen_ns"` // coordinator wall clock
+	Straggler  bool       `json:"straggler"`
+	Reason     string     `json:"reason,omitempty"`
+
+	strikes      int // consecutive over-threshold steps
+	queueStrikes int // consecutive strictly-increasing queue depths
+	lastQueue    int64
+}
+
+// ClusterTimeline aggregates per-rank samples and flags stragglers. Safe for
+// concurrent use (heartbeat handler goroutines + HTTP handlers).
+type ClusterTimeline struct {
+	cfg StragglerConfig
+
+	mu    sync.Mutex
+	ranks map[int64]*RankState
+	flags int64 // straggler flag transitions (mirrors the obs counter)
+
+	localCursor  int64
+	localScratch [64]StepSample
+	decodeBuf    []StepSample
+
+	// wallMedianScratch avoids per-ingest allocation for the median.
+	wallScratch []int64
+}
+
+// cStragglerFlags counts flag transitions in the obs counter registry so the
+// signal shows up in profiling snapshots and /metrics passthrough alike.
+var cStragglerFlags = Counter("telemetry/straggler_flags")
+
+// NewClusterTimeline builds an empty timeline.
+func NewClusterTimeline(cfg StragglerConfig) *ClusterTimeline {
+	cfg.defaults()
+	return &ClusterTimeline{cfg: cfg, ranks: make(map[int64]*RankState)}
+}
+
+// IngestFrame decodes a heartbeat-piggybacked step frame from a rank and
+// ingests every sample. Corrupt frames are dropped whole (logged once per
+// occurrence) — the next heartbeat resends nothing, but telemetry is lossy
+// by design.
+func (tl *ClusterTimeline) IngestFrame(rank int, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	samples, err := DecodeStepFrameInto(tl.decodeBuf[:0], data)
+	tl.decodeBuf = samples[:0]
+	if err != nil {
+		log.Printf("obs: dropping telemetry frame from rank %d: %v", rank, err)
+		return
+	}
+	for i := range samples {
+		tl.ingestLocked(samples[i])
+	}
+}
+
+// Ingest adds one sample (test harnesses and local aggregation).
+func (tl *ClusterTimeline) Ingest(s StepSample) {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	tl.ingestLocked(s)
+}
+
+// SyncLocal drains the process-global step ring into the timeline — the
+// coordinator's own rank (and the worker's local /metrics view) stream
+// through here instead of over the wire.
+func (tl *ClusterTimeline) SyncLocal() {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	for {
+		n := ReadStepsSince(&tl.localCursor, tl.localScratch[:])
+		if n == 0 {
+			return
+		}
+		for i := 0; i < n; i++ {
+			tl.ingestLocked(tl.localScratch[i])
+		}
+	}
+}
+
+func (tl *ClusterTimeline) ingestLocked(s StepSample) {
+	rs := tl.ranks[s.Rank]
+	if rs == nil {
+		rs = &RankState{}
+		tl.ranks[s.Rank] = rs
+	}
+	rs.Last = s
+	rs.Samples++
+	rs.LastSeenNs = time.Now().UnixNano()
+
+	tl.evalStepTimeLocked(rs, s)
+	tl.evalQueueLocked(rs, s)
+}
+
+// medianWallLocked is the median of every rank's latest step wall time.
+func (tl *ClusterTimeline) medianWallLocked() int64 {
+	tl.wallScratch = tl.wallScratch[:0]
+	for _, rs := range tl.ranks {
+		if rs.Last.WallNs > 0 {
+			tl.wallScratch = append(tl.wallScratch, rs.Last.WallNs)
+		}
+	}
+	if len(tl.wallScratch) == 0 {
+		return 0
+	}
+	sort.Slice(tl.wallScratch, func(i, j int) bool { return tl.wallScratch[i] < tl.wallScratch[j] })
+	return tl.wallScratch[len(tl.wallScratch)/2]
+}
+
+func (tl *ClusterTimeline) evalStepTimeLocked(rs *RankState, s StepSample) {
+	// Need at least two ranks for a median to mean anything.
+	if len(tl.ranks) < 2 || s.WallNs < int64(tl.cfg.MinWall) {
+		rs.strikes = 0
+		tl.maybeClearLocked(rs, s)
+		return
+	}
+	med := tl.medianWallLocked()
+	if med <= 0 || float64(s.WallNs) <= tl.cfg.Factor*float64(med) {
+		rs.strikes = 0
+		tl.maybeClearLocked(rs, s)
+		return
+	}
+	rs.strikes++
+	if rs.strikes >= tl.cfg.Strikes && !rs.Straggler {
+		rs.Straggler = true
+		rs.Reason = "step-time"
+		tl.flags++
+		Add(cStragglerFlags, 1)
+		log.Printf("WARN: obs: rank %d straggling: step %d wall %.1fms > %.1f× median %.1fms (%d consecutive)",
+			s.Rank, s.Step, float64(s.WallNs)/1e6, tl.cfg.Factor, float64(med)/1e6, rs.strikes)
+		flight.Log("straggler", int(s.Rank), int(s.Step), rs.Reason)
+	}
+}
+
+func (tl *ClusterTimeline) evalQueueLocked(rs *RankState, s StepSample) {
+	if s.QueueDepth > tl.cfg.QueueFloor && s.QueueDepth > rs.lastQueue {
+		rs.queueStrikes++
+	} else {
+		rs.queueStrikes = 0
+	}
+	rs.lastQueue = s.QueueDepth
+	if rs.queueStrikes >= tl.cfg.QueueStrikes && !rs.Straggler {
+		rs.Straggler = true
+		rs.Reason = "queue-growth"
+		tl.flags++
+		Add(cStragglerFlags, 1)
+		log.Printf("WARN: obs: rank %d straggling: sender queue grew %d samples in a row to depth %d",
+			s.Rank, rs.queueStrikes, s.QueueDepth)
+		flight.Log("straggler", int(s.Rank), int(s.Step), rs.Reason)
+	}
+}
+
+// maybeClearLocked clears a flag once both detectors are quiet again.
+func (tl *ClusterTimeline) maybeClearLocked(rs *RankState, s StepSample) {
+	if rs.Straggler && rs.strikes == 0 && rs.queueStrikes == 0 {
+		rs.Straggler = false
+		log.Printf("obs: rank %d caught up (straggler flag cleared at step %d)", s.Rank, s.Step)
+		flight.Log("straggler_clear", int(s.Rank), int(s.Step), rs.Reason)
+		rs.Reason = ""
+	}
+}
+
+// ClusterSnapshot is the /debug/cluster JSON shape.
+type ClusterSnapshot struct {
+	TakenNs    int64               `json:"taken_ns"`
+	Ranks      map[int64]RankState `json:"ranks"`
+	Stragglers []int64             `json:"stragglers"`
+	FlagsTotal int64               `json:"straggler_flags_total"`
+}
+
+// Snapshot copies the timeline for serving; allocates (cold path).
+func (tl *ClusterTimeline) Snapshot() ClusterSnapshot {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	snap := ClusterSnapshot{
+		TakenNs:    time.Now().UnixNano(),
+		Ranks:      make(map[int64]RankState, len(tl.ranks)),
+		FlagsTotal: tl.flags,
+	}
+	for r, rs := range tl.ranks {
+		snap.Ranks[r] = *rs
+		if rs.Straggler {
+			snap.Stragglers = append(snap.Stragglers, r)
+		}
+	}
+	sort.Slice(snap.Stragglers, func(i, j int) bool { return snap.Stragglers[i] < snap.Stragglers[j] })
+	return snap
+}
+
+// IsStraggler reports whether a rank is currently flagged.
+func (tl *ClusterTimeline) IsStraggler(rank int64) bool {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	rs := tl.ranks[rank]
+	return rs != nil && rs.Straggler
+}
+
+// FlagCount returns total flag transitions (tests and gauges).
+func (tl *ClusterTimeline) FlagCount() int64 {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.flags
+}

@@ -1,0 +1,284 @@
+// Package flight is a crash-surviving flight recorder: a bounded on-disk ring
+// of CRC-framed structured events (rendezvous transitions, checkpoint commits,
+// transport poisonings, straggler flags) that replays a post-mortem timeline
+// even when the process was SIGKILL'd mid-write. Records are fsync'd by
+// default, segments rotate at a byte budget with the oldest deleted, and
+// Replay tolerates a torn tail — it reads each segment up to the first frame
+// that fails its length or CRC check and keeps whatever came before.
+//
+// The package imports only the standard library so every layer (obs, dist,
+// distrun, the binaries) can log to the process-global recorder without an
+// import cycle.
+package flight
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one flight-recorder record. Kind is a short stable identifier
+// ("rendezvous", "poison", "ckpt_commit", "straggler", ...); Detail is free
+// text; Rank and Step are -1 when not meaningful.
+type Event struct {
+	WallNs int64  `json:"wall_ns"`
+	Kind   string `json:"kind"`
+	Rank   int    `json:"rank"`
+	Step   int    `json:"step"`
+	Detail string `json:"detail"`
+}
+
+// Frame layout (little-endian), designed so a torn tail is detectable:
+//
+//	u32 frameLen (bytes after this field, including CRC)
+//	u8  magic (0xF1)   u8 version (1)
+//	i64 wallNs   i32 rank   i32 step
+//	u16 kindLen   kind bytes   u16 detailLen   detail bytes
+//	u32 CRC32 (IEEE) over everything after frameLen
+const (
+	frameMagic   = 0xF1
+	frameVersion = 1
+	frameFixed   = 1 + 1 + 8 + 4 + 4 + 2 + 2 // magic..detailLen, sans strings+CRC
+	maxFrameLen  = 1 << 20                   // sanity bound when replaying
+)
+
+// Options tunes a Recorder. Zero values take the defaults noted per field.
+type Options struct {
+	// SegmentBytes rotates to a new segment once the current one exceeds
+	// this size (default 256 KiB).
+	SegmentBytes int64
+	// MaxSegments bounds the on-disk ring; the oldest segment is deleted
+	// when a rotation would exceed it (default 8).
+	MaxSegments int
+	// Fsync syncs after every record (default true — the recorder exists
+	// for crashes; set NoFsync to trade durability for speed in tests).
+	NoFsync bool
+}
+
+// Recorder appends events to a directory of numbered segment files
+// (flight-000042.bin). Safe for concurrent use.
+type Recorder struct {
+	dir  string
+	opt  Options
+	mu   sync.Mutex
+	f    *os.File
+	seq  int   // index of the open segment
+	size int64 // bytes written to the open segment
+	buf  []byte
+}
+
+func segName(seq int) string { return fmt.Sprintf("flight-%06d.bin", seq) }
+
+func segSeq(name string) (int, bool) {
+	if !strings.HasPrefix(name, "flight-") || !strings.HasSuffix(name, ".bin") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "flight-"), ".bin"))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []int
+	for _, e := range ents {
+		if s, ok := segSeq(e.Name()); ok && !e.IsDir() {
+			seqs = append(seqs, s)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs, nil
+}
+
+// Open creates (or continues) a recorder in dir. An existing ring is
+// continued after its highest segment index, so a restarted process never
+// overwrites the evidence of the run that crashed.
+func Open(dir string, opt Options) (*Recorder, error) {
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = 256 << 10
+	}
+	if opt.MaxSegments <= 0 {
+		opt.MaxSegments = 8
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("flight: %w", err)
+	}
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("flight: %w", err)
+	}
+	seq := 0
+	if len(seqs) > 0 {
+		seq = seqs[len(seqs)-1] + 1
+	}
+	r := &Recorder{dir: dir, opt: opt, seq: seq - 1}
+	if err := r.rotateLocked(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// rotateLocked opens the next segment and prunes the ring. Caller holds mu
+// (or is Open, pre-publication).
+func (r *Recorder) rotateLocked() error {
+	if r.f != nil {
+		r.f.Close()
+	}
+	r.seq++
+	f, err := os.OpenFile(filepath.Join(r.dir, segName(r.seq)), os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	r.f, r.size = f, 0
+	if seqs, err := listSegments(r.dir); err == nil && len(seqs) > r.opt.MaxSegments {
+		for _, s := range seqs[:len(seqs)-r.opt.MaxSegments] {
+			os.Remove(filepath.Join(r.dir, segName(s)))
+		}
+	}
+	return nil
+}
+
+// Record appends one event, fsyncing unless Options.NoFsync. Errors are
+// returned but safe to ignore: the recorder is diagnostics, never control
+// flow.
+func (r *Recorder) Record(ev Event) error {
+	if len(ev.Kind) > 1<<15 {
+		ev.Kind = ev.Kind[:1<<15]
+	}
+	if len(ev.Detail) > 1<<15 {
+		ev.Detail = ev.Detail[:1<<15]
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return fmt.Errorf("flight: recorder closed")
+	}
+	b := r.buf[:0]
+	inner := frameFixed + len(ev.Kind) + len(ev.Detail) + 4
+	b = binary.LittleEndian.AppendUint32(b, uint32(inner))
+	b = append(b, frameMagic, frameVersion)
+	b = binary.LittleEndian.AppendUint64(b, uint64(ev.WallNs))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(ev.Rank)))
+	b = binary.LittleEndian.AppendUint32(b, uint32(int32(ev.Step)))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(ev.Kind)))
+	b = append(b, ev.Kind...)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(ev.Detail)))
+	b = append(b, ev.Detail...)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b[4:]))
+	r.buf = b
+	if _, err := r.f.Write(b); err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	if !r.opt.NoFsync {
+		if err := r.f.Sync(); err != nil {
+			return fmt.Errorf("flight: %w", err)
+		}
+	}
+	r.size += int64(len(b))
+	if r.size >= r.opt.SegmentBytes {
+		return r.rotateLocked()
+	}
+	return nil
+}
+
+// Close flushes and closes the open segment.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}
+
+// Replay reads every segment in dir in ring order and returns the events in
+// the order they were recorded. Each segment is read up to its first corrupt
+// or torn frame (SIGKILL mid-write leaves at most one), which is skipped
+// along with the rest of that segment — never an error, the recorder's whole
+// point is reading after a crash.
+func Replay(dir string) ([]Event, error) {
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, fmt.Errorf("flight: %w", err)
+	}
+	var evs []Event
+	for _, s := range seqs {
+		data, err := os.ReadFile(filepath.Join(dir, segName(s)))
+		if err != nil {
+			return nil, fmt.Errorf("flight: %w", err)
+		}
+		evs = append(evs, decodeSegment(data)...)
+	}
+	return evs, nil
+}
+
+func decodeSegment(data []byte) []Event {
+	var evs []Event
+	for len(data) >= 4 {
+		inner := int(binary.LittleEndian.Uint32(data))
+		if inner < frameFixed+4 || inner > maxFrameLen || 4+inner > len(data) {
+			break // torn or corrupt tail
+		}
+		body := data[4 : 4+inner]
+		payload, crcB := body[:inner-4], body[inner-4:]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcB) {
+			break
+		}
+		if payload[0] != frameMagic || payload[1] != frameVersion {
+			break
+		}
+		wallNs := int64(binary.LittleEndian.Uint64(payload[2:]))
+		rank := int(int32(binary.LittleEndian.Uint32(payload[10:])))
+		step := int(int32(binary.LittleEndian.Uint32(payload[14:])))
+		kl := int(binary.LittleEndian.Uint16(payload[18:]))
+		if 20+kl+2 > len(payload) {
+			break
+		}
+		kind := string(payload[20 : 20+kl])
+		dl := int(binary.LittleEndian.Uint16(payload[20+kl:]))
+		if 22+kl+dl > len(payload) {
+			break
+		}
+		detail := string(payload[22+kl : 22+kl+dl])
+		evs = append(evs, Event{WallNs: wallNs, Kind: kind, Rank: rank, Step: step, Detail: detail})
+		data = data[4+inner:]
+	}
+	return evs
+}
+
+// Process-global recorder: packages log through Log without plumbing a
+// *Recorder everywhere; when none is installed Log is a single atomic load.
+var global atomic.Pointer[Recorder]
+
+// Install makes r the process-global recorder (nil uninstalls) and returns
+// the previous one, if any.
+func Install(r *Recorder) *Recorder {
+	return global.Swap(r)
+}
+
+// Log records an event on the global recorder, stamping the current wall
+// time. A no-op (one atomic load) when no recorder is installed; errors are
+// deliberately dropped — diagnostics must never fail the operation they
+// describe.
+func Log(kind string, rank, step int, detail string) {
+	r := global.Load()
+	if r == nil {
+		return
+	}
+	_ = r.Record(Event{WallNs: time.Now().UnixNano(), Kind: kind, Rank: rank, Step: step, Detail: detail})
+}

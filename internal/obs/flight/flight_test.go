@@ -1,0 +1,205 @@
+package flight
+
+import (
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{WallNs: 100, Kind: "rendezvous", Rank: -1, Step: -1, Detail: "attempt 1 world 4"},
+		{WallNs: 200, Kind: "poison", Rank: 2, Step: 17, Detail: "peer 3 gone"},
+		{WallNs: 300, Kind: "ckpt_commit", Rank: 0, Step: 20, Detail: ""},
+	}
+	for _, ev := range want {
+		if err := r.Record(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRotationBoundsDisk(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{SegmentBytes: 256, MaxSegments: 3, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := r.Record(Event{WallNs: int64(i), Kind: "tick", Rank: i, Step: i, Detail: "padding-padding-padding"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Close()
+	seqs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) > 3 {
+		t.Fatalf("%d segments on disk, want <= 3", len(seqs))
+	}
+	evs, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("no events survived rotation")
+	}
+	// The newest events must be the ones retained, in order.
+	last := evs[len(evs)-1]
+	if last.Rank != 199 {
+		t.Fatalf("newest surviving event rank = %d, want 199", last.Rank)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Rank != evs[i-1].Rank+1 {
+			t.Fatalf("retained events not consecutive at %d: %d then %d", i, evs[i-1].Rank, evs[i].Rank)
+		}
+	}
+}
+
+func TestReplayTornTail(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := r.Record(Event{WallNs: int64(i), Kind: "ev", Rank: i, Detail: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Close()
+	seqs, _ := listSegments(dir)
+	path := filepath.Join(dir, segName(seqs[len(seqs)-1]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate SIGKILL mid-write: chop the file mid-way through the last frame.
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := Replay(dir)
+	if err != nil {
+		t.Fatalf("replay of torn segment errored: %v", err)
+	}
+	if len(evs) != 4 {
+		t.Fatalf("replayed %d events from torn segment, want 4", len(evs))
+	}
+
+	// Now corrupt a byte inside the (new) last frame's payload: CRC must stop
+	// the replay at the corruption, keeping everything before it.
+	data, _ = os.ReadFile(path)
+	flip := append([]byte(nil), data...)
+	// Find the start of the last intact frame: walk frames forward.
+	off := 0
+	lastStart := 0
+	for off+4 <= len(flip) {
+		inner := int(binary.LittleEndian.Uint32(flip[off:]))
+		if inner <= 0 || off+4+inner > len(flip) {
+			break
+		}
+		lastStart = off
+		off += 4 + inner
+	}
+	flip[lastStart+10] ^= 0xFF
+	if err := os.WriteFile(path, flip, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	evs, err = Replay(dir)
+	if err != nil {
+		t.Fatalf("replay of corrupt segment errored: %v", err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("replayed %d events past corruption, want 3", len(evs))
+	}
+}
+
+func TestReopenContinuesNumbering(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir, Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Record(Event{Kind: "first-life"})
+	r.Close()
+
+	r2, err := Open(dir, Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Record(Event{Kind: "second-life"})
+	r2.Close()
+
+	evs, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Kind != "first-life" || evs[1].Kind != "second-life" {
+		t.Fatalf("reopen lost or reordered events: %+v", evs)
+	}
+	seqs, _ := listSegments(dir)
+	if len(seqs) != 2 {
+		t.Fatalf("%d segments after reopen, want 2 (no overwrite)", len(seqs))
+	}
+}
+
+func TestGlobalLog(t *testing.T) {
+	// No recorder installed: must be a silent no-op.
+	Install(nil)
+	Log("noop", 0, 0, "nothing listening")
+
+	dir := t.TempDir()
+	r, err := Open(dir, Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := Install(r)
+	defer Install(prev)
+	Log("hello", 1, 2, "world")
+	r.Close()
+	Install(nil)
+
+	evs, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Kind != "hello" || evs[0].Rank != 1 || evs[0].Step != 2 || evs[0].Detail != "world" {
+		t.Fatalf("global log round trip: %+v", evs)
+	}
+	if evs[0].WallNs == 0 {
+		t.Fatal("Log did not stamp wall time")
+	}
+}
+
+func TestReplayEmptyAndMissingDir(t *testing.T) {
+	dir := t.TempDir()
+	evs, err := Replay(dir)
+	if err != nil || len(evs) != 0 {
+		t.Fatalf("empty dir: %d events, err %v", len(evs), err)
+	}
+	if _, err := Replay(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("missing dir replayed without error")
+	}
+}

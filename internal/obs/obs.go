@@ -98,6 +98,13 @@ var (
 	scopes   [maxScopes]scopeAgg
 	counters [maxCounters]atomic.Int64
 
+	// scopeClass caches the breakdown class of every registered scope at
+	// registration time, and numScopes publishes how many are registered —
+	// together they let BreakdownNow classify live aggregates with no string
+	// work, no lock, and no allocations (the StepSample fast path).
+	scopeClass [maxScopes]atomic.Uint32
+	numScopes  atomic.Int32
+
 	dropped atomic.Int64
 	gen     atomic.Uint64
 	lastNs  atomic.Int64 // ns-since-epoch of the last reset (snapshot wall base)
@@ -119,6 +126,8 @@ func Scope(name string) ScopeID {
 	scopeNames = append(scopeNames, name)
 	scopeIdx[name] = id
 	scopes[id].min.Store(int64(^uint64(0) >> 1)) // MaxInt64
+	scopeClass[id].Store(uint32(classCode(name)))
+	numScopes.Store(int32(len(scopeNames)))
 	return id
 }
 
@@ -136,6 +145,38 @@ func Counter(name string) CounterID {
 	counterNames = append(counterNames, name)
 	counterIdx[name] = id
 	return id
+}
+
+// CounterNames returns every registered counter's name and current value,
+// index-aligned, skipping the reserved slot 0. Cold path (allocates) — the
+// /metrics passthrough.
+func CounterNames() ([]string, []int64) {
+	regMu.Lock()
+	names := counterNames[1:]
+	regMu.Unlock()
+	out := make([]string, len(names))
+	vals := make([]int64, len(names))
+	for i, n := range names {
+		out[i] = n
+		vals[i] = counters[i+1].Load()
+	}
+	return out, vals
+}
+
+// ScopeTotals returns every registered scope's name and cumulative total
+// (nanoseconds for timed scopes, value sums for Observe scopes),
+// index-aligned. Cold path (allocates) — the /metrics passthrough.
+func ScopeTotals() ([]string, []int64) {
+	regMu.Lock()
+	names := scopeNames[1:]
+	regMu.Unlock()
+	out := make([]string, len(names))
+	vals := make([]int64, len(names))
+	for i, n := range names {
+		out[i] = n
+		vals[i] = scopes[i+1].total.Load()
+	}
+	return out, vals
 }
 
 // Add bumps a counter by n. Disabled: one atomic load and a branch.
@@ -424,6 +465,60 @@ func Class(name string) string {
 }
 
 func hasPrefix(s, p string) bool { return len(s) >= len(p) && s[:len(p)] == p }
+
+// Compact class codes cached per scope at registration (see scopeClass).
+const (
+	codeOther = iota
+	codeCompute
+	codeWire
+	codeIdle
+)
+
+func classCode(name string) int {
+	switch Class(name) {
+	case ClassCompute:
+		return codeCompute
+	case ClassWire:
+		return codeWire
+	case ClassIdle:
+		return codeIdle
+	}
+	return codeOther
+}
+
+// BreakdownNow sums the live scope aggregates into the compute/wire/idle
+// classes without snapshotting: no lock, no string work, zero allocations.
+// It is the per-step telemetry read (RecordStep deltas two of these), where
+// Peek+Breakdown would allocate a Snapshot every step. Values are cumulative
+// since the last reset and may be mid-update across scopes (never within
+// one atomic) — the same concurrency contract as Peek.
+func BreakdownNow() (computeNs, wireNs, idleNs int64) {
+	n := int(numScopes.Load())
+	for id := 1; id < n; id++ {
+		t := scopes[id].total.Load()
+		if t == 0 {
+			continue
+		}
+		switch scopeClass[id].Load() {
+		case codeCompute:
+			computeNs += t
+		case codeWire:
+			wireNs += t
+		case codeIdle:
+			idleNs += t
+		}
+	}
+	return computeNs, wireNs, idleNs
+}
+
+// CounterNow reads one counter's live value without snapshotting or
+// allocating — cumulative since the last reset, safe at any time.
+func CounterNow(c CounterID) int64 {
+	if c <= 0 || int(c) >= maxCounters {
+		return 0
+	}
+	return counters[c].Load()
+}
 
 // Breakdown sums the snapshot's leaf-scope time into the three classes.
 func (s *Snapshot) Breakdown() (compute, wire, idle time.Duration) {
