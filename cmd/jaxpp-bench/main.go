@@ -17,12 +17,23 @@ import (
 	jaxpp "repro"
 	"repro/internal/autodiff"
 	"repro/internal/collective"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/interp"
 	"repro/internal/ir"
 	"repro/internal/runtime"
 	"repro/internal/tensor"
 	"repro/internal/trace"
+)
+
+// shapedRatioLo/Hi is the accepted executed-vs-analytic band for the
+// shaped-network validation (-exp shaped): the analytic model is a
+// store-and-forward idealization, so the band is generous, but an execution
+// drifting outside it means the calibration model stopped tracking degraded
+// networks — the regression the degraded-net CI tier exists to catch.
+const (
+	shapedRatioLo = 0.4
+	shapedRatioHi = 2.5
 )
 
 // collectiveValidation compares one executed bucketed ring AllReduce on the
@@ -376,7 +387,7 @@ func checkStepAllocs(rs *runtimeStepStats, maxAllocs float64) error {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, fig9, fig10, table1, ablations, validate, wire, sharded")
+	exp := flag.String("exp", "all", "experiment to run: all, fig6, fig7, fig8, fig9, fig10, table1, ablations, validate, wire, sharded, shaped")
 	jsonPath := flag.String("json", "", "write a machine-readable perf snapshot to this path and exit")
 	maxStepAllocs := flag.Float64("max-step-allocs", 0, "fail (exit 1) if a steady-state runtime step allocates more than this many objects; without -json only the step measurement runs")
 	baselinePath := flag.String("baseline", "", "committed snapshot to diff runtime_steps against; step time or allocs more than -max-regress percent worse fail (exit 1)")
@@ -510,6 +521,25 @@ func main() {
 			} else {
 				fmt.Printf("  TCP across 2 processes:    %6.2f GB/s\n", w.TCPMultiProcGBs)
 			}
+			fmt.Printf("Gradient wire encodings: %d-rank ring AllReduce, %d elems/rank\n", wireTierRanks, wireTierElems)
+			for _, t := range w.DTypeTiers {
+				fmt.Printf("  %-6s %9d B/step  %6.2f bus GB/s\n", t.DType, t.BytesPerStep, t.BusGBs)
+			}
+		case "shaped":
+			v, err := validateShaped(dist.ShapeOpts{
+				Latency: 2 * time.Millisecond, Jitter: 500 * time.Microsecond,
+				BandwidthGBs: 1, Seed: 7,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Shaped-network validation: executed bucketed ring AllReduce vs analytic, links shaped %s\n", v.Shape)
+			fmt.Printf("  %d ranks × %d elems, calibrated link %.2f GB/s %.0fµs/hop\n", v.Ranks, v.Elems, v.LinkGBs, v.LinkLatencyUs)
+			fmt.Printf("  executed %.3fms, analytic %.3fms, ratio %.2f (band [%.1f, %.1f])\n",
+				v.ExecutedMs, v.AnalyticMs, v.Ratio, shapedRatioLo, shapedRatioHi)
+			if v.Ratio < shapedRatioLo || v.Ratio > shapedRatioHi {
+				return fmt.Errorf("shaped validation: executed/analytic ratio %.2f outside [%.1f, %.1f] — the calibration model no longer tracks a degraded network", v.Ratio, shapedRatioLo, shapedRatioHi)
+			}
 		case "sharded":
 			sh, err := measureSharded()
 			if err != nil {
@@ -529,7 +559,7 @@ func main() {
 
 	names := []string{*exp}
 	if *exp == "all" {
-		names = []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1", "ablations", "validate", "wire", "sharded"}
+		names = []string{"fig6", "fig7", "fig8", "fig9", "fig10", "table1", "ablations", "validate", "wire", "sharded", "shaped"}
 	}
 	for _, n := range names {
 		if err := run(n); err != nil {

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"os/exec"
@@ -38,6 +39,81 @@ type wireStats struct {
 	// epilogue sees, as opposed to the point-to-point tiers above.
 	CollectiveRanks  int     `json:"tcp_collective_ranks,omitempty"`
 	CollectiveBusGBs float64 `json:"tcp_collective_busgbs,omitempty"`
+	// DTypeTiers repeats the collective tier once per gradient wire encoding
+	// (f64/f32/int8q) with per-round wire-byte accounting, so the snapshot
+	// diff shows compression actually shrinking traffic (f32 must be half of
+	// f64's bytes per step) and what it buys in bus bandwidth.
+	DTypeTiers []wireTier `json:"dtype_tiers,omitempty"`
+}
+
+// wireTier is one per-dtype wire-collective measurement: the wire payload
+// bytes one bucketed ring AllReduce moves across all ranks, and the bus
+// bandwidth achieved.
+type wireTier struct {
+	DType        string  `json:"dtype"`
+	BytesPerStep int64   `json:"bytes_per_step"`
+	BusGBs       float64 `json:"bus_gbs"`
+}
+
+// wireTierRanks/Elems size the per-dtype tiers: 4 TCP endpoints reducing
+// 2 MiB per rank (smaller than the f64 headline tier — three encodings run).
+const (
+	wireTierRanks = 4
+	wireTierElems = 1 << 18
+)
+
+// measureWireTier runs the wire collective with every data frame encoded as
+// dt (the mesh marks its whole tag space lossy) and accounts wire payload
+// bytes per all-reduce round from the transport's dtype-aware send counters.
+// f64 and f32 verify the reduction exactly — MeasureAllReduce's integer
+// payloads are f32-exact — while int8q, lossy by design, gets a 1% band: its
+// constant per-rank chunks quantize back to themselves modulo ulp-level
+// scale recomputation around the ring.
+func measureWireTier(dt dist.DType, n, elems int) (wireTier, error) {
+	mesh, err := dist.NewLocalMesh(n, dist.Options{DType: dt})
+	if err != nil {
+		return wireTier{}, err
+	}
+	defer mesh.Close()
+	_, bytesBefore := mesh.SendCount()
+	dur, out, err := collective.MeasureAllReduce(mesh, n, elems, collective.DefaultBucketBytes)
+	if err != nil {
+		return wireTier{}, fmt.Errorf("wire tier %s: %w", dt, err)
+	}
+	_, bytesAfter := mesh.SendCount()
+	want := float64(n * (n + 1) / 2)
+	got := out.Data()[0]
+	if dt == dist.DTInt8Q {
+		if rel := math.Abs(got-want) / want; rel > 0.01 {
+			return wireTier{}, fmt.Errorf("wire tier %s: reduced value %v strays %.2e from %v", dt, got, rel, want)
+		}
+	} else if got != want {
+		return wireTier{}, fmt.Errorf("wire tier %s: reduced value %v, want %v", dt, got, want)
+	}
+	bus := 2 * float64(n-1) / float64(n) * float64(elems*8)
+	return wireTier{
+		DType:        dt.String(),
+		BytesPerStep: (bytesAfter - bytesBefore) / collective.MeasureAllReduceRounds,
+		BusGBs:       bus / dur.Seconds() / 1e9,
+	}, nil
+}
+
+// measureWireTiers runs the per-dtype tiers and cross-checks the headline
+// compression claim: f32 traffic must be exactly half of f64's (payload
+// accounting is deterministic — same frames, half the bytes per element).
+func measureWireTiers() ([]wireTier, error) {
+	var tiers []wireTier
+	for _, dt := range []dist.DType{dist.DTF64, dist.DTF32, dist.DTInt8Q} {
+		t, err := measureWireTier(dt, wireTierRanks, wireTierElems)
+		if err != nil {
+			return nil, err
+		}
+		tiers = append(tiers, t)
+	}
+	if f64, f32 := tiers[0].BytesPerStep, tiers[1].BytesPerStep; f32*2 != f64 {
+		return nil, fmt.Errorf("wire tiers: f32 moves %d B/step vs f64 %d — expected exactly half", f32, f64)
+	}
+	return tiers, nil
 }
 
 const wireTagOut, wireTagBack = 1 << 16, 1<<16 + 1
@@ -237,5 +313,93 @@ func measureWire() (*wireStats, error) {
 	if s.CollectiveBusGBs, err = measureWireCollective(wireCollectiveRanks, wireCollectiveElems); err != nil {
 		return nil, err
 	}
+	if s.DTypeTiers, err = measureWireTiers(); err != nil {
+		return nil, err
+	}
 	return s, nil
+}
+
+// shapedValidation is the degraded-network calibration check: the same
+// executed-vs-analytic comparison as collective_validation, but over links
+// shaped with real latency and a bandwidth cap — validating that the
+// calibration model's prediction still tracks execution when the network is
+// slow, not just on localhost.
+type shapedValidation struct {
+	Ranks         int     `json:"ranks"`
+	Elems         int     `json:"elems"`
+	Shape         string  `json:"shape"`
+	LinkGBs       float64 `json:"link_gbs"`
+	LinkLatencyUs float64 `json:"link_latency_us"`
+	ExecutedMs    float64 `json:"executed_ms"`
+	AnalyticMs    float64 `json:"analytic_ms"`
+	Ratio         float64 `json:"ratio"`
+}
+
+// shapedMesh routes each actor's sends through its own link shaper over a
+// shared LocalMesh, so a whole in-process world sees the modeled network.
+type shapedMesh struct {
+	mesh *dist.LocalMesh
+	eps  []*dist.ShapedTransport
+}
+
+func newShapedMesh(n int, opts dist.ShapeOpts) (*shapedMesh, error) {
+	mesh, err := dist.NewLocalMesh(n, dist.Options{})
+	if err != nil {
+		return nil, err
+	}
+	m := &shapedMesh{mesh: mesh}
+	for r := 0; r < n; r++ {
+		m.eps = append(m.eps, dist.NewShapedTransport(mesh.Endpoint(r), opts))
+	}
+	return m, nil
+}
+
+func (m *shapedMesh) Send(from, to, tag int, t *tensor.Tensor) { m.eps[from].Send(from, to, tag, t) }
+func (m *shapedMesh) Recv(to, from, tag int) (*tensor.Tensor, error) {
+	return m.mesh.Recv(to, from, tag)
+}
+func (m *shapedMesh) SenderOwnsSent() bool { return true }
+func (m *shapedMesh) Err() error           { return m.mesh.Err() }
+func (m *shapedMesh) Poison(err error)     { m.mesh.Poison(err) }
+func (m *shapedMesh) Close() {
+	for _, ep := range m.eps {
+		ep.Stop()
+	}
+	m.mesh.Close()
+}
+
+// validateShaped calibrates a shaped link pair, measures a bucketed ring
+// AllReduce over a shaped 4-rank mesh, and compares against the analytic
+// prediction under the calibrated link. The shape adds enough latency that
+// both numbers are dominated by the modeled network rather than goroutine
+// scheduling — which is exactly why the prediction must track execution
+// here if the calibration model is to be trusted off-localhost.
+func validateShaped(shape dist.ShapeOpts) (*shapedValidation, error) {
+	const ranks, elems = 4, 1 << 18
+	m, err := newShapedMesh(ranks, shape)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	link := collective.Calibrate(m, 0, 1)
+	measured, out, err := collective.MeasureAllReduce(m, ranks, elems, collective.DefaultBucketBytes)
+	if err != nil {
+		return nil, fmt.Errorf("shaped collective: %w", err)
+	}
+	// Shaping delays frames but never alters payload bits: the f64 reduction
+	// must still verify exactly.
+	if want := float64(ranks * (ranks + 1) / 2); out.Data()[0] != want {
+		return nil, fmt.Errorf("shaped collective: reduced value %v, want %v", out.Data()[0], want)
+	}
+	predicted := collective.PredictBucketedAllReduce(collective.RingLink(link, ranks), []int{elems}, ranks, collective.DefaultBucketBytes)
+	return &shapedValidation{
+		Ranks:         ranks,
+		Elems:         elems,
+		Shape:         shape.String(),
+		LinkGBs:       link.BwGBs,
+		LinkLatencyUs: link.Latency * 1e6,
+		ExecutedMs:    measured.Seconds() * 1e3,
+		AnalyticMs:    predicted * 1e3,
+		Ratio:         measured.Seconds() / predicted,
+	}, nil
 }

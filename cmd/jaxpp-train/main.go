@@ -48,6 +48,12 @@ func main() {
 	rank := flag.Int("rank", 0, "this process's rank in -distributed mode (0 = coordinator)")
 	coordinator := flag.String("coordinator", "127.0.0.1:29400", "coordinator control address in -distributed mode")
 	crc := flag.Bool("crc", false, "append CRC32 trailers to wire frames")
+	wireDType := flag.String("wire-dtype", "", "gradient wire encoding: f64 (default, lossless), f32, or int8q (error-feedback int8 quantization). Training jobs compress only gradient collective frames; -collective accepts f32 (its integer payloads are f32-exact, so the bit-exact self-check still holds) and rejects int8q")
+	netLatency := flag.Duration("net-latency", 0, "degraded-network mode: one-way latency added to every cross-rank frame (-distributed; distributed to workers via the job payload)")
+	netJitter := flag.Duration("net-jitter", 0, "degraded-network mode: uniform ±jitter on -net-latency")
+	netBW := flag.Float64("net-bw-gbs", 0, "degraded-network mode: per-link bandwidth cap in GB/s (0 = uncapped)")
+	netLoss := flag.Float64("net-loss", 0, "degraded-network mode: per-frame loss probability (no retransmit: the receive side times out and poisons)")
+	netSeed := flag.Uint64("net-seed", 1, "degraded-network mode: deterministic per-link jitter/loss seed")
 	lossesOut := flag.String("losses-out", "", "write per-step losses as JSON to this path (rank 0 / local only)")
 	profile := flag.Bool("profile", false, "arm the obs registry and log a one-line per-step compute/wire/idle summary")
 	traceOut := flag.String("trace-out", "", "write the executed Chrome trace (all ranks merged) to this path (rank 0 / local only; implies -profile)")
@@ -74,6 +80,7 @@ func main() {
 		cs := distrun.CollectiveSpec{
 			Kind: distrun.KindCollective, World: *collWorld,
 			Elems: *collElems, Iters: *collIters, Seed: *seed, BucketBytes: *collBucket,
+			WireDType: *wireDType,
 		}
 		if err := runCollective(cs, *distributed, *rank, *coordinator, *crc); err != nil {
 			log.Fatal(err)
@@ -90,6 +97,13 @@ func main() {
 		return
 	}
 
+	var shape *distrun.ShapeSpec
+	if *netLatency > 0 || *netJitter > 0 || *netBW > 0 || *netLoss > 0 {
+		shape = &distrun.ShapeSpec{
+			LatencyUs: netLatency.Microseconds(), JitterUs: netJitter.Microseconds(),
+			BandwidthGBs: *netBW, LossProb: *netLoss, Seed: *netSeed,
+		}
+	}
 	spec := distrun.JobSpec{
 		Stages: *stages, NumMB: *mb, MBRows: *mbRows, Width: *width,
 		Steps: *steps, LR: *lr, Momentum: *momentum, Sharded: *sharded, Schedule: *schedName,
@@ -97,6 +111,7 @@ func main() {
 		CkptDir: *ckptDir, CkptEvery: *ckptEvery,
 		Profile:   *profile || *traceOut != "",
 		Telemetry: *metricsAddr != "",
+		WireDType: *wireDType, Shape: shape,
 	}
 	sessOpts := dist.SessionOptions{
 		Transport:         dist.Options{CRC: *crc},

@@ -35,6 +35,7 @@ func main() {
 	rank := flag.Int("rank", 0, "requested rank (0 = let the coordinator assign)")
 	crc := flag.Bool("crc", false, "append CRC32 trailers to wire frames")
 	profile := flag.Bool("profile", false, "log a one-line per-step compute/wire/idle summary on this rank (snapshot shipping still follows the coordinator's job spec)")
+	wireDType := flag.String("wire-dtype", "", "override the gradient wire encoding on this rank only: f64, f32, or int8q (empty follows the coordinator's payload; frames are self-describing, so a single canary rank can compress while its peers stay lossless)")
 	reconnect := flag.Bool("reconnect", false, "elastic mode: on job failure, re-join the rendezvous instead of exiting")
 	backoff := flag.Duration("reconnect-backoff", 500*time.Millisecond, "elastic mode: initial re-join delay (failed joins back off exponentially to 8x)")
 	maxJoinFailures := flag.Int("max-join-failures", 5, "elastic mode: consecutive failed joins before giving up on the coordinator")
@@ -59,6 +60,7 @@ func main() {
 			Backoff:         *backoff,
 			MaxJoinFailures: *maxJoinFailures,
 			Profile:         *profile,
+			WireDType:       *wireDType,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "jaxpp-worker:", err)
@@ -78,7 +80,7 @@ func main() {
 	}
 	defer sess.Close()
 	fmt.Printf("jaxpp-worker: rank %d of %d\n", sess.Rank, sess.World)
-	if err := distrun.RunJobProfiled(sess, *profile); err != nil {
+	if err := distrun.RunJobWith(sess, distrun.JobOptions{Profile: *profile, WireDType: *wireDType}); err != nil {
 		fmt.Fprintln(os.Stderr, "jaxpp-worker:", err)
 		os.Exit(1)
 	}

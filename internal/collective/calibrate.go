@@ -171,17 +171,26 @@ func PredictBucketedAllReduce(l perf.Link, sizes []int, n, bucketBytes int) floa
 	return total
 }
 
+// Each MeasureAllReduce iteration consumes two op tag windows (barrier +
+// all-reduce); opReuseWindows/2 iterations walk the whole tag-reuse cycle, so
+// these warmups cover it almost three times over — the timed iterations run
+// entirely on warm mailboxes and pooled chunks.
+const (
+	measureWarmups = 24
+	measureIters   = 5
+	// MeasureAllReduceRounds is the total number of all-reduce rounds one
+	// MeasureAllReduce call runs (warmups + timed iterations), exported so
+	// byte accounting around a measurement can normalize per round.
+	MeasureAllReduceRounds = measureWarmups + measureIters
+)
+
 // MeasureAllReduce runs bucketed all-reduces of elems float64 elements over
 // n ranks (actor IDs 0..n-1 on tr) and returns the steady-state wall time —
 // the slowest rank's duration from a barrier-aligned start, averaged over
 // several timed iterations after warmup rounds that populate the scratch
 // pools — plus the reduced tensor from rank 0 for correctness checks.
 func MeasureAllReduce(tr Transport, n, elems, bucketBytes int) (time.Duration, *tensor.Tensor, error) {
-	// Each iteration consumes two op tag windows (barrier + all-reduce);
-	// opReuseWindows/2 iterations walk the whole tag-reuse cycle, so these
-	// warmups cover it almost three times over — the timed iterations run
-	// entirely on warm mailboxes and pooled chunks.
-	const warmups, iters = 24, 5
+	const warmups, iters = measureWarmups, measureIters
 	ranks := make([]int, n)
 	for i := range ranks {
 		ranks[i] = i

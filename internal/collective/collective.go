@@ -124,6 +124,16 @@ type Group struct {
 	senderOwns bool
 }
 
+// GroupTagRange returns the half-open wire-tag window [lo, hi) that a group
+// with the given ID uses for all its collective traffic. The transport's
+// lossy-dtype plane keys on it: marking a gradient communicator's window
+// lossy compresses exactly that group's frames, while every other tag —
+// pipeline P2P, loss exchange, other groups — stays lossless.
+func GroupTagRange(groupID int) (lo, hi int) {
+	lo = TagSpaceBase + groupID*GroupTagWindow
+	return lo, lo + GroupTagWindow
+}
+
 // NewGroup builds a process group over the given actor IDs. groupID selects
 // the group's tag window and must be unique among groups that could share a
 // (sender, receiver) actor pair; groups over disjoint actor sets may reuse

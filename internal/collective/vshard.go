@@ -330,11 +330,12 @@ func (c *Communicator) AllGatherVInto(dst, shard *tensor.Tensor, counts []int) e
 	cur.CopyFrom(shard.Data())
 	for s := 0; s < n-1; s++ {
 		hs := obs.TrackTid(scCollSend, c.self())
+		sent := cur.Size() // read before Recycle: the pool may rehome cur instantly
 		c.g.tr.Send(c.self(), c.next(), base+s, cur)
 		if c.g.senderOwns {
 			tensor.Recycle(cur) // serialized; the relayed chunk stays ours
 		}
-		hs.StopBytes(int64(cur.Size()) * 8)
+		hs.StopBytes(int64(sent) * 8)
 		hw := obs.TrackTid(scCollWait, c.self())
 		in, err := c.g.tr.Recv(c.self(), c.prev(), base+s)
 		hw.Stop()

@@ -37,6 +37,24 @@ func NewLocalMesh(actors int, opts Options) (*LocalMesh, error) {
 // Addr returns the listen address of one actor's endpoint.
 func (m *LocalMesh) Addr(actor int) string { return m.eps[actor].Addr() }
 
+// Endpoint exposes one actor's transport (bench harnesses wrap individual
+// endpoints in shapers).
+func (m *LocalMesh) Endpoint(actor int) *Transport { return m.eps[actor] }
+
+// SetWireDType forwards the lossy data-frame encoding to every endpoint.
+func (m *LocalMesh) SetWireDType(dt DType) {
+	for _, ep := range m.eps {
+		ep.SetWireDType(dt)
+	}
+}
+
+// SetLossyTagWindow forwards the lossy tag window to every endpoint.
+func (m *LocalMesh) SetLossyTagWindow(lo, hi int) {
+	for _, ep := range m.eps {
+		ep.SetLossyTagWindow(lo, hi)
+	}
+}
+
 // Send implements runtime.Transport.
 func (m *LocalMesh) Send(from, to, tag int, t *tensor.Tensor) {
 	m.eps[from].Send(from, to, tag, t)

@@ -1,0 +1,165 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// shapedPair builds a 2-endpoint mesh with endpoint 0's send path wrapped in
+// a shaper. Frames from 0 to 1 cross the modeled network; everything else is
+// direct.
+func shapedPair(t *testing.T, opts Options, shape ShapeOpts) (*LocalMesh, *ShapedTransport) {
+	t.Helper()
+	mesh, err := NewLocalMesh(2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { mesh.Close() })
+	st := NewShapedTransport(mesh.Endpoint(0), shape)
+	t.Cleanup(st.Stop)
+	return mesh, st
+}
+
+// TestShapedLatencyFloor checks a frame can never arrive earlier than the
+// configured one-way latency: arrival is stamped txEnd+latency and the
+// delivery stage sleeps until then.
+func TestShapedLatencyFloor(t *testing.T) {
+	const latency = 30 * time.Millisecond
+	mesh, st := shapedPair(t, Options{}, ShapeOpts{Latency: latency, Seed: 1})
+
+	ten := tensor.Scalar(42)
+	start := time.Now()
+	st.Send(0, 1, 500, ten)
+	tensor.Recycle(ten)
+	got, err := mesh.Recv(1, 0, 500)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data()[0] != 42 {
+		t.Fatalf("payload %v, want 42", got.Data()[0])
+	}
+	tensor.Recycle(got)
+	// time.Sleep guarantees at-least semantics; allow 2ms of clock-read slop
+	// between our start stamp and the pacer's.
+	if elapsed < latency-2*time.Millisecond {
+		t.Fatalf("frame arrived after %v, latency floor is %v", elapsed, latency)
+	}
+}
+
+// TestShapedBandwidthPacing checks the serialization delay of a bulk frame at
+// a tight bandwidth cap: bytes/GBs nanoseconds must elapse before delivery.
+func TestShapedBandwidthPacing(t *testing.T) {
+	const elems = 1 << 14 // 128 KiB payload
+	// 0.01 GB/s -> ~13.1ms serialization delay for 128 KiB.
+	mesh, st := shapedPair(t, Options{}, ShapeOpts{BandwidthGBs: 0.01, Seed: 1})
+
+	ten := tensor.GetScratchZero(elems)
+	start := time.Now()
+	st.Send(0, 1, 501, ten)
+	tensor.Recycle(ten)
+	if _, err := mesh.Recv(1, 0, 501); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("128 KiB at 0.01 GB/s delivered in %v, want >= ~13ms of serialization", elapsed)
+	}
+}
+
+// TestShapedJitterKeepsFIFO floods one (src, dst, tag) stream under jitter
+// comparable to the latency and requires in-order delivery: arrival times are
+// clamped monotone per link, so jitter widens spacing but never reorders.
+func TestShapedJitterKeepsFIFO(t *testing.T) {
+	mesh, st := shapedPair(t, Options{}, ShapeOpts{
+		Latency: 2 * time.Millisecond,
+		Jitter:  2 * time.Millisecond,
+		Seed:    99,
+	})
+
+	const n = 64
+	for i := 0; i < n; i++ {
+		ten := tensor.Scalar(float64(i))
+		st.Send(0, 1, 777, ten)
+		tensor.Recycle(ten)
+	}
+	for i := 0; i < n; i++ {
+		got, err := mesh.Recv(1, 0, 777)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if v := got.Data()[0]; v != float64(i) {
+			t.Fatalf("frame %d arrived out of order: payload %v", i, v)
+		}
+		tensor.Recycle(got)
+	}
+}
+
+// TestShapedLossPoisonsNotHangs drops every frame and requires the receiver
+// to fail by timeout — retransmit-free loss surfaces as the standard
+// poison-not-hang contract, never a silent stall.
+func TestShapedLossPoisonsNotHangs(t *testing.T) {
+	mesh, st := shapedPair(t, Options{RecvTimeout: 300 * time.Millisecond}, ShapeOpts{
+		Latency:  time.Millisecond,
+		LossProb: 1,
+		Seed:     5,
+	})
+
+	ten := tensor.Scalar(7)
+	st.Send(0, 1, 600, ten)
+	tensor.Recycle(ten)
+	if _, err := mesh.Recv(1, 0, 600); err == nil {
+		t.Fatal("recv of a dropped frame succeeded")
+	}
+}
+
+// TestShapedSelfSendBypasses checks loopback skips the modeled network: a
+// self-send under a huge latency still arrives immediately.
+func TestShapedSelfSendBypasses(t *testing.T) {
+	mesh, st := shapedPair(t, Options{}, ShapeOpts{Latency: 10 * time.Second, Seed: 1})
+
+	ten := tensor.Scalar(3)
+	start := time.Now()
+	st.Send(0, 0, 601, ten)
+	tensor.Recycle(ten)
+	got, err := mesh.Recv(0, 0, 601)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tensor.Recycle(got)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("self-send took %v, should bypass the 10s modeled latency", elapsed)
+	}
+}
+
+// TestShapedStopDrainsInFlight checks Stop's drain contract: frames already
+// captured by Send still deliver on their shaped schedule before Stop
+// returns, so a job teardown never strands a peer waiting on a frame the
+// sender already promised.
+func TestShapedStopDrainsInFlight(t *testing.T) {
+	mesh, err := NewLocalMesh(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	st := NewShapedTransport(mesh.Endpoint(0), ShapeOpts{Latency: 20 * time.Millisecond, Seed: 2})
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		ten := tensor.Scalar(float64(i))
+		st.Send(0, 1, 700+i, ten)
+		tensor.Recycle(ten)
+	}
+	st.Stop()
+	for i := 0; i < n; i++ {
+		got, err := mesh.Recv(1, 0, 700+i)
+		if err != nil {
+			t.Fatalf("frame %d lost across Stop: %v", i, err)
+		}
+		if v := got.Data()[0]; v != float64(i) {
+			t.Fatalf("frame %d payload %v", i, v)
+		}
+		tensor.Recycle(got)
+	}
+}

@@ -3,6 +3,7 @@ package dist
 import (
 	"bufio"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,12 @@ var (
 	cFramesRecvd = obs.Counter("wire/frames_recvd")
 	cBytesRecvd  = obs.Counter("wire/bytes_recvd")
 	cCRCFail     = obs.Counter("wire/crc_fail")
+	// cCompressedBytes counts bytes of data frames that left this endpoint
+	// lossy-encoded (f32/int8q) — the numerator of the wire-compression win.
+	cCompressedBytes = obs.Counter("wire/compressed_bytes")
+	// cCoalesced counts small frames that shipped inside a batch envelope
+	// instead of as their own write.
+	cCoalesced = obs.Counter("wire/frames_coalesced")
 )
 
 // DefaultRecvTimeout mirrors runtime.DefaultRecvTimeout: a receive whose tag
@@ -49,7 +56,12 @@ type Options struct {
 	// CRC appends a CRC32 trailer to every outgoing data frame; incoming
 	// frames are verified whenever the sender set the flag regardless.
 	CRC bool
-	// DType selects the payload encoding (default DTF64, lossless).
+	// DType selects the payload encoding for outgoing data frames (default
+	// DTF64, lossless). A lossy DType here applies to every data frame —
+	// control frames always ship DTF64 — which is what the bench tiers want;
+	// jobs that must keep losses and checkpoints exact instead leave this
+	// DTF64 and arm a gradient-only tag window via SetWireDType +
+	// SetLossyTagWindow after rendezvous.
 	DType DType
 }
 
@@ -80,6 +92,15 @@ type Transport struct {
 
 	shards [numInboxShards]inboxShard
 
+	// Lossy-encoding plane: wireDType is the encoding for lossy-eligible data
+	// frames; lossyLo/lossyHi bound the half-open tag window those frames
+	// live in ([MinInt64, MaxInt64) when Options.DType was lossy, empty until
+	// SetLossyTagWindow otherwise). Frames outside the window — and every
+	// control frame — ship DTF64.
+	wireDType atomic.Uint32
+	lossyLo   atomic.Int64
+	lossyHi   atomic.Int64
+
 	// err is the poison state: the first transport-level failure (peer died,
 	// corrupt stream, coordinator-reported death). Every pending and future
 	// Recv fails with it, because after a lost or dropped message, tag reuse
@@ -93,11 +114,14 @@ type Transport struct {
 }
 
 // peerLink is one outgoing connection: a lazily dialed conn plus the sender
-// worker that owns all writes to it.
+// worker that owns all writes to it. pending/pendingBytes are the worker's
+// coalescing buffer — touched only on the worker goroutine.
 type peerLink struct {
-	mb *Mailbox[[]byte]
-	w  *bufio.Writer
-	c  net.Conn
+	mb           *Mailbox[[]byte]
+	w            *bufio.Writer
+	c            net.Conn
+	pending      [][]byte
+	pendingBytes int
 }
 
 type inboxKey struct {
@@ -109,6 +133,25 @@ const numInboxShards = 32
 // zeroShape is the payload-free shape control frames carry (a rank-0 shape
 // would denote a scalar, which has one element).
 var zeroShape = []int{0}
+
+// controlFrame is the single choke point for control-frame construction:
+// hello, goodbye, and any future handshake frame are always DTF64 and never
+// CRC'd (they carry no payload to protect, and the receiver validates the
+// header fields it acts on). A dtype audit of the control plane starts and
+// ends here.
+func controlFrame(kind uint8, from, to int) []byte {
+	return EncodeFrame(&Header{Kind: kind, From: from, To: to, DType: DTF64, Shape: zeroShape}, nil, false)
+}
+
+// Coalescing thresholds: frames at or under coalesceMaxFrame bytes (losses,
+// scalar telemetry, sub-4KiB gradient buckets) accumulate in the sender
+// worker and ship as one batch frame per burst; an accumulation crossing
+// coalesceFlushBytes flushes early so a long burst of small frames cannot
+// grow an unbounded batch.
+const (
+	coalesceMaxFrame   = 4096
+	coalesceFlushBytes = 1 << 16
+)
 
 type inboxShard struct {
 	mu  sync.Mutex
@@ -146,11 +189,48 @@ func NewTransport(rank int, opts Options) (*Transport, error) {
 		dead:  make(chan struct{}),
 	}
 	t.rank.Store(int32(rank))
+	t.wireDType.Store(uint32(opts.DType))
+	if opts.DType != DTF64 {
+		t.lossyLo.Store(math.MinInt64)
+		t.lossyHi.Store(math.MaxInt64)
+	}
 	for i := range t.shards {
 		t.shards[i].chs = map[inboxKey]chan *tensor.Tensor{}
 	}
 	go t.acceptLoop()
 	return t, nil
+}
+
+// SetWireDType switches the encoding for lossy-eligible data frames at
+// runtime — workers learn the job's wire mode from the rendezvous payload,
+// after the transport exists. Panics on an invalid dtype (a flag typo must
+// not silently train lossless).
+func (t *Transport) SetWireDType(dt DType) {
+	if !dt.valid() {
+		panic(fmt.Sprintf("dist: SetWireDType(%d): invalid dtype", dt))
+	}
+	t.wireDType.Store(uint32(dt))
+}
+
+// SetLossyTagWindow restricts lossy encoding to data frames whose tag falls
+// in [lo, hi) — in practice the gradient communicator's collective tag
+// window, so loss exchange, pipeline activations, and control traffic stay
+// DTF64 while gradient buckets compress.
+func (t *Transport) SetLossyTagWindow(lo, hi int) {
+	t.lossyLo.Store(int64(lo))
+	t.lossyHi.Store(int64(hi))
+}
+
+// wireDTypeFor picks the encoding for one outgoing data frame.
+func (t *Transport) wireDTypeFor(tag int) DType {
+	dt := DType(t.wireDType.Load())
+	if dt == DTF64 {
+		return DTF64
+	}
+	if lo, hi := t.lossyLo.Load(), t.lossyHi.Load(); int64(tag) >= lo && int64(tag) < hi {
+		return dt
+	}
+	return DTF64
 }
 
 // Rank returns this endpoint's transport actor ID.
@@ -298,13 +378,48 @@ func (t *Transport) link(to int) (*peerLink, error) {
 	// The sender worker owns all writes to this conn: frames arrive encoded,
 	// the worker writes them and recycles the buffers, and the drain hook
 	// flushes once per burst (after the last queued frame) — one syscall per
-	// burst, not one per frame.
-	pl.mb = NewMailboxDrain(0, func(frame []byte) {
+	// burst, not one per frame. Small frames additionally coalesce: they
+	// accumulate in pending (worker-local, no locking) and ship as one batch
+	// frame when a large frame, the flush threshold, or the end of the burst
+	// arrives — one header + write for a flurry of losses and scalars. FIFO
+	// holds because pending always drains before anything later is written.
+	write := func(frame []byte) {
 		if _, err := w.Write(frame); err != nil && !t.isClosed() {
 			t.Poison(fmt.Errorf("dist: rank %d write to peer %d: %w", t.Rank(), to, err))
 		}
 		recycleFrameBuf(frame)
+	}
+	flushPending := func() {
+		switch len(pl.pending) {
+		case 0:
+			return
+		case 1:
+			// A lone small frame gains nothing from an envelope.
+			write(pl.pending[0])
+		default:
+			batch := EncodeBatchFrame(t.Rank(), to, pl.pending, t.opts.CRC)
+			write(batch)
+			obs.Add(cCoalesced, int64(len(pl.pending)))
+			for _, f := range pl.pending {
+				recycleFrameBuf(f)
+			}
+		}
+		pl.pending = pl.pending[:0]
+		pl.pendingBytes = 0
+	}
+	pl.mb = NewMailboxDrain(0, func(frame []byte) {
+		if len(frame) <= coalesceMaxFrame {
+			pl.pending = append(pl.pending, frame)
+			pl.pendingBytes += len(frame)
+			if pl.pendingBytes >= coalesceFlushBytes {
+				flushPending()
+			}
+			return
+		}
+		flushPending()
+		write(frame)
 	}, func() {
+		flushPending()
 		if err := w.Flush(); err != nil && !t.isClosed() {
 			t.Poison(fmt.Errorf("dist: rank %d flush to peer %d: %w", t.Rank(), to, err))
 		}
@@ -313,8 +428,7 @@ func (t *Transport) link(to int) (*peerLink, error) {
 	// hello must be queued before the link is published: a concurrent Send
 	// that finds the link in t.peers could otherwise enqueue a data frame
 	// ahead of the hello, and the peer drops un-attributed streams.
-	hello := EncodeFrame(&Header{Kind: frameHello, From: t.Rank(), To: to, DType: DTF64, Shape: zeroShape}, nil, false)
-	pl.mb.Put(hello)
+	pl.mb.Put(controlFrame(frameHello, t.Rank(), to))
 	t.peers[to] = pl
 	t.conns = append(t.conns, conn)
 	t.mu.Unlock()
@@ -330,13 +444,18 @@ func (t *Transport) Send(from, to, tag int, ten *tensor.Tensor) {
 	if from != self {
 		panic(fmt.Sprintf("dist: rank %d asked to send as rank %d (one actor per process)", self, from))
 	}
+	dt := t.wireDTypeFor(tag)
 	t.sent.Add(1)
-	t.sentBytes.Add(int64(ten.Size() * t.opts.DType.size()))
+	t.sentBytes.Add(int64(dt.payloadBytes(ten.Size())))
 	if to == self {
 		// Loopback: match in-process semantics — the receiver owns a pooled
-		// copy, the caller keeps the original.
+		// copy, the caller keeps the original. A lossy dtype applies here too,
+		// so a self-send observes the same values remote ranks decode.
 		cp := tensor.GetScratchShaped(ten.Shape()...)
 		cp.CopyFrom(ten.Data())
+		if dt != DTF64 {
+			LossyRoundTrip(dt, cp.Data())
+		}
 		if !t.deliver(inboxKey{from, tag}, cp) {
 			tensor.Recycle(cp)
 		}
@@ -347,12 +466,15 @@ func (t *Transport) Send(from, to, tag int, ten *tensor.Tensor) {
 		t.Poison(err)
 		return
 	}
-	h := Header{Kind: frameData, From: from, To: to, Tag: tag, DType: t.opts.DType, Shape: ten.Shape()}
+	h := Header{Kind: frameData, From: from, To: to, Tag: tag, DType: dt, Shape: ten.Shape()}
 	he := obs.TrackTid(scWireEncode, self)
 	frame := EncodeFrame(&h, ten.Data(), t.opts.CRC)
 	he.StopBytes(int64(len(frame)))
 	obs.Add(cFramesSent, 1)
 	obs.Add(cBytesSent, int64(len(frame)))
+	if dt != DTF64 {
+		obs.Add(cCompressedBytes, int64(len(frame)))
+	}
 	if !pl.mb.TryPut(frame) {
 		// Teardown raced this send: the endpoint is shutting down and the
 		// frame can never reach the wire. Drop it — the peer's broken stream
@@ -497,8 +619,7 @@ func (t *Transport) shutdown(graceful bool) {
 		deadline := time.Now().Add(closeWriteGrace)
 		for _, pl := range peers {
 			pl.c.SetWriteDeadline(deadline)
-			bye := EncodeFrame(&Header{Kind: frameGoodbye, From: t.Rank(), DType: DTF64, Shape: zeroShape}, nil, false)
-			pl.mb.Put(bye)
+			pl.mb.Put(controlFrame(frameGoodbye, t.Rank(), -1))
 		}
 		for _, pl := range peers {
 			pl.mb.Stop()

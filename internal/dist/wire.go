@@ -8,6 +8,7 @@
 package dist
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -26,13 +27,15 @@ import (
 //	u8   magic (0xA7)
 //	u8   version (1)
 //	u8   flags              bit0: payload CRC32 trailer present
-//	u8   kind               frameData | frameHello | frameGoodbye
+//	u8   kind               frameData | frameHello | frameGoodbye | frameBatch
 //	i32  from, i32 to       transport actor IDs
 //	i64  tag
-//	u8   dtype              DTF64 | DTF32
+//	u8   dtype              DTF64 | DTF32 | DTInt8Q
 //	u8   rank               number of dims (<= maxWireRank)
 //	i32  × rank             dims
-//	...  payload            elems × dtype-size bytes, little-endian
+//	...  payload            dtype-encoded elements, little-endian (DTInt8Q
+//	                        prefixes an 8-byte f64 scale; frameBatch carries
+//	                        raw concatenated inner frames, shape [byteLen])
 //	u32  crc (optional)     CRC32-IEEE of everything after the length prefix
 //	                        (header + dims + payload — a flipped tag, shape,
 //	                        or routing byte must fail the check, not just a
@@ -49,6 +52,12 @@ const (
 	frameData    = 0
 	frameHello   = 1
 	frameGoodbye = 2
+	// frameBatch coalesces several complete small frames into one wire frame:
+	// the payload is the byte-concatenation of the inner frames (each with its
+	// own length prefix, header, and optional CRC), the shape is [payloadLen].
+	// The decoder unwraps transparently — consumers only ever see the inner
+	// frames — so batching changes syscall and header costs, never semantics.
+	frameBatch = 3
 
 	// maxWireRank bounds the shape a frame may carry; a corrupt header cannot
 	// make the reader allocate an absurd dims slice.
@@ -81,23 +90,115 @@ func WriteFrame(w io.Writer, h *Header, data []float64, withCRC bool) error {
 type DType uint8
 
 const (
-	// DTF64 ships float64 elements verbatim — the lossless default, and the
-	// only encoding the training runtime uses (bit-for-bit loss equality
+	// DTF64 ships float64 elements verbatim — the lossless default. Control,
+	// loss, and checkpoint frames always use it (bit-for-bit loss equality
 	// across process counts depends on it).
 	DTF64 DType = 0
 	// DTF32 ships float32-truncated elements, halving wire bytes at the cost
-	// of precision. Opt-in for bandwidth-bound workloads.
+	// of precision. Opt-in for bandwidth-bound gradient traffic.
 	DTF32 DType = 1
+	// DTInt8Q ships an 8-byte float64 scale followed by one signed byte per
+	// element: k = round(v/scale) clamped to [-127, 127], scale = maxabs/127
+	// over the frame (0 for an all-zero frame). NaN encodes as 0 and ±Inf
+	// clamps to ±127 — gradient-only traffic, paired with rank-local
+	// error-feedback residuals at the distrun layer. Re-quantizing an already
+	// quantized frame is value-stable (the max element maps back to ±127), so
+	// multi-hop ring traffic degrades once, not per hop.
+	DTInt8Q DType = 2
 )
 
 func (d DType) size() int {
-	if d == DTF32 {
+	switch d {
+	case DTF32:
 		return 4
+	case DTInt8Q:
+		return 1
 	}
 	return 8
 }
 
-func (d DType) valid() bool { return d == DTF64 || d == DTF32 }
+// payloadBytes is the encoded payload size for a data frame of elems
+// elements (DTInt8Q carries a scale prefix on top of its 1 byte/elem).
+func (d DType) payloadBytes(elems int) int {
+	if d == DTInt8Q {
+		return 8 + elems
+	}
+	return elems * d.size()
+}
+
+func (d DType) valid() bool { return d == DTF64 || d == DTF32 || d == DTInt8Q }
+
+// Lossless reports whether encode→decode returns every float64 bit-exactly.
+func (d DType) Lossless() bool { return d == DTF64 }
+
+// String names the dtype the way the -wire-dtype flag spells it.
+func (d DType) String() string {
+	switch d {
+	case DTF32:
+		return "f32"
+	case DTInt8Q:
+		return "int8q"
+	}
+	return "f64"
+}
+
+// ParseDType maps a -wire-dtype flag value to a DType. The empty string is
+// the lossless default.
+func ParseDType(s string) (DType, error) {
+	switch s {
+	case "", "f64":
+		return DTF64, nil
+	case "f32":
+		return DTF32, nil
+	case "int8q":
+		return DTInt8Q, nil
+	}
+	return DTF64, fmt.Errorf("dist: unknown wire dtype %q (want f64, f32, or int8q)", s)
+}
+
+// quantScale returns the DTInt8Q scale for a payload: max finite |v| / 127,
+// or 0 when every element is zero or non-finite.
+func quantScale(data []float64) float64 {
+	maxAbs := 0.0
+	for _, v := range data {
+		if a := math.Abs(v); a > maxAbs && !math.IsInf(v, 0) && !math.IsNaN(v) {
+			maxAbs = a
+		}
+	}
+	return maxAbs / 127
+}
+
+func quantElem(v, scale float64) int8 {
+	if math.IsNaN(v) || scale == 0 {
+		return 0
+	}
+	q := math.Round(v / scale) // ±Inf survives the divide and clamps below
+	if q > 127 {
+		q = 127
+	} else if q < -127 {
+		q = -127
+	}
+	return int8(q)
+}
+
+// LossyRoundTrip applies dt's encode→decode value mapping to data in place —
+// exactly what a receiver would see had the slice crossed the wire as one
+// dt-encoded frame. The distrun error-feedback path uses it to compute the
+// residual a lossy send leaves behind, and transport loopback uses it so a
+// self-send observes the same values remote ranks do. DTF64 is the identity.
+func LossyRoundTrip(dt DType, data []float64) {
+	switch dt {
+	case DTF32:
+		for i, v := range data {
+			data[i] = float64(float32(v))
+		}
+	case DTInt8Q:
+		scale := quantScale(data)
+		for i, v := range data {
+			data[i] = float64(quantElem(v, scale)) * scale
+		}
+	}
+}
 
 // Header describes one frame.
 type Header struct {
@@ -139,13 +240,43 @@ func EncodeFrame(h *Header, data []float64, withCRC bool) []byte {
 	if len(h.Shape) > maxWireRank {
 		panic(fmt.Sprintf("dist: encode rank %d exceeds wire limit %d", len(h.Shape), maxWireRank))
 	}
-	esz := h.DType.size()
-	payload := len(data) * esz
+	payload := h.DType.payloadBytes(len(data))
 	total := headerFixed + 4*len(h.Shape) + payload
 	if withCRC {
 		total += 4
 	}
 	buf := getFrameBuf(total)
+	off := putFrameHeader(buf, h, withCRC, total)
+	switch h.DType {
+	case DTF64:
+		for _, v := range data {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
+			off += 8
+		}
+	case DTF32:
+		for _, v := range data {
+			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(v)))
+			off += 4
+		}
+	case DTInt8Q:
+		scale := quantScale(data)
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(scale))
+		off += 8
+		for _, v := range data {
+			buf[off] = byte(quantElem(v, scale))
+			off++
+		}
+	}
+	if withCRC {
+		crc := crc32.ChecksumIEEE(buf[4:off]) // header + dims + payload
+		binary.LittleEndian.PutUint32(buf[off:], crc)
+	}
+	return buf
+}
+
+// putFrameHeader writes the length prefix, fixed header, and dims into buf,
+// returning the payload offset. Shared by EncodeFrame and EncodeBatchFrame.
+func putFrameHeader(buf []byte, h *Header, withCRC bool, total int) int {
 	binary.LittleEndian.PutUint32(buf[0:], uint32(total-4))
 	buf[4] = wireMagic
 	buf[5] = wireVersion
@@ -165,20 +296,34 @@ func EncodeFrame(h *Header, data []float64, withCRC bool) []byte {
 		binary.LittleEndian.PutUint32(buf[off:], uint32(int32(d)))
 		off += 4
 	}
-	switch h.DType {
-	case DTF64:
-		for _, v := range data {
-			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(v))
-			off += 8
-		}
-	case DTF32:
-		for _, v := range data {
-			binary.LittleEndian.PutUint32(buf[off:], math.Float32bits(float32(v)))
-			off += 4
-		}
+	return off
+}
+
+// EncodeBatchFrame wraps already-encoded frames into one batch frame whose
+// payload is their byte-concatenation. The sender worker calls this to
+// coalesce a burst of small frames (losses, scalar telemetry, sub-4KiB
+// buckets) into a single header + write; inner frames keep whatever CRC they
+// were encoded with, and withCRC additionally covers the batch envelope. The
+// caller still owns (and must recycle) the inner frame buffers.
+func EncodeBatchFrame(from, to int, frames [][]byte, withCRC bool) []byte {
+	payload := 0
+	for _, f := range frames {
+		payload += len(f)
+	}
+	var shape [1]int
+	shape[0] = payload
+	h := Header{Kind: frameBatch, From: from, To: to, DType: DTF64, Shape: shape[:]}
+	total := headerFixed + 4 + payload
+	if withCRC {
+		total += 4
+	}
+	buf := getFrameBuf(total)
+	off := putFrameHeader(buf, &h, withCRC, total)
+	for _, f := range frames {
+		off += copy(buf[off:], f)
 	}
 	if withCRC {
-		crc := crc32.ChecksumIEEE(buf[4:off]) // header + dims + payload
+		crc := crc32.ChecksumIEEE(buf[4:off])
 		binary.LittleEndian.PutUint32(buf[off:], crc)
 	}
 	return buf
@@ -195,6 +340,30 @@ type Decoder struct {
 	buf []byte
 	// dims is the reusable shape scratch handed out via Header.Shape; callers
 	// must not retain it across ReadFrame calls.
+	dims [maxWireRank]int
+	// q holds inner frames unwrapped from a batch frame, handed out by
+	// subsequent ReadFrame calls before the stream is touched again. The
+	// backing array is reused across batches.
+	q    []queuedFrame
+	qPos int
+	// batchPayload aliases d.buf between readFrameBody returning a batch
+	// frame and unwrapBatch consuming it.
+	batchPayload []byte
+	// inBatch marks the throwaway sub-decoder unwrapBatch runs over a batch
+	// payload. The coalescer never nests batches, so a batch frame inside a
+	// batch payload is corruption — and rejecting it here (rather than
+	// unwrapping recursively) keeps a crafted deeply-nested frame from
+	// recursing the decoder.
+	inBatch bool
+}
+
+// queuedFrame is one unwrapped inner frame of a batch: header, decoded
+// payload, and an inline copy of the dims (the sub-decoder's shape scratch
+// does not outlive the unwrap loop).
+type queuedFrame struct {
+	h    Header
+	t    *tensor.Tensor
+	rank int
 	dims [maxWireRank]int
 }
 
@@ -223,6 +392,13 @@ func corrupt(format string, args ...any) error {
 // is sized, so a corrupt or desynced length prefix fails on its garbage
 // header bytes instead of driving a giant allocation.
 func (d *Decoder) ReadFrame() (Header, *tensor.Tensor, error) {
+	if d.qPos < len(d.q) {
+		f := &d.q[d.qPos]
+		d.qPos++
+		h := f.h
+		h.Shape = f.dims[:f.rank]
+		return h, f.t, nil
+	}
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(d.r, lenBuf[:]); err != nil {
 		return Header{}, nil, err // io.EOF at a frame boundary is clean
@@ -234,11 +410,65 @@ func (d *Decoder) ReadFrame() (Header, *tensor.Tensor, error) {
 	hd := obs.Track(scWireDecode)
 	h, t, err := d.readFrameBody(frameLen)
 	hd.StopBytes(int64(frameLen) + 4)
+	if err == nil && h.Kind == frameBatch {
+		if d.inBatch {
+			return Header{}, nil, corrupt("nested batch frame")
+		}
+		// Inner data frames are counted by the sub-decoder as they unwrap;
+		// counting the envelope too would double-book the payload bytes.
+		return d.unwrapBatch()
+	}
 	if err == nil && h.Kind == frameData {
 		obs.Add(cFramesRecvd, 1)
 		obs.Add(cBytesRecvd, int64(frameLen)+4)
 	}
 	return h, t, err
+}
+
+// unwrapBatch parses the batch payload sitting in d.buf into the inner-frame
+// queue and returns the first inner frame. An empty or malformed batch is a
+// corrupt frame: the coalescer never emits empty batches, and a truncated
+// inner frame means the envelope lied about its contents.
+func (d *Decoder) unwrapBatch() (Header, *tensor.Tensor, error) {
+	d.q = d.q[:0]
+	d.qPos = 0
+	sub := NewDecoder(bytes.NewReader(d.batchPayload))
+	sub.inBatch = true
+	for {
+		h, t, err := sub.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			d.recycleQueued()
+			return Header{}, nil, corrupt("batch inner frame: %v", err)
+		}
+		if len(h.Shape) > maxWireRank {
+			d.recycleQueued()
+			return Header{}, nil, corrupt("batch inner rank %d", len(h.Shape))
+		}
+		qf := queuedFrame{h: h, t: t, rank: len(h.Shape)}
+		copy(qf.dims[:], h.Shape)
+		qf.h.Shape = nil
+		d.q = append(d.q, qf)
+	}
+	if len(d.q) == 0 {
+		return Header{}, nil, corrupt("empty batch frame")
+	}
+	return d.ReadFrame()
+}
+
+// recycleQueued returns any tensors already unwrapped from a failed batch to
+// the pool.
+func (d *Decoder) recycleQueued() {
+	for i := range d.q {
+		if d.q[i].t != nil {
+			tensor.Recycle(d.q[i].t)
+			d.q[i].t = nil
+		}
+	}
+	d.q = d.q[:0]
+	d.qPos = 0
 }
 
 func (d *Decoder) readFrameBody(frameLen int) (Header, *tensor.Tensor, error) {
@@ -302,8 +532,16 @@ func (d *Decoder) readFrameBody(frameLen int) (Header, *tensor.Tensor, error) {
 		}
 	}
 	h.Shape = dims
-	esz := h.DType.size()
-	rest := elems * esz // payload (+ CRC trailer) still on the stream
+	payloadLen := h.DType.payloadBytes(elems)
+	if h.Kind == frameBatch {
+		// A batch payload is raw inner-frame bytes: shape [byteLen], one byte
+		// per "element" regardless of the dtype byte.
+		if rank != 1 {
+			return Header{}, nil, corrupt("batch frame rank %d, want 1", rank)
+		}
+		payloadLen = elems
+	}
+	rest := payloadLen // payload (+ CRC trailer) still on the stream
 	if flags&flagCRC != 0 {
 		rest += 4
 	}
@@ -320,15 +558,19 @@ func (d *Decoder) readFrameBody(frameLen int) (Header, *tensor.Tensor, error) {
 		}
 		return Header{}, nil, fmt.Errorf("dist: truncated frame: %w", err)
 	}
-	payload := buf[:elems*esz]
+	payload := buf[:payloadLen]
 	if flags&flagCRC != 0 {
-		got := binary.LittleEndian.Uint32(buf[elems*esz:])
+		got := binary.LittleEndian.Uint32(buf[payloadLen:])
 		crc := crc32.ChecksumIEEE(hdr[:fixed+4*rank])
 		crc = crc32.Update(crc, crc32.IEEETable, payload)
 		if crc != got {
 			obs.Add(cCRCFail, 1)
 			return Header{}, nil, corrupt("frame CRC mismatch: computed %08x, frame carries %08x", crc, got)
 		}
+	}
+	if h.Kind == frameBatch {
+		d.batchPayload = payload
+		return h, nil, nil
 	}
 	if h.Kind != frameData {
 		return h, nil, nil
@@ -345,6 +587,16 @@ func (d *Decoder) readFrameBody(frameLen int) (Header, *tensor.Tensor, error) {
 	case DTF32:
 		for i := range dst {
 			dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:])))
+		}
+	case DTInt8Q:
+		scale := math.Float64frombits(binary.LittleEndian.Uint64(payload))
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || scale < 0 {
+			tensor.Recycle(t)
+			return Header{}, nil, corrupt("int8q scale %v", scale)
+		}
+		q := payload[8:]
+		for i := range dst {
+			dst[i] = float64(int8(q[i])) * scale
 		}
 	}
 	return h, t, nil

@@ -1,0 +1,404 @@
+package dist
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestLossyRoundTripF32Canaries pins the f32 value mapping on the IEEE edge
+// cases: denormals flush through float32 conversion deterministically,
+// signed zeros keep their sign, NaN stays NaN, and infinities survive.
+func TestLossyRoundTripF32Canaries(t *testing.T) {
+	in := []float64{0, math.Copysign(0, -1), 5e-324, -5e-324, 1e-45, math.NaN(), math.Inf(1), math.Inf(-1), 1.0 / 3.0}
+	got := append([]float64(nil), in...)
+	LossyRoundTrip(DTF32, got)
+	for i, v := range got {
+		want := float64(float32(in[i]))
+		if math.IsNaN(want) {
+			if !math.IsNaN(v) {
+				t.Fatalf("elem %d: %v, want NaN", i, v)
+			}
+			continue
+		}
+		if math.Float64bits(v) != math.Float64bits(want) {
+			t.Fatalf("elem %d: bits %x, want %x", i, math.Float64bits(v), math.Float64bits(want))
+		}
+	}
+	if math.Signbit(got[1]) != true {
+		t.Fatal("-0.0 lost its sign through the f32 round trip")
+	}
+}
+
+// TestLossyRoundTripInt8Q pins the quantizer's scale-edge behavior: the
+// max-magnitude element maps to exactly ±127 steps (so requantizing an
+// already quantized payload is the identity in value space), NaN maps to
+// zero, infinities clamp to the extremes, and an all-zero (or all-nonfinite)
+// bucket ships scale 0 and decodes to all zeros instead of dividing by zero.
+func TestLossyRoundTripInt8Q(t *testing.T) {
+	t.Run("max maps to extreme", func(t *testing.T) {
+		in := []float64{3.7, -9.25, 0.01, 9.25}
+		got := append([]float64(nil), in...)
+		LossyRoundTrip(DTInt8Q, got)
+		scale := 9.25 / 127
+		if got[1] != -127*scale || got[3] != 127*scale {
+			t.Fatalf("extremes %v / %v, want ±%v", got[1], got[3], 127*scale)
+		}
+		for i, v := range got {
+			if math.Abs(v-in[i]) > scale/2+1e-12 {
+				t.Fatalf("elem %d: %v strays more than half a step from %v", i, v, in[i])
+			}
+		}
+	})
+	t.Run("all zero", func(t *testing.T) {
+		got := []float64{0, 0, math.Copysign(0, -1)}
+		LossyRoundTrip(DTInt8Q, got)
+		for i, v := range got {
+			if v != 0 {
+				t.Fatalf("elem %d: %v, want 0", i, v)
+			}
+		}
+	})
+	t.Run("nan and inf", func(t *testing.T) {
+		got := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1}
+		LossyRoundTrip(DTInt8Q, got)
+		scale := 1.0 / 127
+		if got[0] != 0 {
+			t.Fatalf("NaN quantized to %v, want 0", got[0])
+		}
+		if got[1] != 127*scale || got[2] != -127*scale {
+			t.Fatalf("infinities quantized to %v / %v, want clamp to ±%v", got[1], got[2], 127*scale)
+		}
+	})
+	t.Run("idempotent", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(11))
+		data := make([]float64, 257)
+		for i := range data {
+			data[i] = rng.NormFloat64() * 42
+		}
+		LossyRoundTrip(DTInt8Q, data)
+		again := append([]float64(nil), data...)
+		LossyRoundTrip(DTInt8Q, again)
+		for i := range data {
+			if math.Float64bits(again[i]) != math.Float64bits(data[i]) {
+				t.Fatalf("elem %d drifted on requantization: %v -> %v", i, data[i], again[i])
+			}
+		}
+	})
+}
+
+// TestFrameRoundTripInt8Q drives quantized frames through encode→decode (both
+// CRC settings) and checks the decoded values equal the LossyRoundTrip
+// mapping of the input — the equivalence the error-feedback residual
+// computation depends on.
+func TestFrameRoundTripInt8Q(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, crc := range []bool{false, true} {
+		for _, n := range []int{0, 1, 5, 129} {
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = rng.NormFloat64() * 1e2
+			}
+			want := append([]float64(nil), data...)
+			LossyRoundTrip(DTInt8Q, want)
+			h := Header{Kind: frameData, From: 0, To: 1, Tag: 7, DType: DTInt8Q, Shape: []int{n}}
+			var stream bytes.Buffer
+			encodeToStream(t, &stream, &h, data, crc)
+			gh, ten, err := NewDecoder(&stream).ReadFrame()
+			if err != nil {
+				t.Fatalf("crc %v n %d: %v", crc, n, err)
+			}
+			if gh.DType != DTInt8Q {
+				t.Fatalf("decoded dtype %v", gh.DType)
+			}
+			for i, v := range ten.Data() {
+				if math.Float64bits(v) != math.Float64bits(want[i]) {
+					t.Fatalf("crc %v n %d elem %d: %v, want %v", crc, n, i, v, want[i])
+				}
+			}
+			tensor.Recycle(ten)
+		}
+	}
+}
+
+// TestDecodeCorruptInt8QFrames covers the quantized payload's own validation:
+// a non-finite or negative scale prefix and truncated/padded payloads must be
+// rejected as corrupt, never panic or decode garbage.
+func TestDecodeCorruptInt8QFrames(t *testing.T) {
+	mk := func(crc bool) []byte {
+		h := Header{Kind: frameData, From: 0, To: 1, Tag: 4, DType: DTInt8Q, Shape: []int{4}}
+		buf := EncodeFrame(&h, []float64{1, -2, 3, -4}, crc)
+		out := append([]byte(nil), buf...)
+		recycleFrameBuf(buf)
+		return out
+	}
+	plain := mk(false)
+	scaleOff := len(plain) - 4 - 8 // payload tail: 8-byte scale + 4 int8
+	cases := []struct {
+		name   string
+		mutate func() []byte
+	}{
+		{"nan scale", func() []byte {
+			b := mk(false)
+			putF64(b[scaleOff:], math.NaN())
+			return b
+		}},
+		{"inf scale", func() []byte {
+			b := mk(false)
+			putF64(b[scaleOff:], math.Inf(1))
+			return b
+		}},
+		{"negative scale", func() []byte {
+			b := mk(false)
+			putF64(b[scaleOff:], -1.0)
+			return b
+		}},
+		{"truncated payload", func() []byte {
+			b := mk(false)
+			// Shrink the frame length so the payload is one quantized byte
+			// short of the 4-element shape.
+			putU32(b, uint32(len(b)-4-1))
+			return b[:len(b)-1]
+		}},
+		{"padded payload", func() []byte {
+			b := mk(false)
+			putU32(b, uint32(len(b)-4+1))
+			return append(b, 0x7f)
+		}},
+		{"flipped quantized byte fails crc", func() []byte {
+			b := mk(true)
+			b[len(b)-5] ^= 0xFF // last int8 before the CRC trailer
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := NewDecoder(bytes.NewReader(tc.mutate())).ReadFrame()
+			if err == nil {
+				t.Fatal("corrupt int8q frame decoded successfully")
+			}
+		})
+	}
+}
+
+// TestBatchFrameRoundTrip coalesces several small frames (mixed dtypes, with
+// and without an outer CRC) into one batch frame and checks the decoder
+// transparently yields each inner frame in order, then clean EOF.
+func TestBatchFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, outerCRC := range []bool{false, true} {
+		var inner [][]byte
+		var want []struct {
+			h    Header
+			data []float64
+		}
+		for i, dt := range []DType{DTF64, DTF32, DTF64, DTInt8Q} {
+			n := rng.Intn(6)
+			data := make([]float64, n)
+			for j := range data {
+				data[j] = rng.NormFloat64() * 10
+			}
+			h := Header{Kind: frameData, From: 2, To: 3, Tag: 100 + i, DType: dt, Shape: []int{n}}
+			inner = append(inner, append([]byte(nil), EncodeFrame(&h, data, i%2 == 0)...))
+			exp := append([]float64(nil), data...)
+			LossyRoundTrip(dt, exp)
+			want = append(want, struct {
+				h    Header
+				data []float64
+			}{h, exp})
+		}
+		batch := EncodeBatchFrame(2, 3, inner, outerCRC)
+		dec := NewDecoder(bytes.NewReader(append([]byte(nil), batch...)))
+		recycleFrameBuf(batch)
+		for i, w := range want {
+			h, ten, err := dec.ReadFrame()
+			if err != nil {
+				t.Fatalf("outerCRC %v inner %d: %v", outerCRC, i, err)
+			}
+			if h.Tag != w.h.Tag || h.DType != w.h.DType || h.From != 2 || h.To != 3 {
+				t.Fatalf("inner %d header %+v, want %+v", i, h, w.h)
+			}
+			for j, v := range ten.Data() {
+				if math.Float64bits(v) != math.Float64bits(w.data[j]) {
+					t.Fatalf("inner %d elem %d: %v, want %v", i, j, v, w.data[j])
+				}
+			}
+			tensor.Recycle(ten)
+		}
+		if _, _, err := dec.ReadFrame(); err != io.EOF {
+			t.Fatalf("after batch: err %v, want io.EOF", err)
+		}
+	}
+}
+
+// TestBatchFrameCorrupt pins the batch envelope's failure modes: an empty
+// batch, a truncated inner frame, a nested batch, and trailing garbage are
+// all corrupt — rejected with an error, never a panic or a silent skip.
+func TestBatchFrameCorrupt(t *testing.T) {
+	mkInner := func(tag int) []byte {
+		h := Header{Kind: frameData, From: 0, To: 1, Tag: tag, DType: DTF64, Shape: []int{2}}
+		buf := EncodeFrame(&h, []float64{1, 2}, false)
+		out := append([]byte(nil), buf...)
+		recycleFrameBuf(buf)
+		return out
+	}
+	cases := []struct {
+		name string
+		mk   func() []byte
+	}{
+		{"empty batch", func() []byte {
+			b := EncodeBatchFrame(0, 1, nil, false)
+			out := append([]byte(nil), b...)
+			recycleFrameBuf(b)
+			return out
+		}},
+		{"truncated inner frame", func() []byte {
+			inner := mkInner(1)
+			b := EncodeBatchFrame(0, 1, [][]byte{inner[:len(inner)-3]}, false)
+			out := append([]byte(nil), b...)
+			recycleFrameBuf(b)
+			return out
+		}},
+		{"nested batch", func() []byte {
+			leaf := EncodeBatchFrame(0, 1, [][]byte{mkInner(2)}, false)
+			nested := EncodeBatchFrame(0, 1, [][]byte{append([]byte(nil), leaf...)}, false)
+			recycleFrameBuf(leaf)
+			out := append([]byte(nil), nested...)
+			recycleFrameBuf(nested)
+			return out
+		}},
+		{"trailing garbage", func() []byte {
+			b := EncodeBatchFrame(0, 1, [][]byte{mkInner(3)}, false)
+			out := append([]byte(nil), b...)
+			recycleFrameBuf(b)
+			// Grow the batch payload by 3 junk bytes the inner walk cannot
+			// consume: patch both the outer length and the shape dim.
+			out = append(out, 0xA7, 0x01, 0x00)
+			putU32(out, uint32(len(out)-4))
+			putU32(out[headerFixed:], uint32(int(readU32(out[headerFixed:]))+3))
+			return out
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := NewDecoder(bytes.NewReader(tc.mk())).ReadFrame()
+			if err == nil {
+				t.Fatal("corrupt batch decoded successfully")
+			}
+		})
+	}
+}
+
+// putU32/putF64/readU32 are little test shims over the wire's endianness.
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func readU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putF64(b []byte, v float64) {
+	u := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+}
+
+// TestLossyTagWindowSelectsDType sends one tensor inside and one outside the
+// armed lossy window across a two-endpoint mesh and checks only the
+// in-window payload lost precision — the property that keeps losses and
+// checkpoints lossless while gradients compress.
+func TestLossyTagWindowSelectsDType(t *testing.T) {
+	mesh, err := NewLocalMesh(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	mesh.SetWireDType(DTF32)
+	mesh.SetLossyTagWindow(1000, 2000)
+
+	v := 1.0 / 3.0 // not f32-representable
+	send := func(tag int) {
+		ten := tensor.Scalar(v)
+		mesh.Send(0, 1, tag, ten)
+		tensor.Recycle(ten)
+	}
+	send(1500) // in window: f32
+	send(2000) // half-open upper bound: lossless
+	send(999)  // below window: lossless
+
+	in, err := mesh.Recv(1, 0, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Data()[0]; got != float64(float32(v)) {
+		t.Fatalf("in-window payload %v, want f32-rounded %v", got, float64(float32(v)))
+	}
+	tensor.Recycle(in)
+	for _, tag := range []int{2000, 999} {
+		out, err := mesh.Recv(1, 0, tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := out.Data()[0]; math.Float64bits(got) != math.Float64bits(v) {
+			t.Fatalf("tag %d outside window arrived as %v, want bit-exact %v", tag, got, v)
+		}
+		tensor.Recycle(out)
+	}
+}
+
+// TestLoopbackMatchesRemoteLossiness pins the self-send contract under a
+// lossy dtype: a rank sending to itself must observe the same quantized
+// values its peers decode, or collective results would diverge by rank.
+func TestLoopbackMatchesRemoteLossiness(t *testing.T) {
+	mesh, err := NewLocalMesh(2, Options{DType: DTF32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	v := 1.0 / 3.0
+	ten := tensor.Scalar(v)
+	mesh.Send(0, 0, 42, ten)
+	tensor.Recycle(ten)
+	got, err := mesh.Recv(0, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tensor.Recycle(got)
+	if g := got.Data()[0]; g != float64(float32(v)) {
+		t.Fatalf("loopback payload %v, want f32-rounded %v", g, float64(float32(v)))
+	}
+}
+
+// TestSmallSendBurstSurvivesCoalescing floods one link with small tensors —
+// the pattern the sender-side coalescer batches — and requires every payload
+// to arrive intact and in tag order.
+func TestSmallSendBurstSurvivesCoalescing(t *testing.T) {
+	mesh, err := NewLocalMesh(2, Options{CRC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	const n = 400
+	for i := 0; i < n; i++ {
+		ten := tensor.GetScratch(3)
+		ten.Data()[0], ten.Data()[1], ten.Data()[2] = float64(i), float64(2*i), -float64(i)
+		mesh.Send(0, 1, 10000+i, ten)
+		tensor.Recycle(ten)
+	}
+	for i := 0; i < n; i++ {
+		got, err := mesh.Recv(1, 0, 10000+i)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if got.Data()[0] != float64(i) || got.Data()[1] != float64(2*i) || got.Data()[2] != -float64(i) {
+			t.Fatalf("payload %d arrived as %v", i, got.Data())
+		}
+		tensor.Recycle(got)
+	}
+}

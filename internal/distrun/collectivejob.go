@@ -37,6 +37,14 @@ type CollectiveSpec struct {
 	// The CI smoke passes a small cap so one iteration walks several
 	// buckets and chunked rings rather than a single fused transfer.
 	BucketBytes int `json:"bucket_bytes,omitempty"`
+	// WireDType selects the collective wire encoding ("" or "f64" lossless,
+	// "f32" single-precision). The verification payloads are integers far
+	// below 2^24, so every value and partial sum is exactly representable in
+	// f32 and the bit-exact self-checks still hold — which is precisely what
+	// makes the f32 smoke a real verification and rules out "int8q": its
+	// round trip is lossy by design, so a bit-exact check is impossible and
+	// Validate rejects it.
+	WireDType string `json:"wire_dtype,omitempty"`
 }
 
 // Marshal encodes the spec for the rendezvous job payload.
@@ -55,6 +63,13 @@ func (s CollectiveSpec) Marshal() []byte {
 func (s CollectiveSpec) Validate() error {
 	if s.World < 1 || s.Elems < 1 || s.Iters < 1 {
 		return fmt.Errorf("distrun: invalid collective spec %+v", s)
+	}
+	dt, err := dist.ParseDType(s.WireDType)
+	if err != nil {
+		return err
+	}
+	if dt == dist.DTInt8Q {
+		return fmt.Errorf("distrun: collective verification cannot run on int8q: the quantized round trip is lossy, so the job's bit-exact self-check cannot pass")
 	}
 	return nil
 }
@@ -165,6 +180,16 @@ func rankValue(spec CollectiveSpec, rank, i, iter int) float64 {
 // rehearsal. rank is this caller's actor ID; every actor 0..World-1 must
 // run it concurrently.
 func RunCollectiveOn(tr collective.Transport, rank int, spec CollectiveSpec) error {
+	if dt, err := dist.ParseDType(spec.WireDType); err != nil {
+		return err
+	} else if !dt.Lossless() {
+		// Mark the world communicator's whole tag window lossy: unlike a
+		// training job, every collective here is the thing under test, so all
+		// of them ride the requested encoding.
+		if !armLossyWire(tr, dt, worldGroupID) {
+			return fmt.Errorf("distrun: transport %T cannot carry wire dtype %s", tr, dt)
+		}
+	}
 	comm, err := worldComm(tr, spec.World, rank)
 	if err != nil {
 		return err

@@ -37,6 +37,12 @@ var (
 	scGradReduce   = obs.Scope("step/grad_allreduce")
 	scSGD          = obs.Scope("step/sgd")
 	cStepsProfiled = obs.Counter("step/count")
+	// scQuantEF times the error-feedback fold + local quantization;
+	// scQuantResidual observes the per-step residual L2 norm in nano-units
+	// (norm × 1e9 as an integer), so profiles show whether the carried
+	// quantization error stays bounded or drifts.
+	scQuantEF       = obs.Scope("step/quant_ef")
+	scQuantResidual = obs.Scope("wire/quant_residual_norm")
 )
 
 // The collective engine runs directly over the multi-process wire transport:
@@ -115,6 +121,40 @@ type JobSpec struct {
 	// rendezvous payload so the coordinator's -metrics-addr flag lights up
 	// the whole world without per-worker flags.
 	Telemetry bool `json:"telemetry,omitempty"`
+	// WireDType selects the wire encoding of gradient collective traffic:
+	// "" or "f64" (lossless, the default), "f32" (halves gradient wire
+	// bytes), or "int8q" (~8× smaller, with rank-local error-feedback
+	// residuals carrying the quantization error into the next step). Only
+	// the gradient communicator's tag window compresses — losses, pipeline
+	// activations, control frames, and checkpoints always ship f64. Travels
+	// in the rendezvous payload so one coordinator flag arms the world.
+	WireDType string `json:"wire_dtype,omitempty"`
+	// Shape, when set, wraps every rank's data plane in a dist.ShapedTransport
+	// modeling a degraded network (latency/jitter/bandwidth/loss) — the CI
+	// tier that validates multi-host behavior without netem. Travels in the
+	// payload so all ranks shape identically.
+	Shape *ShapeSpec `json:"shape,omitempty"`
+}
+
+// ShapeSpec is the JSON-friendly form of dist.ShapeOpts carried in the
+// rendezvous payload.
+type ShapeSpec struct {
+	LatencyUs    int64   `json:"latency_us,omitempty"`
+	JitterUs     int64   `json:"jitter_us,omitempty"`
+	BandwidthGBs float64 `json:"bandwidth_gbs,omitempty"`
+	LossProb     float64 `json:"loss_prob,omitempty"`
+	Seed         uint64  `json:"seed,omitempty"`
+}
+
+// Opts converts the payload form into the shaper's options.
+func (s *ShapeSpec) Opts() dist.ShapeOpts {
+	return dist.ShapeOpts{
+		Latency:      time.Duration(s.LatencyUs) * time.Microsecond,
+		Jitter:       time.Duration(s.JitterUs) * time.Microsecond,
+		BandwidthGBs: s.BandwidthGBs,
+		LossProb:     s.LossProb,
+		Seed:         s.Seed,
+	}
 }
 
 // KindTrain is the JobSpec payload kind (the empty string means the same).
@@ -149,6 +189,9 @@ func UnmarshalJobSpec(data []byte) (JobSpec, error) {
 	if s.Stages < 1 || s.NumMB < 1 || s.Steps < 0 {
 		return s, fmt.Errorf("distrun: invalid job spec %+v", s)
 	}
+	if _, err := dist.ParseDType(s.WireDType); err != nil {
+		return s, err
+	}
 	return s, nil
 }
 
@@ -161,20 +204,54 @@ func UnmarshalJobSpec(data []byte) (JobSpec, error) {
 // construction.
 const worldGroupID = 1 << 10
 
+// gradGroupID is the dedicated all-ranks group the gradient exchange moves
+// to when a lossy wire dtype is armed: its tag window is disjoint from
+// worldGroupID's, so marking it lossy on the transport compresses exactly
+// the gradient collectives — the loss AllGather, start-step agreement, and
+// every other world-group operation stay on the lossless window.
+const gradGroupID = worldGroupID + 1
+
 // worldComm returns this rank's communicator on the all-ranks process group
 // (ranks 0..world-1 under worldGroupID) — the single construction both the
 // training epilogue and the collective verification job use, so the two
 // paths can never drift onto different tag windows.
 func worldComm(tr collective.Transport, world, rank int) (*collective.Communicator, error) {
+	return worldCommID(tr, world, rank, worldGroupID)
+}
+
+// worldCommID is worldComm on an explicit group ID (the lossy gradient
+// exchange runs on gradGroupID's window).
+func worldCommID(tr collective.Transport, world, rank, groupID int) (*collective.Communicator, error) {
 	ranks := make([]int, world)
 	for i := range ranks {
 		ranks[i] = i
 	}
-	group, err := collective.NewGroup(tr, ranks, worldGroupID)
+	group, err := collective.NewGroup(tr, ranks, groupID)
 	if err != nil {
 		return nil, err
 	}
 	return group.Comm(rank)
+}
+
+// lossyWireConfigurer is the transport capability the lossy plane needs;
+// the dist TCP Transport and LocalMesh implement it. A transport without it
+// (in-process channels) simply trains lossless.
+type lossyWireConfigurer interface {
+	SetWireDType(dist.DType)
+	SetLossyTagWindow(lo, hi int)
+}
+
+// armLossyWire marks groupID's collective tag window lossy with the given
+// dtype on a capable transport. Reports whether the transport accepted it.
+func armLossyWire(tr any, dt dist.DType, groupID int) bool {
+	lw, ok := tr.(lossyWireConfigurer)
+	if !ok {
+		return false
+	}
+	lo, hi := collective.GroupTagRange(groupID)
+	lw.SetLossyTagWindow(lo, hi)
+	lw.SetWireDType(dt)
+	return true
 }
 
 // RunJob dispatches a rendezvous job payload to its runner: training jobs go
@@ -188,6 +265,22 @@ func RunJob(sess *dist.Session) error { return RunJobProfiled(sess, false) }
 // even if the coordinator's payload did not request profiling. The end-of-job
 // snapshot exchange still follows the payload alone.
 func RunJobProfiled(sess *dist.Session, localProfile bool) error {
+	return RunJobWith(sess, JobOptions{Profile: localProfile})
+}
+
+// JobOptions are rank-local overrides a worker applies on top of the
+// coordinator's payload.
+type JobOptions struct {
+	// Profile logs per-step summaries on this rank (see RunJobProfiled).
+	Profile bool
+	// WireDType overrides the payload's gradient wire encoding on this rank
+	// only. The codec is self-describing per frame, so ranks may legitimately
+	// mix encodings — e.g. canarying compression on one rank of a world.
+	WireDType string
+}
+
+// RunJobWith is RunJob with rank-local JobOptions applied.
+func RunJobWith(sess *dist.Session, opt JobOptions) error {
 	var probe struct {
 		Kind string `json:"kind"`
 	}
@@ -200,7 +293,13 @@ func RunJobProfiled(sess *dist.Session, localProfile bool) error {
 		if err != nil {
 			return err
 		}
-		spec.ProfileLocal = localProfile
+		spec.ProfileLocal = opt.Profile
+		if opt.WireDType != "" {
+			if _, err := dist.ParseDType(opt.WireDType); err != nil {
+				return err
+			}
+			spec.WireDType = opt.WireDType
+		}
 		_, err = Run(sess, spec)
 		return err
 	case KindCollective:
@@ -607,6 +706,36 @@ func saveCheckpointLocal(spec JobSpec, step int, params, vel []*jaxpp.Tensor) er
 // contain negative zeros (ReLU masking produces them).
 var negZero = math.Copysign(0, -1)
 
+// applyErrorFeedback runs the rank-local half of int8 error-feedback
+// compression on the dense gradient exchange. For each owned gradient with
+// carried residual r and fresh contribution g: the compensated value is
+// c = g + r, the wire carries q = Q(c) (the int8 round trip, applied here so
+// this rank reduces exactly the values remote ranks decode), and the new
+// residual is r' = c − q. Unowned slots hold negative-zero fills, which
+// quantize to themselves, so they need no compensation. The residual L2 norm
+// is observed per step (in nano-units) — bounded norm means the compression
+// error re-enters the sum instead of accumulating as drift.
+func applyErrorFeedback(exch, res []*tensor.Tensor, owned []bool) {
+	var sq float64
+	for gi, r := range res {
+		if r == nil || !owned[gi] {
+			continue
+		}
+		g := exch[gi].Data()
+		rd := r.Data()
+		for i := range g {
+			rd[i] += g[i]
+			g[i] = rd[i]
+		}
+		dist.LossyRoundTrip(dist.DTInt8Q, g)
+		for i := range g {
+			rd[i] -= g[i]
+			sq += rd[i] * rd[i]
+		}
+	}
+	obs.Observe(scQuantResidual, int64(math.Sqrt(sq)*1e9))
+}
+
 // Run executes the job on this rank of a bootstrapped session: compile the
 // shared program with this rank's actor hosted, run the actor every step,
 // and run the result exchange on the collective engine over the wire
@@ -621,9 +750,21 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 	if sess.World != spec.World() {
 		return nil, fmt.Errorf("distrun: session world %d, job wants %d (= %d replicas × %d stages)", sess.World, spec.World(), spec.Replicas(), spec.Stages)
 	}
-	tr := sess.Transport
+	wireDT, err := dist.ParseDType(spec.WireDType)
+	if err != nil {
+		return nil, err
+	}
+	var tr runtime.Transport = sess.Transport
+	if spec.Shape != nil {
+		// Degraded-network mode: every cross-rank frame rides the link shaper.
+		// The shaper sits above the dist transport, so the wire codec (and the
+		// lossy dtype plane below) is unchanged — only delivery timing is.
+		shaped := dist.NewShapedTransport(sess.Transport, spec.Shape.Opts())
+		defer shaped.Stop()
+		tr = shaped
+	}
 	rank := sess.Rank
-	flight.Log("run_start", rank, -1, fmt.Sprintf("world %d sharded=%v telemetry=%v", sess.World, spec.Sharded, spec.Telemetry))
+	flight.Log("run_start", rank, -1, fmt.Sprintf("world %d sharded=%v telemetry=%v wire=%s shaped=%v", sess.World, spec.Sharded, spec.Telemetry, wireDT, spec.Shape != nil))
 	host := []int{rank}
 	if spec.NoHostedFilter {
 		host = nil
@@ -661,6 +802,21 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 	comm, err := worldComm(tr, sess.World, rank)
 	if err != nil {
 		return nil, err
+	}
+	// Gradient traffic optionally rides a lossy wire encoding. The transport's
+	// lossy plane is armed per collective tag window, so only frames in the
+	// gradient communicator's window compress — control frames, loss gathers,
+	// checkpoint traffic, and the parameter AllGather of the sharded epilogue
+	// all stay f64 end to end. When no lossy dtype is requested, gradComm is
+	// simply the world communicator and nothing changes on the wire.
+	gradComm := comm
+	if !wireDT.Lossless() {
+		if !armLossyWire(sess.Transport, wireDT, gradGroupID) {
+			return nil, fmt.Errorf("distrun: transport %T cannot carry lossy wire dtype %s", sess.Transport, wireDT)
+		}
+		if gradComm, err = worldCommID(tr, sess.World, rank, gradGroupID); err != nil {
+			return nil, err
+		}
 	}
 
 	params, batch := InitModel(spec)
@@ -732,6 +888,7 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 	// and the per-step result struct.
 	var next []*jaxpp.Tensor
 	var exch []*tensor.Tensor
+	var efRes []*tensor.Tensor
 	if sh == nil {
 		next = make([]*jaxpp.Tensor, len(params))
 		exch = make([]*tensor.Tensor, len(params))
@@ -739,8 +896,24 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 			next[i] = jaxpp.NewTensor(p.Shape()...)
 			exch[i] = tensor.GetScratchShaped(p.Shape()...)
 		}
+		if wireDT == dist.DTInt8Q {
+			// Error-feedback residuals, one per owned gradient, zeroed at the
+			// start: each step the carried residual folds into the contribution
+			// before quantization and retains the new quantization error after,
+			// so what the wire drops this step re-enters the sum next step.
+			// Residuals are strictly rank-local — they never travel and never
+			// enter checkpoints.
+			efRes = make([]*tensor.Tensor, len(params))
+			for gi, p := range params {
+				if ownedGrad[gi] {
+					efRes[gi] = tensor.GetScratchShaped(p.Shape()...)
+					clear(efRes[gi].Data())
+				}
+			}
+		}
 	} else {
 		sh.syncParams(params)
+		sh.armErrorFeedback(wireDT == dist.DTInt8Q)
 	}
 	shard := tensor.GetScratch(lossSlots)
 	gathered := tensor.GetScratch(sess.World * lossSlots)
@@ -751,6 +924,11 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 		tensor.Recycle(gathered)
 		for _, t := range exch {
 			tensor.Recycle(t)
+		}
+		for _, t := range efRes {
+			if t != nil {
+				tensor.Recycle(t)
+			}
 		}
 	}()
 	res := &jaxpp.ActorResults{}
@@ -811,7 +989,7 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 		if sh != nil {
 			// Sharded epilogue: ReduceScatterV → shard-local update →
 			// AllGatherV, bit-identical to the dense path (see exchange).
-			if err := sh.exchange(comm, spec, res, ownedGrad, params); err != nil {
+			if err := sh.exchange(comm, gradComm, spec, res, ownedGrad, params); err != nil {
 				return nil, fmt.Errorf("distrun: rank %d step %d %w", rank, step, err)
 			}
 		} else {
@@ -832,8 +1010,13 @@ func Run(sess *dist.Session, spec JobSpec) (*Report, error) {
 				exch[gi].CopyFrom(res.Grads[i].Data())
 				tensor.Recycle(res.Grads[i])
 			}
+			if efRes != nil {
+				hq := obs.TrackTid(scQuantEF, rank)
+				applyErrorFeedback(exch, efRes, ownedGrad)
+				hq.Stop()
+			}
 			hg := obs.TrackTid(scGradReduce, rank)
-			err = comm.AllReduceBucketsInPlace(exch, collective.OpSum, 0)
+			err = gradComm.AllReduceBucketsInPlace(exch, collective.OpSum, 0)
 			hg.Stop()
 			if err != nil {
 				return nil, fmt.Errorf("distrun: rank %d step %d grad all-reduce: %w", rank, step, err)

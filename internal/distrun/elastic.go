@@ -156,6 +156,9 @@ type WorkerOptions struct {
 	MaxJoinFailures int
 	// Profile arms rank-local profiling for every job this worker runs.
 	Profile bool
+	// WireDType overrides the gradient wire encoding on this worker only
+	// ("f64", "f32", or "int8q"; empty follows the coordinator's payload).
+	WireDType string
 }
 
 // RunElasticWorker joins, trains, and — when a peer failure poisons the job —
@@ -192,7 +195,7 @@ func RunElasticWorker(ctrlAddr string, opt WorkerOptions) error {
 		}
 		joinFails = 0
 		backoff = opt.Backoff
-		runErr := RunJobProfiled(sess, opt.Profile)
+		runErr := RunJobWith(sess, JobOptions{Profile: opt.Profile, WireDType: opt.WireDType})
 		sess.Close()
 		if runErr == nil {
 			return nil

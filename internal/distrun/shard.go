@@ -3,10 +3,12 @@ package distrun
 import (
 	"fmt"
 	"log"
+	"math"
 	"sort"
 
 	jaxpp "repro"
 	"repro/internal/collective"
+	"repro/internal/dist"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/tensor"
@@ -130,6 +132,15 @@ type shardedState struct {
 	uShard *tensor.Tensor
 	flatP  *tensor.Tensor
 	vel    *tensor.Tensor
+	// ef arms int8 error-feedback compression of the gradient ReduceScatterV;
+	// efRes carries the rank-local quantization residual over this rank's
+	// contributed flat range (allocated lazily on the first exchange, sized to
+	// the contribution — not plan.total — to preserve the sharded memory win).
+	// Like the dense path's residuals, it never travels and is not
+	// checkpointed: a restore restarts compensation from zero.
+	ef     bool
+	efRes  *tensor.Tensor
+	efBase int
 }
 
 // newShardedState allocates the epilogue buffers for this rank and logs the
@@ -168,7 +179,14 @@ func (s *shardedState) release() {
 	if s.vel != nil {
 		tensor.Recycle(s.vel)
 	}
+	if s.efRes != nil {
+		tensor.Recycle(s.efRes)
+	}
 }
+
+// armErrorFeedback turns the int8 error-feedback transform on (or off) for
+// subsequent exchanges.
+func (s *shardedState) armErrorFeedback(on bool) { s.ef = on }
 
 // syncParams refreshes the flat parameter mirror from the param tensors.
 // Called once after init/restore; every subsequent step's AllGatherV writes
@@ -185,7 +203,12 @@ func (s *shardedState) syncParams(params []*jaxpp.Tensor) {
 // it into the param tensors. Because −0.0 filler reduces to the owner's bits
 // in any combine order and the update kernels are elementwise, the resulting
 // parameters are bit-identical to the dense AllReduce path.
-func (s *shardedState) exchange(comm *collective.Communicator, spec JobSpec, res *jaxpp.ActorResults, ownedGrad []bool, params []*jaxpp.Tensor) error {
+//
+// The gradient ReduceScatterV runs on gradComm — the communicator whose tag
+// window the transport may mark lossy — while the parameter AllGatherV stays
+// on comm: parameters must never quantize, or every rank's weights would
+// degrade once per step regardless of error feedback.
+func (s *shardedState) exchange(comm, gradComm *collective.Communicator, spec JobSpec, res *jaxpp.ActorResults, ownedGrad []bool, params []*jaxpp.Tensor) error {
 	p := s.plan
 	fg := s.flatG.Data()
 	// Contributed flat range: the union of this rank's owned gradient
@@ -234,13 +257,44 @@ func (s *shardedState) exchange(comm *collective.Communicator, spec JobSpec, res
 		copy(fg[p.gradOff[gi]:p.gradOff[gi]+len(gd)], gd)
 		tensor.Recycle(res.Grads[i])
 	}
+	if s.ef && contribHi > contribLo {
+		// Error feedback over the contributed segments, per owned gradient
+		// (matching the dense path's per-tensor quantization grid): fold the
+		// carried residual in, replace the contribution with its own int8
+		// round trip, keep the new error for next step.
+		hq := obs.TrackTid(scQuantEF, s.rank)
+		if s.efRes == nil {
+			s.efRes = tensor.GetScratchZero(contribHi - contribLo)
+			s.efBase = contribLo
+		}
+		var sq float64
+		rd := s.efRes.Data()
+		for k, gi := range p.order {
+			if !ownedGrad[gi] {
+				continue
+			}
+			g := fg[p.off[k]:p.off[k+1]]
+			r := rd[p.off[k]-s.efBase : p.off[k+1]-s.efBase]
+			for i := range g {
+				r[i] += g[i]
+				g[i] = r[i]
+			}
+			dist.LossyRoundTrip(dist.DTInt8Q, g)
+			for i := range g {
+				r[i] -= g[i]
+				sq += r[i] * r[i]
+			}
+		}
+		obs.Observe(scQuantResidual, int64(math.Sqrt(sq)*1e9))
+		hq.Stop()
+	}
 
 	hg := obs.TrackTid(scGradRS, s.rank)
 	var err error
 	if sparse {
-		err = comm.ReduceScatterVSparseInto(s.gShard, s.flatG, p.counts, contribLo, contribHi, collective.OpSum, 0)
+		err = gradComm.ReduceScatterVSparseInto(s.gShard, s.flatG, p.counts, contribLo, contribHi, collective.OpSum, 0)
 	} else {
-		err = comm.ReduceScatterVInto(s.gShard, s.flatG, p.counts, collective.OpSum, 0)
+		err = gradComm.ReduceScatterVInto(s.gShard, s.flatG, p.counts, collective.OpSum, 0)
 	}
 	hg.Stop()
 	if err != nil {
